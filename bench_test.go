@@ -1,0 +1,327 @@
+package toporouting
+
+// The benchmark harness regenerates every experiment of the reproduction
+// (E1–E12 for the paper's claims, E13–E17 for extensions; the paper is a
+// theory paper, so its "tables and figures" are its theorems — see
+// DESIGN.md for the experiment index). Each BenchmarkE*
+// executes the corresponding experiment at bench scale and reports custom
+// metrics extracted from the run alongside time/allocations. Microbenches
+// for the core primitives (topology build, θ-paths, interference sets,
+// balancing steps) follow.
+//
+// Run:  go test -bench=. -benchmem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toporouting/internal/experiments"
+	"toporouting/internal/georouting"
+	"toporouting/internal/interference"
+	"toporouting/internal/optimal"
+	"toporouting/internal/pointset"
+	"toporouting/internal/proximity"
+	"toporouting/internal/routing"
+	"toporouting/internal/sim"
+	"toporouting/internal/topology"
+	"toporouting/internal/unitdisk"
+)
+
+// benchScale is the sweep used by the experiment benchmarks: large enough
+// to show the asymptotic shapes, small enough for a bench loop.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Sizes: []int{100, 200, 400}, Seeds: 2, Steps: 600}
+}
+
+func benchExperiment(b *testing.B, run func(experiments.Scale) *experiments.Table) {
+	b.ReportAllocs()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t := run(benchScale())
+		rows = len(t.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkE1DegreeConnectivity(b *testing.B) {
+	benchExperiment(b, experiments.E1DegreeConnectivity)
+}
+
+func BenchmarkE2EnergyStretch(b *testing.B) {
+	benchExperiment(b, experiments.E2EnergyStretch)
+}
+
+func BenchmarkE3DistanceStretch(b *testing.B) {
+	benchExperiment(b, experiments.E3DistanceStretch)
+}
+
+func BenchmarkE4Interference(b *testing.B) {
+	benchExperiment(b, experiments.E4Interference)
+}
+
+func BenchmarkE5ThetaPathOverlap(b *testing.B) {
+	benchExperiment(b, experiments.E5ThetaPathOverlap)
+}
+
+func BenchmarkE6ScheduleEmulation(b *testing.B) {
+	benchExperiment(b, func(sc experiments.Scale) *experiments.Table {
+		sc.Sizes = []int{100, 200}
+		return experiments.E6ScheduleEmulation(sc)
+	})
+}
+
+func BenchmarkE7BalancingCompetitive(b *testing.B) {
+	benchExperiment(b, experiments.E7BalancingCompetitive)
+}
+
+func BenchmarkE7bCostAwareness(b *testing.B) {
+	benchExperiment(b, experiments.E7bCostAwareness)
+}
+
+func BenchmarkE8MACCollision(b *testing.B) {
+	benchExperiment(b, func(sc experiments.Scale) *experiments.Table {
+		sc.Sizes = []int{100, 200}
+		sc.Steps = 300
+		return experiments.E8MACCollision(sc)
+	})
+}
+
+func BenchmarkE9TopologyRouting(b *testing.B) {
+	benchExperiment(b, func(sc experiments.Scale) *experiments.Table {
+		sc.Sizes = []int{80, 160}
+		sc.Steps = 300
+		return experiments.E9TopologyRouting(sc)
+	})
+}
+
+func BenchmarkE10RandomThroughput(b *testing.B) {
+	benchExperiment(b, func(sc experiments.Scale) *experiments.Table {
+		sc.Sizes = []int{80, 160}
+		sc.Steps = 300
+		return experiments.E10RandomThroughput(sc)
+	})
+}
+
+func BenchmarkE11Honeycomb(b *testing.B) {
+	benchExperiment(b, func(sc experiments.Scale) *experiments.Table {
+		sc.Sizes = []int{80, 160}
+		sc.Steps = 250
+		return experiments.E11Honeycomb(sc)
+	})
+}
+
+func BenchmarkE12Baselines(b *testing.B) {
+	benchExperiment(b, func(sc experiments.Scale) *experiments.Table {
+		sc.Sizes = []int{200}
+		sc.Seeds = 1
+		return experiments.E12Baselines(sc)
+	})
+}
+
+// --- core primitive microbenches ---
+
+func benchPoints(n int) pointset.Set {
+	return pointset.Generate(pointset.KindUniform, n, 1)
+}
+
+func BenchmarkBuildTheta(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		pts := benchPoints(n)
+		d := unitdisk.CriticalRange(pts) * 1.3
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+			}
+		})
+	}
+}
+
+func BenchmarkBuildThetaDistributed(b *testing.B) {
+	pts := benchPoints(400)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		topology.BuildThetaDistributed(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	}
+}
+
+func BenchmarkThetaPath(b *testing.B) {
+	pts := benchPoints(400)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	gstar := unitdisk.Build(pts, d)
+	edges := gstar.Edges()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		top.ThetaPath(e.U, e.V)
+	}
+}
+
+func BenchmarkInterferenceSets(b *testing.B) {
+	for _, n := range []int{200, 800} {
+		pts := benchPoints(n)
+		d := unitdisk.CriticalRange(pts) * 1.3
+		top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+		edges := top.N.Edges()
+		m := interference.NewModel(interference.DefaultDelta)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Sets(pts, edges)
+			}
+		})
+	}
+}
+
+func BenchmarkBalancerStep(b *testing.B) {
+	pts := benchPoints(400)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	var active []routing.ActiveEdge
+	cost := top.EnergyCost(2)
+	for _, e := range top.N.Edges() {
+		active = append(active, routing.ActiveEdge{U: e.U, V: e.V, Cost: cost(e.U, e.V)})
+	}
+	bal := routing.New(400, routing.Params{T: 0, Gamma: 0, BufferSize: 50})
+	rng := rand.New(rand.NewSource(1))
+	// Pre-load traffic toward three sinks.
+	var inj []routing.Injection
+	for i := 0; i < 300; i++ {
+		inj = append(inj, routing.Injection{Node: rng.Intn(400), Dest: []int{7, 130, 311}[i%3], Count: 1})
+	}
+	bal.Step(nil, inj)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bal.Step(active, nil)
+	}
+}
+
+func BenchmarkSimulationStep(b *testing.B) {
+	pts := benchPoints(200)
+	cfg := sim.Config{
+		Points: pts,
+		MAC:    sim.MACRandom,
+		Router: routing.Params{T: 0, Gamma: 0, BufferSize: 40},
+		Inject: sim.SinksInjector(200, []int{11, 97}, 1, 1<<30),
+		Steps:  500,
+		Seed:   1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		sim.Run(cfg)
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000:
+		return "n1600"
+	case n >= 500:
+		return "n800"
+	case n >= 300:
+		return "n400"
+	case n >= 150:
+		return "n200"
+	default:
+		return "n100"
+	}
+}
+
+func BenchmarkE13ExactOPT(b *testing.B) {
+	benchExperiment(b, func(sc experiments.Scale) *experiments.Table {
+		sc.Sizes = []int{60}
+		sc.Steps = 150
+		return experiments.E13ExactOPT(sc)
+	})
+}
+
+func BenchmarkE14GeoRouting(b *testing.B) {
+	benchExperiment(b, func(sc experiments.Scale) *experiments.Table {
+		sc.Sizes = []int{100, 200}
+		return experiments.E14GeoRouting(sc)
+	})
+}
+
+func BenchmarkE15PhysicalModel(b *testing.B) {
+	benchExperiment(b, func(sc experiments.Scale) *experiments.Table {
+		sc.Sizes = []int{100, 200}
+		return experiments.E15PhysicalModel(sc)
+	})
+}
+
+func BenchmarkE16Resilience(b *testing.B) {
+	benchExperiment(b, func(sc experiments.Scale) *experiments.Table {
+		sc.Sizes = []int{100}
+		return experiments.E16Resilience(sc)
+	})
+}
+
+func BenchmarkE17ThetaSweep(b *testing.B) {
+	benchExperiment(b, func(sc experiments.Scale) *experiments.Table {
+		sc.Sizes = []int{200}
+		return experiments.E17ThetaSweep(sc)
+	})
+}
+
+func BenchmarkGabriel(b *testing.B) {
+	pts := benchPoints(400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		proximity.Gabriel(pts, 0)
+	}
+}
+
+func BenchmarkDelaunay(b *testing.B) {
+	pts := benchPoints(400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		proximity.Delaunay(pts)
+	}
+}
+
+func BenchmarkDinicTimeExpanded(b *testing.B) {
+	pts := benchPoints(60)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	var inj []optimal.Injection
+	for s := 0; s < 50; s++ {
+		inj = append(inj, optimal.Injection{Node: (s * 7) % 60, Step: s, Count: 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		optimal.MaxDeliveries(optimal.Config{Graph: top.N, Dest: 5, Horizon: 200, Injections: inj})
+	}
+}
+
+func BenchmarkGPSRRoute(b *testing.B) {
+	pts := benchPoints(400)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	gab := proximity.Gabriel(pts, d)
+	r := georouting.NewPlanarRouter(gab, pts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Route(i%400, (i*73+199)%400, 0)
+	}
+}
+
+func BenchmarkE18ProtocolCost(b *testing.B) {
+	benchExperiment(b, func(sc experiments.Scale) *experiments.Table {
+		sc.Sizes = []int{100}
+		return experiments.E18ProtocolCost(sc)
+	})
+}
+
+func BenchmarkE19ControlTraffic(b *testing.B) {
+	benchExperiment(b, func(sc experiments.Scale) *experiments.Table {
+		sc.Steps = 150
+		return experiments.E19ControlTraffic(sc)
+	})
+}

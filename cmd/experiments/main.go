@@ -1,0 +1,41 @@
+// Command experiments runs the paper-reproduction experiment suite
+// (E1–E12, see DESIGN.md) and prints the tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-run all] [-full]
+//
+// -run selects a single experiment id (e.g. E4); -full uses the
+// paper-scale sweep (several minutes) instead of the quick scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"toporouting"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "all", "experiment id (E1..E12, E7b) or 'all'")
+		full = flag.Bool("full", false, "paper-scale sweep (slow)")
+	)
+	flag.Parse()
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = toporouting.ExperimentIDs()
+	}
+	for _, id := range ids {
+		out, err := toporouting.RunExperiment(id, *full)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			fmt.Fprintln(os.Stderr, "available:", toporouting.ExperimentIDs())
+			os.Exit(1)
+		}
+		fmt.Print(out) // stream per experiment: long sweeps show progress
+	}
+}

@@ -1,0 +1,116 @@
+// Command topoctl builds a ΘALG topology over a generated point set and
+// reports its structural properties: degree, connectivity, energy- and
+// distance-stretch, and interference number.
+//
+// Usage:
+//
+//	topoctl [-dist uniform] [-n 400] [-seed 1] [-theta 0.5236]
+//	        [-kappa 2] [-delta 0.5] [-sources 40] [-distributed] [-edges]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"toporouting"
+)
+
+func main() {
+	var (
+		dist        = flag.String("dist", "uniform", "point distribution: uniform|civilized|clustered|grid|expchain|ring|bridge")
+		n           = flag.Int("n", 400, "number of nodes")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		theta       = flag.Float64("theta", math.Pi/6, "ΘALG cone angle (0, π/3]")
+		kappa       = flag.Float64("kappa", 2, "path-loss exponent κ ≥ 2")
+		delta       = flag.Float64("delta", 0.5, "interference guard zone Δ > 0")
+		srcs        = flag.Int("sources", 40, "Dijkstra sources for stretch (0 = exact)")
+		distributed = flag.Bool("distributed", false, "use the 3-round message-passing protocol")
+		edges       = flag.Bool("edges", false, "dump the edge list")
+		svgPath     = flag.String("svg", "", "write an SVG rendering (G* faint, N bold) to this file")
+		pointsIn    = flag.String("points", "", "read node positions from this file instead of generating")
+		pointsOut   = flag.String("savepoints", "", "write the node positions to this file")
+	)
+	flag.Parse()
+
+	var pts []toporouting.Point
+	var err error
+	if *pointsIn != "" {
+		f, ferr := os.Open(*pointsIn)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "topoctl:", ferr)
+			os.Exit(1)
+		}
+		pts, err = toporouting.ReadPointsFrom(f)
+		f.Close()
+	} else {
+		pts, err = toporouting.GeneratePoints(*dist, *n, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topoctl:", err)
+		os.Exit(1)
+	}
+	if *pointsOut != "" {
+		f, ferr := os.Create(*pointsOut)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "topoctl:", ferr)
+			os.Exit(1)
+		}
+		if err := toporouting.WritePointsTo(f, pts); err != nil {
+			fmt.Fprintln(os.Stderr, "topoctl:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	opts := toporouting.Options{Theta: *theta, Kappa: *kappa, Delta: *delta}
+
+	var nw *toporouting.Network
+	if *distributed {
+		var st toporouting.ProtocolStats
+		nw, st, err = toporouting.BuildNetworkDistributed(pts, opts)
+		if err == nil {
+			fmt.Printf("protocol: %d position, %d neighborhood, %d connection msgs (%d deliveries)\n",
+				st.PositionMsgs, st.NeighborhoodMsgs, st.ConnectionMsgs, st.Deliveries)
+		}
+	} else {
+		nw, err = toporouting.BuildNetwork(pts, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topoctl:", err)
+		os.Exit(1)
+	}
+
+	o := nw.Options()
+	fmt.Printf("distribution   %s (n=%d, seed=%d)\n", *dist, len(pts), *seed)
+	fmt.Printf("theta          %.4f rad (%d sectors)\n", o.Theta, int(math.Round(2*math.Pi/o.Theta)))
+	fmt.Printf("range          %.5f\n", o.Range)
+	fmt.Printf("edges          %d\n", nw.NumEdges())
+	fmt.Printf("max degree     %d (Lemma 2.1 bound %d)\n", nw.MaxDegree(), nw.DegreeBound())
+	fmt.Printf("connected      %v (G*: %v)\n", nw.Connected(), nw.TransmissionGraphConnected())
+	es := nw.EnergyStretch(*srcs)
+	fmt.Printf("energy stretch max=%.3f mean=%.3f p95=%.3f (κ=%.1f, %d pairs)\n",
+		es.Max, es.Mean, es.P95, o.Kappa, es.Pairs)
+	ds := nw.DistanceStretch(*srcs)
+	fmt.Printf("dist stretch   max=%.3f mean=%.3f p95=%.3f\n", ds.Max, ds.Mean, ds.P95)
+	fmt.Printf("interference   I=%d (Δ=%.2f)\n", nw.InterferenceNumber(), o.Delta)
+
+	if *edges {
+		for _, e := range nw.Edges() {
+			fmt.Printf("%d %d\n", e[0], e[1])
+		}
+	}
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topoctl:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := nw.WriteSVG(f, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "topoctl:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("svg            %s\n", *svgPath)
+	}
+}

@@ -1,0 +1,99 @@
+// Firezone: anycast delivery and geographic-routing baselines on one
+// deployment. A wildfire-monitoring network has several exfiltration
+// gateways; a sensor detecting fire needs its alarm at ANY gateway
+// (anycast). The example routes alarms three ways:
+//
+//  1. the (T,γ)-balancing router with an anycast destination group —
+//     the paper's lineage ([10]) generalizes to exactly this;
+//  2. GPSR geographic routing (greedy + face recovery) to the *nearest*
+//     gateway, the stateless baseline the paper cites;
+//  3. plain greedy forwarding, which strands at voids.
+//
+// It also records per-packet latency through the balancing router.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"toporouting"
+)
+
+func main() {
+	const nodes = 250
+	pts, err := toporouting.GeneratePoints("uniform", nodes, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := toporouting.BuildNetwork(pts, toporouting.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gateways := []int{3, nodes / 2, nodes - 7}
+	fmt.Printf("firezone: %d sensors, %d gateways, topology degree ≤ %d\n",
+		nodes, len(gateways), nw.MaxDegree())
+
+	// --- 1. anycast over the balancing router -------------------------
+	router, err := toporouting.NewRouter(nodes, toporouting.RouterOptions{T: 0, BufferSize: 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	router.EnableLatencyTracking()
+	var links []toporouting.Link
+	for _, e := range nw.Edges() {
+		links = append(links, toporouting.Link{U: e[0], V: e[1], Cost: nw.EnergyCost(e[0], e[1])})
+	}
+	alarms := 0
+	for step := 0; step < 4000; step++ {
+		if step < 2000 && step%4 == 0 {
+			src := (step * 31) % nodes
+			acc, _ := router.InjectAnycast(src, gateways, 1)
+			alarms += acc
+		}
+		router.Step(links, nil)
+	}
+	lat := router.Latencies()
+	fmt.Printf("balancing (anycast): %d/%d alarms delivered; latency p50=%d p95=%d steps\n",
+		router.Delivered(), alarms, lat.P50, lat.P95)
+
+	// --- 2 & 3. geographic routing to the nearest gateway -------------
+	geo, err := toporouting.NewGeoRouter(pts, nw.Options().Range)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nearestGateway := func(src int) int {
+		best, bestD := gateways[0], math.Inf(1)
+		for _, g := range gateways {
+			dx := pts[src].X - pts[g].X
+			dy := pts[src].Y - pts[g].Y
+			if d := dx*dx + dy*dy; d < bestD {
+				best, bestD = g, d
+			}
+		}
+		return best
+	}
+	gpsrOK, greedyOK, trials := 0, 0, 0
+	var gpsrEnergy float64
+	for src := 0; src < nodes; src += 3 {
+		gw := nearestGateway(src)
+		if src == gw {
+			continue
+		}
+		trials++
+		if r, err := geo.Route(src, gw); err == nil && r.Delivered {
+			gpsrOK++
+			gpsrEnergy += r.Energy
+		}
+		if r, err := geo.Greedy(src, gw); err == nil && r.Delivered {
+			greedyOK++
+		}
+	}
+	fmt.Printf("GPSR (greedy+face):  %d/%d delivered, avg energy %.5f per alarm\n",
+		gpsrOK, trials, gpsrEnergy/float64(gpsrOK))
+	fmt.Printf("greedy only:         %d/%d delivered (%d stranded at voids)\n",
+		greedyOK, trials, trials-greedyOK)
+	fmt.Println("→ geographic routing is stateless but per-packet; the balancing router")
+	fmt.Println("  additionally guarantees competitive throughput & cost under load, and")
+	fmt.Println("  anycast falls out of the same buffer-height machinery.")
+}

@@ -1,0 +1,67 @@
+// Mobilemesh: a dynamic ad hoc network under node mobility and a
+// contention-based MAC — the full stack of the paper. Nodes drift, the
+// local ΘALG protocol rebuilds the topology (three broadcast rounds, no
+// global coordination), the randomized symmetry-breaking MAC of
+// Section 3.3 resolves interference with activation probability 1/(2·I_e),
+// and the (T,γ)-balancing router keeps packets flowing toward a command
+// post through every change.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"toporouting"
+)
+
+func main() {
+	const (
+		nodes = 150
+		steps = 12000
+	)
+	pts, err := toporouting.GeneratePoints("uniform", nodes, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the cost of one distributed rebuild: the protocol is three
+	// rounds of local broadcasts (Section 2.1).
+	_, proto, err := toporouting.BuildNetworkDistributed(pts, toporouting.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one distributed topology build: %d + %d + %d messages (Position/Neighborhood/Connection)\n",
+		proto.PositionMsgs, proto.NeighborhoodMsgs, proto.ConnectionMsgs)
+
+	// The random MAC admits ~m/(2I) concurrent transmissions per step, so
+	// inject at a matching trickle: one report every 10 steps.
+	commandPost := nodes - 1
+	traffic := func(step int, rng *rand.Rand) []toporouting.Packets {
+		if step >= steps/2 || step%10 != 0 {
+			return nil
+		}
+		return []toporouting.Packets{{Node: rng.Intn(nodes), Dest: commandPost, Count: 1}}
+	}
+	res, err := toporouting.Simulate(toporouting.SimulationOptions{
+		Points:        pts,
+		MAC:           toporouting.MACRandom,
+		Router:        toporouting.RouterOptions{T: 0, Gamma: 0, BufferSize: 50},
+		Traffic:       traffic,
+		Steps:         steps,
+		MobilityEvery: 1000,
+		MobilityStep:  0.01,
+		Seed:          3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mobile mesh: %d nodes drifting, topology rebuilt %d times\n", nodes, res.Rebuilds)
+	fmt.Printf("  interference bound I = %d → per-edge activation 1/(2I_e)\n", res.I)
+	fmt.Printf("  reports delivered to command post: %d of %d accepted (%d still in flight)\n",
+		res.Delivered, res.Accepted, res.Queued)
+	fmt.Printf("  transmissions: %d, energy per delivery: %.5f\n", res.Moves, res.AvgCost)
+	fmt.Println("→ throughput within O(1/I) of optimal on any topology (Theorem 3.3 + Cor. 3.4),")
+	fmt.Println("  and I = O(log n) whp for random deployments (Lemma 2.10).")
+}

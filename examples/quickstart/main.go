@@ -1,0 +1,65 @@
+// Quickstart: build a ΘALG topology over random nodes, inspect the
+// guarantees the paper proves for it (bounded degree, connectivity,
+// constant energy-stretch), and route a few packets with the
+// (T,γ)-balancing algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"toporouting"
+)
+
+func main() {
+	// 1. A random ad hoc deployment: 150 nodes uniform in the unit square.
+	pts, err := toporouting.GeneratePoints("uniform", 150, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Topology control: the two-phase local algorithm ΘALG.
+	nw, err := toporouting.BuildNetwork(pts, toporouting.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology N: %d nodes, %d edges\n", nw.N(), nw.NumEdges())
+	fmt.Printf("  connected:      %v (Lemma 2.1)\n", nw.Connected())
+	fmt.Printf("  max degree:     %d ≤ %d = 4π/θ (Lemma 2.1)\n", nw.MaxDegree(), nw.DegreeBound())
+	es := nw.EnergyStretch(30)
+	fmt.Printf("  energy stretch: %.3f (O(1) by Theorem 2.2)\n", es.Max)
+
+	// 3. An energy-optimal route within the sparse topology.
+	route := nw.MinEnergyRoute(0, 100)
+	fmt.Printf("min-energy route 0→100: %d hops %v...\n", len(route)-1, route[:min(5, len(route))])
+
+	// 4. Routing: the (T,γ)-balancing algorithm over the topology's
+	// links. Offer every link each step (a perfect MAC) and push a
+	// packet stream from node 0 to node 100.
+	router, err := toporouting.NewRouter(nw.N(), toporouting.RouterOptions{
+		T: 0, Gamma: 0, BufferSize: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var links []toporouting.Link
+	for _, e := range nw.Edges() {
+		links = append(links, toporouting.Link{U: e[0], V: e[1], Cost: nw.EnergyCost(e[0], e[1])})
+	}
+	for step := 0; step < 3000; step++ {
+		var inject []toporouting.Packets
+		if step < 1200 {
+			inject = []toporouting.Packets{{Node: 0, Dest: 100, Count: 1}}
+		}
+		router.Step(links, inject)
+	}
+	fmt.Printf("routing: delivered %d/%d packets, avg energy %.5f per delivery\n",
+		router.Delivered(), router.Accepted(), router.AvgCostPerDelivery())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+package toporouting
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"toporouting/internal/fileio"
+	"toporouting/internal/georouting"
+	"toporouting/internal/graph"
+	"toporouting/internal/proximity"
+	"toporouting/internal/viz"
+)
+
+// GeoRouter performs stateless geographic routing (greedy forwarding with
+// GPSR-style face recovery) over the planar Gabriel subgraph of a
+// transmission graph. It is the Section 1.2 baseline: no buffers, no
+// control traffic, guaranteed delivery on connected planar graphs — but no
+// throughput or cost competitiveness.
+type GeoRouter struct {
+	pts    []Point
+	gab    *graph.Graph
+	router interface {
+		Route(src, dst, maxHops int) georouting.Result
+	}
+}
+
+// GeoRoute is the outcome of one geographic routing attempt.
+type GeoRoute struct {
+	// Path is the node walk (source first; on failure, up to the stuck
+	// node).
+	Path []int
+	// Delivered reports whether the destination was reached.
+	Delivered bool
+	// PerimeterHops counts recovery-mode hops.
+	PerimeterHops int
+	// Length and Energy are the Euclidean and |uv|² costs of the walk.
+	Length, Energy float64
+}
+
+// NewGeoRouter builds a geographic router over points using the Gabriel
+// graph restricted to maxRange (0 = unrestricted). It errors if the
+// resulting graph is disconnected (face routing then cannot guarantee
+// delivery between components).
+func NewGeoRouter(points []Point, maxRange float64) (*GeoRouter, error) {
+	if len(points) < 2 {
+		return nil, errors.New("toporouting: geo router needs ≥ 2 points")
+	}
+	gab := proximity.Gabriel(points, maxRange)
+	if !gab.Connected() {
+		return nil, errors.New("toporouting: Gabriel graph disconnected at this range")
+	}
+	return &GeoRouter{
+		pts:    points,
+		gab:    gab,
+		router: georouting.NewPlanarRouter(gab, points),
+	}, nil
+}
+
+// Greedy routes with plain greedy forwarding only; it may strand at a
+// local minimum (Delivered = false).
+func (g *GeoRouter) Greedy(src, dst int) (GeoRoute, error) {
+	if err := g.check(src, dst); err != nil {
+		return GeoRoute{}, err
+	}
+	return g.wrap(georouting.Greedy(g.gab, g.pts, src, dst, 0)), nil
+}
+
+// Route routes with greedy forwarding plus face recovery (GPSR); on a
+// connected planar graph it always delivers.
+func (g *GeoRouter) Route(src, dst int) (GeoRoute, error) {
+	if err := g.check(src, dst); err != nil {
+		return GeoRoute{}, err
+	}
+	return g.wrap(g.router.Route(src, dst, 0)), nil
+}
+
+func (g *GeoRouter) check(src, dst int) error {
+	if src < 0 || src >= len(g.pts) || dst < 0 || dst >= len(g.pts) {
+		return fmt.Errorf("toporouting: endpoints (%d,%d) out of range", src, dst)
+	}
+	return nil
+}
+
+func (g *GeoRouter) wrap(r georouting.Result) GeoRoute {
+	return GeoRoute{
+		Path:          r.Path,
+		Delivered:     r.Delivered,
+		PerimeterHops: r.PerimeterHops,
+		Length:        georouting.PathLength(g.pts, r.Path),
+		Energy:        georouting.PathEnergy(g.pts, r.Path, 2),
+	}
+}
+
+// NumEdges returns the size of the underlying Gabriel graph.
+func (g *GeoRouter) NumEdges() int { return g.gab.NumEdges() }
+
+// WritePointsTo serializes a point set in the repository's text format
+// (one "x y" per line, full float64 precision, '#' comments).
+func WritePointsTo(w io.Writer, pts []Point) error { return fileio.WritePoints(w, pts) }
+
+// ReadPointsFrom parses a point set written by WritePointsTo (or any
+// two-column whitespace-separated numeric file).
+func ReadPointsFrom(r io.Reader) ([]Point, error) { return fileio.ReadPoints(r) }
+
+// WriteSVG renders the network as a standalone SVG: the transmission graph
+// G* as a faint background layer, the topology N in bold, and an optional
+// node path highlighted in red. Intended for quick visual inspection
+// (topoctl -svg).
+func (nw *Network) WriteSVG(w io.Writer, highlight []int) error {
+	return viz.Render(w, nw.top.Pts, []viz.Layer{
+		{G: nw.gstar, Stroke: "#bbbbbb", Width: 0.6, Opacity: 0.5},
+		{G: nw.top.N, Stroke: "#1f77b4", Width: 1.4},
+	}, viz.Options{Path: highlight})
+}

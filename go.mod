@@ -1,0 +1,3 @@
+module toporouting
+
+go 1.22

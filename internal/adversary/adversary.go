@@ -1,0 +1,223 @@
+// Package adversary constructs the adversarial inputs of Section 3: per-step
+// edge activations (with possibly changing costs) and packet injections,
+// together with a *feasible schedule* the adversary itself follows. The
+// feasible schedule is a valid lower bound on OPT, so measured competitive
+// ratios (online deliveries / adversary deliveries, online cost / adversary
+// cost) are exact with respect to it — the direction the competitive claims
+// of Theorems 3.1/3.3/3.8 need.
+package adversary
+
+import (
+	"fmt"
+
+	"toporouting/internal/routing"
+)
+
+// Step is one time step of an adversarial input: the set of concurrently
+// usable edges (the MAC layer's output in the Section 3.2 scenario) and the
+// packets injected at the end of the step.
+type Step struct {
+	Active []routing.ActiveEdge
+	Inject []routing.Injection
+}
+
+// OptStats describes the adversary's own feasible schedule.
+type OptStats struct {
+	// Delivered is the number of packets the feasible schedule delivers.
+	Delivered int64
+	// TotalCost is the transmission cost the feasible schedule spends.
+	TotalCost float64
+	// MaxBuffer is the largest per-(node,destination) buffer occupancy B
+	// the feasible schedule needs.
+	MaxBuffer int
+	// AvgPathLen is L̄: the average number of edges of delivered packets.
+	AvgPathLen float64
+	// AvgCost is C̄: TotalCost / Delivered.
+	AvgCost float64
+}
+
+// Scenario is a fully materialized adversarial input with its feasible
+// schedule statistics.
+type Scenario struct {
+	Name     string
+	NumNodes int
+	Steps    []Step
+	Opt      OptStats
+}
+
+// RunStats reports how an online algorithm fared on a scenario.
+type RunStats struct {
+	Delivered  int64
+	Dropped    int64
+	Accepted   int64
+	TotalCost  float64
+	AvgCost    float64
+	Queued     int
+	Throughput float64 // Delivered / Opt.Delivered
+	CostRatio  float64 // AvgCost / Opt.AvgCost (0 when either side is 0)
+}
+
+// Play runs the balancer through the scenario and reports competitive
+// statistics against the adversary's feasible schedule.
+func Play(b *routing.Balancer, sc *Scenario) RunStats {
+	if b.N() != sc.NumNodes {
+		panic(fmt.Sprintf("adversary: balancer has %d nodes, scenario %d", b.N(), sc.NumNodes))
+	}
+	for _, st := range sc.Steps {
+		b.Step(st.Active, st.Inject)
+	}
+	var rs RunStats
+	rs.Delivered = b.Delivered()
+	rs.Dropped = b.Dropped()
+	rs.Accepted = b.Accepted()
+	rs.TotalCost = b.TotalCost()
+	rs.AvgCost = b.AvgCostPerDelivery()
+	rs.Queued = b.TotalQueued()
+	if sc.Opt.Delivered > 0 {
+		rs.Throughput = float64(rs.Delivered) / float64(sc.Opt.Delivered)
+	}
+	if sc.Opt.AvgCost > 0 && rs.AvgCost > 0 {
+		rs.CostRatio = rs.AvgCost / sc.Opt.AvgCost
+	}
+	return rs
+}
+
+// PathConfig configures Path.
+type PathConfig struct {
+	// Nodes is the number of nodes on the line (≥ 2).
+	Nodes int
+	// Steps is the injection horizon; after it, DrainSteps more steps run
+	// with edges active but no injections.
+	Steps int
+	// DrainSteps defaults to 2×Nodes when zero.
+	DrainSteps int
+	// Rate is packets injected at node 0 per step (destination: last
+	// node). Rate 1 saturates the line exactly.
+	Rate int
+	// EdgeCost is the fixed per-edge transmission cost.
+	EdgeCost float64
+	// Wave > 1 activates edge j only at steps t ≡ j (mod Wave), the
+	// moving-bottleneck adversary; packets ride the wave. Wave ≤ 1 keeps
+	// every edge always active.
+	Wave int
+}
+
+// Path builds the line-network adversary: nodes 0..n-1 in a row, packets
+// injected at node 0 for node n−1. The feasible schedule pipelines packets
+// one hop per step (per wave slot when Wave > 1), needing buffer B = Rate.
+func Path(cfg PathConfig) *Scenario {
+	if cfg.Nodes < 2 {
+		panic("adversary: path needs at least 2 nodes")
+	}
+	if cfg.Steps <= 0 {
+		panic("adversary: path needs a positive horizon")
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 1
+	}
+	if cfg.DrainSteps == 0 {
+		cfg.DrainSteps = 2 * cfg.Nodes
+	}
+	if cfg.Wave < 1 {
+		cfg.Wave = 1
+	}
+	n := cfg.Nodes
+	hops := n - 1
+	total := cfg.Steps + cfg.DrainSteps
+	sc := &Scenario{
+		Name:     fmt.Sprintf("path(n=%d,rate=%d,wave=%d)", n, cfg.Rate, cfg.Wave),
+		NumNodes: n,
+	}
+	var optDelivered int64
+	for t := 0; t < total; t++ {
+		var st Step
+		for j := 0; j < hops; j++ {
+			if cfg.Wave == 1 || t%cfg.Wave == j%cfg.Wave {
+				st.Active = append(st.Active, routing.ActiveEdge{U: j, V: j + 1, Cost: cfg.EdgeCost})
+			}
+		}
+		if t < cfg.Steps && t%cfg.Wave == 0 {
+			st.Inject = append(st.Inject, routing.Injection{Node: 0, Dest: n - 1, Count: cfg.Rate})
+			// The feasible schedule delivers each injected packet if
+			// its ride completes within the horizon: the packet first
+			// moves at the next slot of edge 0 (t+Wave) and then
+			// advances one hop per step, arriving at t+Wave+hops−1.
+			if t+cfg.Wave+hops-1 < total {
+				optDelivered += int64(cfg.Rate)
+			}
+		}
+		sc.Steps = append(sc.Steps, st)
+	}
+	sc.Opt = OptStats{
+		Delivered:  optDelivered,
+		TotalCost:  float64(optDelivered) * float64(hops) * cfg.EdgeCost,
+		MaxBuffer:  cfg.Rate,
+		AvgPathLen: float64(hops),
+	}
+	if optDelivered > 0 {
+		sc.Opt.AvgCost = sc.Opt.TotalCost / float64(optDelivered)
+	}
+	return sc
+}
+
+// CostVaryingPathConfig configures CostVaryingPath.
+type CostVaryingPathConfig struct {
+	Nodes      int
+	Steps      int
+	DrainSteps int
+	// CheapCost and DearCost alternate: even steps are cheap, odd steps
+	// dear. The adversary's schedule transmits only on cheap steps.
+	CheapCost, DearCost float64
+}
+
+// CostVaryingPath builds a line adversary whose edge costs alternate
+// between cheap (even steps) and dear (odd steps). Its feasible schedule
+// injects one packet every 2 steps and moves packets only on cheap steps,
+// so C̄ = hops × CheapCost. A cost-oblivious online algorithm pays the dear
+// steps; the (T,γ)-balancer with a suitable γ should not.
+func CostVaryingPath(cfg CostVaryingPathConfig) *Scenario {
+	if cfg.Nodes < 2 || cfg.Steps <= 0 {
+		panic("adversary: invalid cost-varying path")
+	}
+	if cfg.DrainSteps == 0 {
+		cfg.DrainSteps = 4 * cfg.Nodes
+	}
+	if cfg.DearCost < cfg.CheapCost {
+		panic("adversary: dear cost below cheap cost")
+	}
+	n := cfg.Nodes
+	hops := n - 1
+	total := cfg.Steps + cfg.DrainSteps
+	sc := &Scenario{
+		Name:     fmt.Sprintf("costpath(n=%d)", n),
+		NumNodes: n,
+	}
+	var optDelivered int64
+	for t := 0; t < total; t++ {
+		cost := cfg.CheapCost
+		if t%2 == 1 {
+			cost = cfg.DearCost
+		}
+		var st Step
+		for j := 0; j < hops; j++ {
+			st.Active = append(st.Active, routing.ActiveEdge{U: j, V: j + 1, Cost: cost})
+		}
+		if t < cfg.Steps && t%2 == 0 {
+			st.Inject = append(st.Inject, routing.Injection{Node: 0, Dest: n - 1, Count: 1})
+			if t+2*hops < total {
+				optDelivered++
+			}
+		}
+		sc.Steps = append(sc.Steps, st)
+	}
+	sc.Opt = OptStats{
+		Delivered:  optDelivered,
+		TotalCost:  float64(optDelivered) * float64(hops) * cfg.CheapCost,
+		MaxBuffer:  1,
+		AvgPathLen: float64(hops),
+	}
+	if optDelivered > 0 {
+		sc.Opt.AvgCost = sc.Opt.TotalCost / float64(optDelivered)
+	}
+	return sc
+}

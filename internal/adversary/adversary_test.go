@@ -1,0 +1,264 @@
+package adversary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toporouting/internal/pointset"
+	"toporouting/internal/routing"
+	"toporouting/internal/topology"
+	"toporouting/internal/unitdisk"
+)
+
+func TestPathScenarioShape(t *testing.T) {
+	sc := Path(PathConfig{Nodes: 5, Steps: 20, Rate: 1, EdgeCost: 1})
+	if sc.NumNodes != 5 {
+		t.Fatalf("nodes = %d", sc.NumNodes)
+	}
+	if len(sc.Steps) != 20+10 {
+		t.Fatalf("steps = %d", len(sc.Steps))
+	}
+	// Every step offers all 4 edges; injections only during the window.
+	for i, st := range sc.Steps {
+		if len(st.Active) != 4 {
+			t.Fatalf("step %d: %d active edges", i, len(st.Active))
+		}
+		if i >= 20 && len(st.Inject) > 0 {
+			t.Fatalf("injection during drain at %d", i)
+		}
+	}
+	if sc.Opt.Delivered != 20 {
+		t.Errorf("opt delivered = %d, want 20", sc.Opt.Delivered)
+	}
+	if sc.Opt.AvgPathLen != 4 {
+		t.Errorf("L̄ = %v", sc.Opt.AvgPathLen)
+	}
+	if sc.Opt.AvgCost != 4 {
+		t.Errorf("C̄ = %v", sc.Opt.AvgCost)
+	}
+	if sc.Opt.MaxBuffer != 1 {
+		t.Errorf("B = %d", sc.Opt.MaxBuffer)
+	}
+}
+
+func TestPathPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Path(PathConfig{Nodes: 1, Steps: 5}) },
+		func() { Path(PathConfig{Nodes: 3, Steps: 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPathWaveActivation(t *testing.T) {
+	sc := Path(PathConfig{Nodes: 4, Steps: 12, Wave: 3, EdgeCost: 1})
+	// At step t only edges j with j ≡ t (mod 3) are active.
+	for t0, st := range sc.Steps {
+		for _, e := range st.Active {
+			if e.U%3 != t0%3 {
+				t.Fatalf("step %d: edge %d active out of phase", t0, e.U)
+			}
+		}
+	}
+	if sc.Opt.Delivered == 0 {
+		t.Error("wave schedule should deliver")
+	}
+}
+
+func TestBalancerNearOptimalOnPath(t *testing.T) {
+	// Theorem 3.1 in action: generous buffers → most packets delivered,
+	// cost within a constant factor of OPT.
+	sc := Path(PathConfig{Nodes: 6, Steps: 300, Rate: 1, EdgeCost: 1, DrainSteps: 100})
+	b := routing.New(sc.NumNodes, routing.Params{T: 0, Gamma: 0, BufferSize: 50})
+	rs := Play(b, sc)
+	if rs.Throughput < 0.95 {
+		t.Errorf("throughput = %v", rs.Throughput)
+	}
+	if rs.CostRatio > 1.5 {
+		// On a line there is only one route; the only overhead is
+		// occasional sideways diffusion at T=0, a small constant
+		// factor (the theorem's O(1/ε) allowance).
+		t.Errorf("cost ratio = %v", rs.CostRatio)
+	}
+}
+
+func TestPlayPanicsOnSizeMismatch(t *testing.T) {
+	sc := Path(PathConfig{Nodes: 4, Steps: 5})
+	b := routing.New(3, routing.Params{BufferSize: 5})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Play(b, sc)
+}
+
+func TestCostVaryingPathOpt(t *testing.T) {
+	sc := CostVaryingPath(CostVaryingPathConfig{Nodes: 4, Steps: 100, CheapCost: 1, DearCost: 50})
+	if sc.Opt.AvgCost != 3 { // 3 hops × cheap cost 1
+		t.Errorf("C̄ = %v, want 3", sc.Opt.AvgCost)
+	}
+	// Costs alternate.
+	if sc.Steps[0].Active[0].Cost != 1 || sc.Steps[1].Active[0].Cost != 50 {
+		t.Error("cost alternation wrong")
+	}
+}
+
+func TestCostVaryingPathPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	CostVaryingPath(CostVaryingPathConfig{Nodes: 4, Steps: 10, CheapCost: 5, DearCost: 1})
+}
+
+func TestGammaAvoidsDearSteps(t *testing.T) {
+	sc := CostVaryingPath(CostVaryingPathConfig{Nodes: 4, Steps: 400, CheapCost: 1, DearCost: 40})
+	// Cost-aware balancer: γ large enough that dear edges (cost 40) are
+	// unattractive: h-difference can reach ~buffer size 30; γ·40 > 30
+	// blocks dear steps while γ·1 ≤ small allows cheap ones.
+	aware := routing.New(sc.NumNodes, routing.Params{T: 0, Gamma: 1, BufferSize: 30})
+	rsAware := Play(aware, sc)
+	// Cost-oblivious balancer pays dear steps freely.
+	obliv := routing.New(sc.NumNodes, routing.Params{T: 0, Gamma: 0, BufferSize: 30})
+	rsObliv := Play(obliv, sc)
+	if rsAware.Delivered == 0 || rsObliv.Delivered == 0 {
+		t.Fatal("both should deliver")
+	}
+	if rsAware.AvgCost >= rsObliv.AvgCost {
+		t.Errorf("γ-aware avg cost %v should beat oblivious %v", rsAware.AvgCost, rsObliv.AvgCost)
+	}
+	if rsAware.CostRatio > 3 {
+		t.Errorf("aware cost ratio %v too large", rsAware.CostRatio)
+	}
+}
+
+func TestMultiCommodityFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := pointset.Generate(pointset.KindUniform, 60, 5)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	sc := MultiCommodity(MultiCommodityConfig{
+		Graph:   top.N,
+		Cost:    top.EnergyCost(2),
+		Packets: 150,
+		Horizon: 100,
+		Rng:     rng,
+	})
+	if sc.Opt.Delivered != 150 {
+		t.Fatalf("opt delivered = %d", sc.Opt.Delivered)
+	}
+	if sc.Opt.AvgPathLen <= 0 || sc.Opt.AvgCost <= 0 || sc.Opt.MaxBuffer < 1 {
+		t.Errorf("opt stats wrong: %+v", sc.Opt)
+	}
+	// No injections outside the horizon+makespan window; all steps offer
+	// the full edge set.
+	m := top.N.NumEdges()
+	for i, st := range sc.Steps {
+		if len(st.Active) != m {
+			t.Fatalf("step %d: %d edges, want %d", i, len(st.Active), m)
+		}
+	}
+}
+
+func TestMultiCommodityBalancerCompetitive(t *testing.T) {
+	// The theorem regime needs sustained, concentrated load so buffer
+	// gradients form: many packets funneled to a few sink destinations.
+	rng := rand.New(rand.NewSource(7))
+	pts := pointset.Generate(pointset.KindUniform, 50, 7)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	sinks := []int{3, 17, 42}
+	sc := MultiCommodity(MultiCommodityConfig{
+		Graph:      top.N,
+		Cost:       top.EnergyCost(2),
+		Packets:    2000,
+		Horizon:    200,
+		DrainSteps: 800,
+		Rng:        rng,
+		Pairs:      func(r *rand.Rand) (int, int) { return r.Intn(50), sinks[r.Intn(3)] },
+	})
+	// Mild cost-awareness: γ scaled so that an average OPT edge costs a
+	// height unit or so (the full theorem γ presumes buffers scaled by
+	// B·L̄/ε, far beyond this test).
+	gamma := 0.5 * sc.Opt.AvgPathLen / sc.Opt.AvgCost
+	b := routing.New(sc.NumNodes, routing.Params{T: 0, Gamma: gamma, BufferSize: 100})
+	rs := Play(b, sc)
+	if rs.Throughput < 0.8 {
+		t.Errorf("throughput = %v", rs.Throughput)
+	}
+	if rs.CostRatio > 80 {
+		t.Errorf("cost ratio = %v", rs.CostRatio)
+	}
+	if rs.Dropped > 0 {
+		t.Logf("note: %d drops under admission control", rs.Dropped)
+	}
+}
+
+func TestMultiCommodityPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := pointset.Generate(pointset.KindUniform, 10, 1)
+	g, _ := unitdisk.ConnectedBuild(pts, 1.2)
+	cases := []MultiCommodityConfig{
+		{Graph: nil, Packets: 1, Horizon: 1, Rng: rng},
+		{Graph: g, Packets: 0, Horizon: 1, Rng: rng},
+		{Graph: g, Packets: 1, Horizon: 0, Rng: rng},
+		{Graph: g, Packets: 1, Horizon: 1, Rng: nil},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			MultiCommodity(cfg)
+		}()
+	}
+}
+
+func TestMultiCommodityCustomPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := pointset.Generate(pointset.KindUniform, 30, 9)
+	g, _ := unitdisk.ConnectedBuild(pts, 1.3)
+	sc := MultiCommodity(MultiCommodityConfig{
+		Graph:   g,
+		Packets: 40,
+		Horizon: 50,
+		Rng:     rng,
+		Pairs:   func(r *rand.Rand) (int, int) { return 0, g.N() - 1 },
+	})
+	for _, st := range sc.Steps {
+		for _, inj := range st.Inject {
+			if inj.Node != 0 || inj.Dest != g.N()-1 {
+				t.Fatalf("custom pair ignored: %+v", inj)
+			}
+		}
+	}
+}
+
+func TestMultiCommodityDeterministic(t *testing.T) {
+	pts := pointset.Generate(pointset.KindUniform, 25, 2)
+	g, _ := unitdisk.ConnectedBuild(pts, 1.3)
+	mk := func() *Scenario {
+		return MultiCommodity(MultiCommodityConfig{
+			Graph: g, Packets: 30, Horizon: 40, Rng: rand.New(rand.NewSource(11)),
+		})
+	}
+	a, b := mk(), mk()
+	if a.Opt != b.Opt {
+		t.Errorf("opt stats differ: %+v vs %+v", a.Opt, b.Opt)
+	}
+	if len(a.Steps) != len(b.Steps) {
+		t.Error("step counts differ")
+	}
+}

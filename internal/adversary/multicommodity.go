@@ -1,0 +1,212 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"toporouting/internal/graph"
+	"toporouting/internal/routing"
+	"toporouting/internal/stats"
+)
+
+// MultiCommodityConfig configures MultiCommodity.
+type MultiCommodityConfig struct {
+	// Graph is the topology whose edges the MAC layer offers every step
+	// (the Section 3.2 scenario: non-interfering edges are given).
+	Graph *graph.Graph
+	// Cost assigns the per-edge transmission cost (e.g. |uv|^κ); nil
+	// means unit costs.
+	Cost graph.CostFunc
+	// Packets is the number of packets the adversary injects.
+	Packets int
+	// Horizon is the injection window: injection times are spread over
+	// [0, Horizon).
+	Horizon int
+	// DrainSteps extends the run beyond the feasible schedule's makespan
+	// (default: diameter-scale 2×n).
+	DrainSteps int
+	// Rng drives pair and time selection; required.
+	Rng *rand.Rand
+	// Pairs optionally picks the (source, destination) of each packet;
+	// nil picks uniform distinct pairs.
+	Pairs func(rng *rand.Rand) (src, dst int)
+}
+
+// MultiCommodity builds a multi-commodity adversary on an arbitrary graph:
+// random source–destination packets, each shipped by a greedily constructed
+// conflict-free schedule (at most one packet per edge direction per step)
+// along its least-cost path. The construction itself is the feasible
+// schedule, so OptStats is exact by construction.
+func MultiCommodity(cfg MultiCommodityConfig) *Scenario {
+	g := cfg.Graph
+	if g == nil || g.N() < 2 {
+		panic("adversary: multicommodity needs a graph with ≥ 2 nodes")
+	}
+	if cfg.Packets <= 0 || cfg.Horizon <= 0 {
+		panic("adversary: multicommodity needs positive packets and horizon")
+	}
+	if cfg.Rng == nil {
+		panic("adversary: multicommodity needs an Rng")
+	}
+	cost := cfg.Cost
+	if cost == nil {
+		cost = func(u, v int) float64 { return 1 }
+	}
+	n := g.N()
+	if cfg.DrainSteps == 0 {
+		cfg.DrainSteps = 2 * n
+	}
+
+	// Per-source Dijkstra cache.
+	type tree struct {
+		dist   []float64
+		parent []int
+	}
+	trees := make(map[int]tree)
+	pathOf := func(s, d int) []int {
+		tr, ok := trees[s]
+		if !ok {
+			dist, parent := g.Dijkstra(s, cost)
+			tr = tree{dist, parent}
+			trees[s] = tr
+		}
+		if math.IsInf(tr.dist[d], 1) {
+			return nil
+		}
+		return graph.PathFromParents(tr.parent, s, d)
+	}
+
+	type pkt struct {
+		src, dst int
+		inject   int
+		path     []int
+		times    []int // times[i] = step at which hop i is crossed
+	}
+	pkts := make([]pkt, 0, cfg.Packets)
+	for k := 0; k < cfg.Packets; k++ {
+		var s, d int
+		for {
+			if cfg.Pairs != nil {
+				s, d = cfg.Pairs(cfg.Rng)
+			} else {
+				s, d = cfg.Rng.Intn(n), cfg.Rng.Intn(n)
+			}
+			if s != d && pathOf(s, d) != nil {
+				break
+			}
+		}
+		pkts = append(pkts, pkt{
+			src:    s,
+			dst:    d,
+			inject: cfg.Rng.Intn(cfg.Horizon),
+			path:   pathOf(s, d),
+		})
+	}
+
+	// Greedy conflict-free slot reservation: one packet per directed edge
+	// per step. A packet injected at the end of step t first moves at
+	// step t+1.
+	type slot struct {
+		u, v, t int
+	}
+	occupied := make(map[slot]bool)
+	makespan := 0
+	var totalCost float64
+	var hops []float64
+	for i := range pkts {
+		p := &pkts[i]
+		t := p.inject
+		for h := 0; h+1 < len(p.path); h++ {
+			u, v := p.path[h], p.path[h+1]
+			t++
+			for occupied[slot{u, v, t}] {
+				t++
+			}
+			occupied[slot{u, v, t}] = true
+			p.times = append(p.times, t)
+			totalCost += cost(u, v)
+		}
+		if t > makespan {
+			makespan = t
+		}
+		hops = append(hops, float64(len(p.path)-1))
+	}
+
+	// Buffer occupancy of the feasible schedule: packet k occupies
+	// Q(path[h], dst) from the end of the step it arrives until the step
+	// it departs. Track max simultaneous occupancy per (node, dest).
+	type key struct{ v, d int }
+	diffs := make(map[key]map[int]int)
+	add := func(v, d, from, to int) {
+		if to <= from {
+			return
+		}
+		m, ok := diffs[key{v, d}]
+		if !ok {
+			m = make(map[int]int)
+			diffs[key{v, d}] = m
+		}
+		m[from]++
+		m[to]--
+	}
+	for _, p := range pkts {
+		// At the source from injection until first hop.
+		add(p.src, p.dst, p.inject, p.times[0])
+		for h := 0; h+1 < len(p.times); h++ {
+			add(p.path[h+1], p.dst, p.times[h], p.times[h+1])
+		}
+	}
+	maxBuf := 1
+	for _, m := range diffs {
+		// Sweep the diff map in time order.
+		var ts []int
+		for t := range m {
+			ts = append(ts, t)
+		}
+		sortInts(ts)
+		cur := 0
+		for _, t := range ts {
+			cur += m[t]
+			if cur > maxBuf {
+				maxBuf = cur
+			}
+		}
+	}
+
+	total := makespan + 1 + cfg.DrainSteps
+	// All edges are offered every step; share one slice across steps.
+	var active []routing.ActiveEdge
+	for _, e := range g.Edges() {
+		active = append(active, routing.ActiveEdge{U: e.U, V: e.V, Cost: cost(e.U, e.V)})
+	}
+	injectAt := make(map[int][]routing.Injection)
+	for _, p := range pkts {
+		injectAt[p.inject] = append(injectAt[p.inject], routing.Injection{Node: p.src, Dest: p.dst, Count: 1})
+	}
+	sc := &Scenario{
+		Name:     fmt.Sprintf("multicommodity(n=%d,k=%d)", n, cfg.Packets),
+		NumNodes: n,
+	}
+	for t := 0; t < total; t++ {
+		sc.Steps = append(sc.Steps, Step{Active: active, Inject: injectAt[t]})
+	}
+	sc.Opt = OptStats{
+		Delivered:  int64(len(pkts)),
+		TotalCost:  totalCost,
+		MaxBuffer:  maxBuf,
+		AvgPathLen: stats.Mean(hops),
+	}
+	if len(pkts) > 0 {
+		sc.Opt.AvgCost = totalCost / float64(len(pkts))
+	}
+	return sc
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

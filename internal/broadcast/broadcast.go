@@ -1,0 +1,231 @@
+// Package broadcast simulates the medium-access cost of the ΘALG
+// topology-control protocol itself. The paper (Section 2.1) notes that the
+// three logical rounds of message exchange — Position, Neighborhood,
+// Connection — "may take a variable amount of time due to the interference
+// and confliction". This package measures that time: every node must get
+// one broadcast through to all its intended receivers under the pairwise
+// interference model, using a density-adaptive slotted random-access
+// scheme (each pending node transmits with probability inversely
+// proportional to its contention neighborhood).
+package broadcast
+
+import (
+	"fmt"
+	"math/rand"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/spatial"
+	"toporouting/internal/topology"
+)
+
+// Task is one node's pending broadcast: it completes when every receiver
+// has heard the sender at least once.
+type Task struct {
+	// Sender is the broadcasting node.
+	Sender int
+	// Range is the transmission range (determines the interference
+	// region radius (1+Δ)·Range).
+	Range float64
+	// Receivers are the nodes that must hear the broadcast.
+	Receivers []int32
+}
+
+// Config parameterizes a contention simulation.
+type Config struct {
+	// Delta is the interference guard zone Δ > 0.
+	Delta float64
+	// MaxSlots aborts a run that fails to complete (0 = 10000·rounds).
+	MaxSlots int
+	// Rng drives the random access; required.
+	Rng *rand.Rand
+}
+
+// Result reports one simulated round.
+type Result struct {
+	// Slots is the number of time slots until every task completed.
+	Slots int
+	// Transmissions counts all transmission attempts.
+	Transmissions int
+	// Collisions counts receiver-slot pairs lost to interference.
+	Collisions int
+}
+
+// Run simulates the completion of the given broadcast tasks and returns
+// the slot count. Each slot, every incomplete task transmits with
+// probability 1/(1+c) where c is the number of other incomplete tasks
+// whose transmissions could reach this sender's receivers (the contention
+// degree); a receiver hears a sender iff it is within the sender's range
+// and inside no other concurrent transmitter's interference region.
+func Run(pts []geom.Point, tasks []Task, cfg Config) Result {
+	if cfg.Delta <= 0 {
+		panic(fmt.Sprintf("broadcast: guard zone Δ=%v must be positive", cfg.Delta))
+	}
+	if cfg.Rng == nil {
+		panic("broadcast: nil rng")
+	}
+	if cfg.MaxSlots == 0 {
+		cfg.MaxSlots = 10000
+	}
+
+	// heard[i] tracks which receivers of task i have heard it.
+	heard := make([][]bool, len(tasks))
+	remaining := make([]int, len(tasks))
+	active := 0
+	for i, t := range tasks {
+		heard[i] = make([]bool, len(t.Receivers))
+		remaining[i] = len(t.Receivers)
+		if remaining[i] > 0 {
+			active++
+		}
+	}
+
+	// Contention degree: tasks whose interference regions overlap this
+	// task's reception zone. Approximate by counting senders within
+	// (1+Δ)(R_i + R_j) — conservative and cheap to precompute.
+	contention := make([]int, len(tasks))
+	for i, ti := range tasks {
+		for j, tj := range tasks {
+			if i == j {
+				continue
+			}
+			reach := (1 + cfg.Delta) * (ti.Range + tj.Range)
+			if geom.Dist(pts[ti.Sender], pts[tj.Sender]) <= reach {
+				contention[i]++
+			}
+		}
+	}
+
+	var res Result
+	transmitters := make([]int, 0, len(tasks))
+	for active > 0 {
+		res.Slots++
+		if res.Slots > cfg.MaxSlots {
+			panic(fmt.Sprintf("broadcast: no completion within %d slots", cfg.MaxSlots))
+		}
+		transmitters = transmitters[:0]
+		for i := range tasks {
+			if remaining[i] == 0 {
+				continue
+			}
+			if cfg.Rng.Float64() < 1/float64(1+contention[i]) {
+				transmitters = append(transmitters, i)
+			}
+		}
+		if len(transmitters) == 0 {
+			continue
+		}
+		res.Transmissions += len(transmitters)
+		// Deliver: receiver r of task i hears iff inside i's range and
+		// outside every other transmitter's interference region.
+		for _, i := range transmitters {
+			t := tasks[i]
+			sp := pts[t.Sender]
+			for ri, r := range t.Receivers {
+				if heard[i][ri] {
+					continue
+				}
+				rp := pts[r]
+				if geom.Dist(sp, rp) > t.Range {
+					continue
+				}
+				ok := true
+				for _, j := range transmitters {
+					if j == i {
+						continue
+					}
+					jr := (1 + cfg.Delta) * tasks[j].Range
+					if geom.Dist2(pts[tasks[j].Sender], rp) < jr*jr {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					heard[i][ri] = true
+					remaining[i]--
+					if remaining[i] == 0 {
+						active--
+					}
+				} else {
+					res.Collisions++
+				}
+			}
+		}
+	}
+	return res
+}
+
+// PositionRoundTasks builds the Round-1 tasks of ΘALG over pts: every node
+// broadcasts at maximum power to all nodes within transmission range.
+func PositionRoundTasks(pts []geom.Point, transmissionRange float64) []Task {
+	idx := spatial.NewGrid(pts, transmissionRange)
+	tasks := make([]Task, len(pts))
+	for u := range pts {
+		t := Task{Sender: u, Range: transmissionRange}
+		idx.ForEachWithin(pts[u], transmissionRange, func(v int) {
+			if v != u {
+				t.Receivers = append(t.Receivers, int32(v))
+			}
+		})
+		tasks[u] = t
+	}
+	return tasks
+}
+
+// ThetaProtocolCost simulates the full three-round ΘALG protocol under
+// contention and returns the per-round results: Round 1 (Position
+// broadcasts at maximum power), Round 2 (Neighborhood messages to the
+// phase-1 selections N(u)), Round 3 (Connection messages to the admitted
+// suitors). The paper's O(1)-round description abstracts exactly this
+// cost.
+func ThetaProtocolCost(top *topology.Topology, cfg Config) [3]Result {
+	pts := top.Pts
+	var out [3]Result
+	out[0] = Run(pts, PositionRoundTasks(pts, top.Cfg.Range), cfg)
+
+	round2 := make(map[int][]int32)
+	for u := range pts {
+		for _, v := range top.NearestOut[u] {
+			if v >= 0 {
+				round2[u] = append(round2[u], v)
+			}
+		}
+	}
+	out[1] = Run(pts, UnicastRoundTasks(pts, round2), cfg)
+
+	round3 := make(map[int][]int32)
+	for u := range pts {
+		for _, w := range top.AdmitIn[u] {
+			if w >= 0 {
+				round3[u] = append(round3[u], w)
+			}
+		}
+	}
+	out[2] = Run(pts, UnicastRoundTasks(pts, round3), cfg)
+	return out
+}
+
+// UnicastRoundTasks builds Round-2/3 style tasks: each sender must reach a
+// specific recipient set; the transmission range is the distance to the
+// farthest recipient (power control).
+func UnicastRoundTasks(pts []geom.Point, recipients map[int][]int32) []Task {
+	tasks := make([]Task, 0, len(recipients))
+	for u, rs := range recipients {
+		if len(rs) == 0 {
+			continue
+		}
+		maxD := 0.0
+		for _, r := range rs {
+			if d := geom.Dist(pts[u], pts[r]); d > maxD {
+				maxD = d
+			}
+		}
+		tasks = append(tasks, Task{Sender: u, Range: maxD, Receivers: rs})
+	}
+	// Deterministic order (map iteration is random).
+	for i := 1; i < len(tasks); i++ {
+		for j := i; j > 0 && tasks[j].Sender < tasks[j-1].Sender; j-- {
+			tasks[j], tasks[j-1] = tasks[j-1], tasks[j]
+		}
+	}
+	return tasks
+}

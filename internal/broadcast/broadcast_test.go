@@ -1,0 +1,149 @@
+package broadcast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/pointset"
+	"toporouting/internal/topology"
+	"toporouting/internal/unitdisk"
+)
+
+func TestRunValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	tasks := []Task{{Sender: 0, Range: 2, Receivers: []int32{1}}}
+	cases := []Config{
+		{Delta: 0, Rng: rng},
+		{Delta: 0.5, Rng: nil},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			Run(pts, tasks, cfg)
+		}()
+	}
+}
+
+func TestSingleBroadcastOneSlot(t *testing.T) {
+	// One task, no contention: transmits with probability 1 → one slot.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)}
+	tasks := []Task{{Sender: 0, Range: 2, Receivers: []int32{1, 2}}}
+	res := Run(pts, tasks, Config{Delta: 0.5, Rng: rand.New(rand.NewSource(2))})
+	if res.Slots != 1 || res.Transmissions != 1 || res.Collisions != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestEmptyTasksZeroSlots(t *testing.T) {
+	res := Run(nil, nil, Config{Delta: 0.5, Rng: rand.New(rand.NewSource(1))})
+	if res.Slots != 0 {
+		t.Errorf("slots = %d", res.Slots)
+	}
+	// Tasks with no receivers complete instantly.
+	pts := []geom.Point{geom.Pt(0, 0)}
+	res = Run(pts, []Task{{Sender: 0, Range: 1}}, Config{Delta: 0.5, Rng: rand.New(rand.NewSource(1))})
+	if res.Slots != 0 {
+		t.Errorf("receiverless slots = %d", res.Slots)
+	}
+}
+
+func TestContendingBroadcastsTakeMultipleSlots(t *testing.T) {
+	// Two senders in each other's interference regions with a shared
+	// receiver: simultaneous transmission collides, so completion needs
+	// ≥ 2 slots on average — and both must eventually finish.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0.5, 0.1)}
+	tasks := []Task{
+		{Sender: 0, Range: 1.2, Receivers: []int32{2}},
+		{Sender: 1, Range: 1.2, Receivers: []int32{2}},
+	}
+	total := 0
+	for seed := int64(0); seed < 20; seed++ {
+		res := Run(pts, tasks, Config{Delta: 0.5, Rng: rand.New(rand.NewSource(seed))})
+		total += res.Slots
+	}
+	if total < 30 { // avg ≥ 1.5 slots
+		t.Errorf("contended broadcasts completed suspiciously fast: %d total slots", total)
+	}
+}
+
+func TestOutOfRangeReceiverNeverHeardPanics(t *testing.T) {
+	// A receiver beyond the sender's range can never hear: MaxSlots
+	// triggers the abort panic.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}
+	tasks := []Task{{Sender: 0, Range: 1, Receivers: []int32{1}}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected MaxSlots panic")
+		}
+	}()
+	Run(pts, tasks, Config{Delta: 0.5, MaxSlots: 50, Rng: rand.New(rand.NewSource(3))})
+}
+
+func TestPositionRoundTasks(t *testing.T) {
+	pts := pointset.Generate(pointset.KindUniform, 60, 4)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	tasks := PositionRoundTasks(pts, d)
+	if len(tasks) != 60 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	gstar := unitdisk.Build(pts, d)
+	for _, task := range tasks {
+		if len(task.Receivers) != gstar.Degree(task.Sender) {
+			t.Fatalf("sender %d: %d receivers vs degree %d",
+				task.Sender, len(task.Receivers), gstar.Degree(task.Sender))
+		}
+	}
+}
+
+func TestUnicastRoundTasksPowerControl(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(3, 0)}
+	tasks := UnicastRoundTasks(pts, map[int][]int32{
+		0: {1, 2},
+		1: {0},
+		2: nil, // empty recipient sets are dropped
+	})
+	if len(tasks) != 2 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	if tasks[0].Sender != 0 || tasks[0].Range != 3 {
+		t.Errorf("task 0 = %+v (range must reach farthest recipient)", tasks[0])
+	}
+	if tasks[1].Sender != 1 || tasks[1].Range != 1 {
+		t.Errorf("task 1 = %+v", tasks[1])
+	}
+}
+
+func TestThetaProtocolCostCompletes(t *testing.T) {
+	pts := pointset.Generate(pointset.KindUniform, 80, 5)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	rounds := ThetaProtocolCost(top, Config{Delta: 0.5, MaxSlots: 200000, Rng: rand.New(rand.NewSource(6))})
+	for i, r := range rounds {
+		if r.Slots <= 0 {
+			t.Errorf("round %d took %d slots", i+1, r.Slots)
+		}
+	}
+	// Round 1 broadcasts at full power to everyone: it should cost at
+	// least as much as the short-range connection round.
+	if rounds[0].Slots < rounds[2].Slots/4 {
+		t.Logf("note: round slots %v", rounds)
+	}
+}
+
+func TestProtocolCostDeterministic(t *testing.T) {
+	pts := pointset.Generate(pointset.KindUniform, 50, 7)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	a := ThetaProtocolCost(top, Config{Delta: 0.5, MaxSlots: 200000, Rng: rand.New(rand.NewSource(9))})
+	b := ThetaProtocolCost(top, Config{Delta: 0.5, MaxSlots: 200000, Rng: rand.New(rand.NewSource(9))})
+	if a != b {
+		t.Errorf("nondeterministic: %v vs %v", a, b)
+	}
+}

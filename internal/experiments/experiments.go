@@ -1,0 +1,132 @@
+// Package experiments contains one runner per evaluation target of the
+// reproduction. The paper (SPAA'03) is a theory paper whose "evaluation" is
+// its theorems; each runner measures the quantity a theorem bounds across
+// node counts, distributions and parameters, and renders a table recorded
+// in EXPERIMENTS.md. Experiment IDs E1–E12 are indexed in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier (e.g. "E2").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim cites the theorem/lemma the experiment validates.
+	Claim string
+	// Columns are the column headers.
+	Columns []string
+	// Rows hold the formatted cells.
+	Rows [][]string
+	// Notes carry qualitative verdicts appended below the table.
+	Notes []string
+}
+
+// AddRow appends a row of already-formatted cells; it panics if the arity
+// does not match the columns.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row arity %d != %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "Claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Scale controls experiment sizes so the full sweep and the -short test
+// sweep share code.
+type Scale struct {
+	// Sizes are the node counts swept.
+	Sizes []int
+	// Seeds is the number of Monte-Carlo replications per cell.
+	Seeds int
+	// Steps scales simulation horizons.
+	Steps int
+}
+
+// Small returns the quick scale used by tests.
+func Small() Scale { return Scale{Sizes: []int{60, 120}, Seeds: 2, Steps: 400} }
+
+// Full returns the scale used by cmd/experiments and the benches.
+func Full() Scale { return Scale{Sizes: []int{100, 200, 400, 800, 1600}, Seeds: 5, Steps: 2000} }
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func d(x int) string      { return fmt.Sprintf("%d", x) }
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID  string
+	Run func(Scale) *Table
+}
+
+// All returns every experiment in report order.
+func All() []Runner {
+	return []Runner{
+		{"E1", E1DegreeConnectivity},
+		{"E2", E2EnergyStretch},
+		{"E3", E3DistanceStretch},
+		{"E4", E4Interference},
+		{"E5", E5ThetaPathOverlap},
+		{"E6", E6ScheduleEmulation},
+		{"E7", E7BalancingCompetitive},
+		{"E7b", E7bCostAwareness},
+		{"E8", E8MACCollision},
+		{"E9", E9TopologyRouting},
+		{"E10", E10RandomThroughput},
+		{"E11", E11Honeycomb},
+		{"E12", E12Baselines},
+		{"E13", E13ExactOPT},
+		{"E14", E14GeoRouting},
+		{"E15", E15PhysicalModel},
+		{"E16", E16Resilience},
+		{"E17", E17ThetaSweep},
+		{"E18", E18ProtocolCost},
+		{"E19", E19ControlTraffic},
+	}
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:      "T0",
+		Title:   "demo",
+		Claim:   "claim text",
+		Columns: []string{"a", "bb"},
+	}
+	tb.AddRow("1", "2")
+	tb.Notes = append(tb.Notes, "a note")
+	s := tb.String()
+	for _, want := range []string{"T0", "demo", "claim text", "a note", "bb"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableAddRowPanicsOnArity(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+// tiny is a minimal scale so each experiment runs in test time.
+func tiny() Scale { return Scale{Sizes: []int{50, 90}, Seeds: 1, Steps: 150} }
+
+func TestE1HoldsAtSmallScale(t *testing.T) {
+	tb := E1DegreeConnectivity(tiny())
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if !strings.Contains(strings.Join(tb.Notes, " "), "holds") {
+		t.Errorf("E1 note: %v", tb.Notes)
+	}
+}
+
+func TestE2StretchBounded(t *testing.T) {
+	tb := E2EnergyStretch(tiny())
+	for _, row := range tb.Rows {
+		if row[3] == "inf" || row[3] == "+Inf" {
+			t.Fatalf("infinite stretch in row %v", row)
+		}
+	}
+}
+
+func TestE3CivilizedStretch(t *testing.T) {
+	tb := E3DistanceStretch(tiny())
+	// Two n rows plus three separation-multiplier rows.
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE4FitPresent(t *testing.T) {
+	tb := E4Interference(tiny())
+	if !strings.Contains(strings.Join(tb.Notes, " "), "log-linear fit") {
+		t.Errorf("E4 notes: %v", tb.Notes)
+	}
+}
+
+func TestE5OverlapWithinBound(t *testing.T) {
+	tb := E5ThetaPathOverlap(tiny())
+	if !strings.Contains(strings.Join(tb.Notes, " "), "holds") {
+		t.Errorf("E5 notes: %v", tb.Notes)
+	}
+}
+
+func TestE6RatioBounded(t *testing.T) {
+	tb := E6ScheduleEmulation(Scale{Sizes: []int{60}, Seeds: 1, Steps: 100})
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestE7ThroughputMonotoneInBuffer(t *testing.T) {
+	tb := E7BalancingCompetitive(Scale{Sizes: []int{40}, Seeds: 1, Steps: 300})
+	// First five rows are the plain path sweep; throughput should not
+	// degrade materially as buffers grow.
+	first, last := tb.Rows[0][2], tb.Rows[4][2]
+	if first > last {
+		t.Logf("path throughput: buffer=2 %s vs buffer=60 %s", first, last)
+	}
+	if len(tb.Rows) < 10 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE7bGammaHelps(t *testing.T) {
+	tb := E7bCostAwareness(Scale{Sizes: []int{40}, Seeds: 1, Steps: 400})
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE8CollisionBound(t *testing.T) {
+	tb := E8MACCollision(Scale{Sizes: []int{60}, Seeds: 1, Steps: 400})
+	if !strings.Contains(strings.Join(tb.Notes, " "), "holds") {
+		t.Errorf("E8 notes: %v", tb.Notes)
+	}
+}
+
+func TestE9Runs(t *testing.T) {
+	tb := E9TopologyRouting(Scale{Sizes: []int{50}, Seeds: 1, Steps: 150})
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestE10Runs(t *testing.T) {
+	tb := E10RandomThroughput(Scale{Sizes: []int{50, 90}, Seeds: 1, Steps: 150})
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestE11Runs(t *testing.T) {
+	tb := E11Honeycomb(Scale{Sizes: []int{70}, Seeds: 1, Steps: 200})
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows (disconnected instances skipped?)")
+	}
+}
+
+func TestE12BaselineHierarchy(t *testing.T) {
+	tb := E12Baselines(Scale{Sizes: []int{80}, Seeds: 1, Steps: 100})
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Gabriel graph has optimal energy paths: stretch exactly 1.
+	for _, row := range tb.Rows {
+		if row[0] == "Gabriel" && row[4] != "1.00" {
+			t.Errorf("Gabriel energy stretch = %s", row[4])
+		}
+	}
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, r := range All() {
+		if r.Run == nil {
+			t.Fatalf("%s has nil runner", r.ID)
+		}
+		if ids[r.ID] {
+			t.Fatalf("duplicate id %s", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	if len(ids) != 20 {
+		t.Errorf("registry has %d entries", len(ids))
+	}
+}
+
+func TestE13ExactOPTRatio(t *testing.T) {
+	tb := E13ExactOPT(Scale{Sizes: []int{40}, Seeds: 1, Steps: 150})
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestE14GeoRouting(t *testing.T) {
+	tb := E14GeoRouting(Scale{Sizes: []int{80}, Seeds: 2, Steps: 100})
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// GPSR must deliver everything on connected Gabriel graphs.
+	for _, row := range tb.Rows {
+		if row[2] != "1.000" {
+			t.Errorf("gpsr delivery = %s", row[2])
+		}
+	}
+}
+
+func TestE15PhysicalAgreementMonotone(t *testing.T) {
+	tb := E15PhysicalModel(Scale{Sizes: []int{100}, Seeds: 2, Steps: 100})
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE16Resilience(t *testing.T) {
+	tb := E16Resilience(Scale{Sizes: []int{80}, Seeds: 2, Steps: 100})
+	if len(tb.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE17ThetaSweep(t *testing.T) {
+	tb := E17ThetaSweep(Scale{Sizes: []int{100}, Seeds: 1, Steps: 100})
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE18ProtocolCost(t *testing.T) {
+	tb := E18ProtocolCost(Scale{Sizes: []int{60}, Seeds: 1, Steps: 100})
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE19ControlTraffic(t *testing.T) {
+	tb := E19ControlTraffic(Scale{Sizes: []int{60}, Seeds: 1, Steps: 80})
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}

@@ -1,0 +1,110 @@
+// Package fileio reads and writes the repository's simple text formats:
+// point sets (one "x y" pair per line) and edge lists (one "u v" pair per
+// line). The formats are deliberately trivial — grep-able, plot-able with
+// gnuplot, and diff-able — so experiments can be checkpointed and replayed.
+// Lines starting with '#' are comments.
+package fileio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+)
+
+// WritePoints writes one point per line as "x y" with full float64
+// round-trip precision.
+func WritePoints(w io.Writer, pts []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# toporouting points n=%d\n", len(pts))
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(bw, "%s %s\n",
+			strconv.FormatFloat(p.X, 'g', -1, 64),
+			strconv.FormatFloat(p.Y, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPoints parses a point file written by WritePoints (or any
+// whitespace-separated two-column numeric file).
+func ReadPoints(r io.Reader) ([]geom.Point, error) {
+	var pts []geom.Point
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("fileio: line %d: want 2 fields, got %d", line, len(fields))
+		}
+		x, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fileio: line %d: %v", line, err)
+		}
+		y, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fileio: line %d: %v", line, err)
+		}
+		pts = append(pts, geom.Pt(x, y))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// WriteEdges writes one undirected edge per line as "u v" (u < v, sorted).
+func WriteEdges(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# toporouting edges n=%d m=%d\n", g.N(), g.NumEdges())
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdges parses an edge file into a graph over n nodes.
+func ReadEdges(r io.Reader, n int) (*graph.Graph, error) {
+	g := graph.New(n)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("fileio: line %d: want 2 fields, got %d", line, len(fields))
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("fileio: line %d: %v", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("fileio: line %d: %v", line, err)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("fileio: line %d: edge (%d,%d) out of range [0,%d)", line, u, v, n)
+		}
+		g.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

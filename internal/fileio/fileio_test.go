@@ -1,0 +1,102 @@
+package fileio
+
+import (
+	"strings"
+	"testing"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+	"toporouting/internal/pointset"
+)
+
+func TestPointsRoundTrip(t *testing.T) {
+	pts := pointset.Generate(pointset.KindUniform, 100, 5)
+	var sb strings.Builder
+	if err := WritePoints(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPoints(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range pts {
+		if got[i] != pts[i] {
+			t.Fatalf("point %d: %v != %v (precision lost)", i, got[i], pts[i])
+		}
+	}
+}
+
+func TestPointsExtremeValues(t *testing.T) {
+	pts := []geom.Point{geom.Pt(1e-308, -1e300), geom.Pt(0.1+0.2, 3)}
+	var sb strings.Builder
+	if err := WritePoints(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPoints(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if got[i] != pts[i] {
+			t.Fatalf("point %d not bit-exact", i)
+		}
+	}
+}
+
+func TestReadPointsErrors(t *testing.T) {
+	cases := []string{
+		"1 2 3\n",
+		"abc 2\n",
+		"1 xyz\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadPoints(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Comments and blank lines are fine.
+	got, err := ReadPoints(strings.NewReader("# header\n\n1 2\n"))
+	if err != nil || len(got) != 1 {
+		t.Errorf("comment handling: %v %v", got, err)
+	}
+	// Empty file yields empty set.
+	got, err = ReadPoints(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty file: %v %v", got, err)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 5)
+	g.AddEdge(2, 4)
+	var sb strings.Builder
+	if err := WriteEdges(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdges(strings.NewReader(sb.String()), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != 3 || !got.HasEdge(1, 5) || !got.HasEdge(2, 4) {
+		t.Errorf("edges lost: %v", got.Edges())
+	}
+}
+
+func TestReadEdgesErrors(t *testing.T) {
+	cases := []string{
+		"1\n",
+		"a 2\n",
+		"1 b\n",
+		"0 9\n", // out of range for n=3
+	}
+	for i, in := range cases {
+		if _, err := ReadEdges(strings.NewReader(in), 3); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package geom
+
+import "math"
+
+// TwoPi is the full angle 2π.
+const TwoPi = 2 * math.Pi
+
+// NormalizeAngle maps an arbitrary angle (radians) into [0, 2π).
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, TwoPi)
+	if a < 0 {
+		a += TwoPi
+	}
+	// math.Mod can return exactly 2π for inputs just below a multiple of
+	// 2π due to rounding of the addition above; clamp defensively.
+	if a >= TwoPi {
+		a = 0
+	}
+	return a
+}
+
+// Azimuth returns the direction angle of the vector from u to v, normalized
+// to [0, 2π). Azimuth of a zero vector is 0.
+func Azimuth(u, v Point) float64 {
+	if u == v {
+		return 0
+	}
+	return NormalizeAngle(math.Atan2(v.Y-u.Y, v.X-u.X))
+}
+
+// AngleBetween returns the unsigned angle ∠(p, apex, q) in [0, π] at vertex
+// apex in triangle p-apex-q. Degenerate inputs yield 0.
+func AngleBetween(p, apex, q Point) float64 {
+	a := p.Sub(apex)
+	b := q.Sub(apex)
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	cos := a.Dot(b) / (na * nb)
+	if cos > 1 {
+		cos = 1
+	} else if cos < -1 {
+		cos = -1
+	}
+	return math.Acos(cos)
+}
+
+// AngularDiff returns the absolute circular difference between two azimuths,
+// in [0, π].
+func AngularDiff(a, b float64) float64 {
+	d := math.Abs(NormalizeAngle(a) - NormalizeAngle(b))
+	if d > math.Pi {
+		d = TwoPi - d
+	}
+	return d
+}
+
+// CCW reports whether the triple (a, b, c) makes a strict counterclockwise
+// turn.
+func CCW(a, b, c Point) bool {
+	return b.Sub(a).Cross(c.Sub(a)) > 0
+}
+
+// Orientation returns +1 for a counterclockwise turn (a,b,c), -1 for a
+// clockwise turn and 0 for collinear points.
+func Orientation(a, b, c Point) int {
+	cr := b.Sub(a).Cross(c.Sub(a))
+	switch {
+	case cr > 0:
+		return 1
+	case cr < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// SameSide reports whether p and q lie strictly on the same side of the
+// infinite line through a and b.
+func SameSide(a, b, p, q Point) bool {
+	ab := b.Sub(a)
+	return ab.Cross(p.Sub(a))*ab.Cross(q.Sub(a)) > 0
+}

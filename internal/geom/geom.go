@@ -1,0 +1,180 @@
+// Package geom provides the 2-dimensional Euclidean primitives used by the
+// topology-control and routing algorithms: points, vectors, angles, sectors
+// (cones), disks, segments, and the hexagonal tessellation of Section 3.4 of
+// the paper. All angle arithmetic is normalized to [0, 2π).
+package geom
+
+import "math"
+
+// Point is a point (or free vector) in the 2-dimensional Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q componentwise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the 2-D cross product (signed area) p × q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length |p|.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Norm2 returns the squared Euclidean length |p|².
+func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist returns the Euclidean distance |pq|.
+func Dist(p, q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance |pq|².
+func Dist2(p, q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Midpoint returns the midpoint of segment (p, q).
+func Midpoint(p, q Point) Point { return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2} }
+
+// EnergyCost returns the transmission energy |pq|^κ of a direct transmission
+// between p and q under the standard power-attenuation model of Section 2.2.
+// The path-loss exponent kappa is typically in [2, 4].
+func EnergyCost(p, q Point, kappa float64) float64 {
+	d := Dist(p, q)
+	if kappa == 2 {
+		return d * d
+	}
+	return math.Pow(d, kappa)
+}
+
+// Disk is an open disk C(O, r) with center O and radius R.
+type Disk struct {
+	O Point
+	R float64
+}
+
+// Contains reports whether p lies strictly inside the open disk.
+func (d Disk) Contains(p Point) bool { return Dist2(d.O, p) < d.R*d.R }
+
+// ContainsClosed reports whether p lies inside or on the boundary of the disk.
+func (d Disk) ContainsClosed(p Point) bool { return Dist2(d.O, p) <= d.R*d.R }
+
+// Segment is the closed line segment between A and B.
+type Segment struct {
+	A, B Point
+}
+
+// Len returns the Euclidean length of the segment.
+func (s Segment) Len() float64 { return Dist(s.A, s.B) }
+
+// At returns the point A + t·(B−A); t in [0,1] parameterizes the segment.
+func (s Segment) At(t float64) Point {
+	return Point{s.A.X + t*(s.B.X-s.A.X), s.A.Y + t*(s.B.Y-s.A.Y)}
+}
+
+// DistToPoint returns the distance from p to the closest point of the segment.
+func (s Segment) DistToPoint(p Point) float64 {
+	ab := s.B.Sub(s.A)
+	ap := p.Sub(s.A)
+	den := ab.Norm2()
+	if den == 0 {
+		return Dist(p, s.A)
+	}
+	t := ap.Dot(ab) / den
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return Dist(p, s.At(t))
+}
+
+// IntersectCircle returns the intersection parameters t (0 ≤ t ≤ 1, sorted
+// ascending) at which the segment crosses the boundary circle of d, along
+// with the count of intersections (0, 1 or 2).
+func (s Segment) IntersectCircle(d Disk) (t0, t1 float64, n int) {
+	// Solve |A + t·(B−A) − O|² = R².
+	f := s.A.Sub(d.O)
+	dd := s.B.Sub(s.A)
+	a := dd.Norm2()
+	if a == 0 {
+		return 0, 0, 0
+	}
+	b := 2 * f.Dot(dd)
+	c := f.Norm2() - d.R*d.R
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return 0, 0, 0
+	}
+	sq := math.Sqrt(disc)
+	r0 := (-b - sq) / (2 * a)
+	r1 := (-b + sq) / (2 * a)
+	if r0 >= 0 && r0 <= 1 {
+		t0 = r0
+		n++
+	}
+	if r1 >= 0 && r1 <= 1 && r1 != r0 {
+		if n == 0 {
+			t0 = r1
+		} else {
+			t1 = r1
+		}
+		n++
+	}
+	return t0, t1, n
+}
+
+// Intersect returns the intersection point of segments s and t and whether
+// they properly intersect (share a point that is interior to at least one
+// of them, or a shared endpoint). Collinear overlapping segments report the
+// first endpoint of t that lies on s.
+func (s Segment) Intersect(t Segment) (Point, bool) {
+	r := s.B.Sub(s.A)
+	d := t.B.Sub(t.A)
+	denom := r.Cross(d)
+	qp := t.A.Sub(s.A)
+	if denom == 0 {
+		// Parallel. Overlapping-collinear case: report an endpoint on s.
+		if qp.Cross(r) != 0 {
+			return Point{}, false
+		}
+		for _, cand := range [2]Point{t.A, t.B} {
+			if s.DistToPoint(cand) == 0 {
+				return cand, true
+			}
+		}
+		if t.DistToPoint(s.A) == 0 {
+			return s.A, true
+		}
+		return Point{}, false
+	}
+	u := qp.Cross(r) / denom
+	v := qp.Cross(d) / denom
+	if u < 0 || u > 1 || v < 0 || v > 1 {
+		return Point{}, false
+	}
+	return t.At(u), true
+}
+
+// Rotate returns p rotated by angle a (radians, counterclockwise) about the
+// origin.
+func (p Point) Rotate(a float64) Point {
+	sin, cos := math.Sincos(a)
+	return Point{p.X*cos - p.Y*sin, p.X*sin + p.Y*cos}
+}
+
+// RotateAbout returns p rotated by angle a about center c.
+func (p Point) RotateAbout(c Point, a float64) Point {
+	return p.Sub(c).Rotate(a).Add(c)
+}

@@ -1,0 +1,585 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -4-6 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestDistAndNorm(t *testing.T) {
+	if d := Dist(Pt(0, 0), Pt(3, 4)); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d2 := Dist2(Pt(0, 0), Pt(3, 4)); d2 != 25 {
+		t.Errorf("Dist2 = %v, want 25", d2)
+	}
+	if n := Pt(3, 4).Norm(); n != 5 {
+		t.Errorf("Norm = %v, want 5", n)
+	}
+	if n2 := Pt(3, 4).Norm2(); n2 != 25 {
+		t.Errorf("Norm2 = %v, want 25", n2)
+	}
+}
+
+func TestEnergyCost(t *testing.T) {
+	u, v := Pt(0, 0), Pt(2, 0)
+	if c := EnergyCost(u, v, 2); c != 4 {
+		t.Errorf("kappa=2: %v, want 4", c)
+	}
+	if c := EnergyCost(u, v, 3); !almostEqual(c, 8, 1e-12) {
+		t.Errorf("kappa=3: %v, want 8", c)
+	}
+	if c := EnergyCost(u, v, 4); !almostEqual(c, 16, 1e-12) {
+		t.Errorf("kappa=4: %v, want 16", c)
+	}
+}
+
+func TestEnergyCostQuickMonotone(t *testing.T) {
+	// Energy cost is monotone in distance for every κ ≥ 2.
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Pt(ax, ay), Pt(bx, by), Pt(cx, cy)
+		for _, k := range []float64{2, 2.5, 3, 4} {
+			if Dist(a, b) <= Dist(a, c) && EnergyCost(a, b, k) > EnergyCost(a, c, k)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi / 2, 3 * math.Pi / 2},
+		{TwoPi, 0},
+		{5 * math.Pi, math.Pi},
+		{-TwoPi, 0},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeAngleQuickRange(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		g := NormalizeAngle(a)
+		return g >= 0 && g < TwoPi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAzimuth(t *testing.T) {
+	o := Pt(0, 0)
+	cases := []struct {
+		v    Point
+		want float64
+	}{
+		{Pt(1, 0), 0},
+		{Pt(0, 1), math.Pi / 2},
+		{Pt(-1, 0), math.Pi},
+		{Pt(0, -1), 3 * math.Pi / 2},
+		{Pt(1, 1), math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := Azimuth(o, c.v); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Azimuth(O, %v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if Azimuth(o, o) != 0 {
+		t.Error("Azimuth of zero vector should be 0")
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	apex := Pt(0, 0)
+	if a := AngleBetween(Pt(1, 0), apex, Pt(0, 1)); !almostEqual(a, math.Pi/2, 1e-12) {
+		t.Errorf("right angle = %v", a)
+	}
+	if a := AngleBetween(Pt(1, 0), apex, Pt(-1, 0)); !almostEqual(a, math.Pi, 1e-12) {
+		t.Errorf("straight angle = %v", a)
+	}
+	if a := AngleBetween(Pt(1, 0), apex, Pt(1, 0)); a != 0 {
+		t.Errorf("zero angle = %v", a)
+	}
+	if a := AngleBetween(apex, apex, Pt(1, 0)); a != 0 {
+		t.Errorf("degenerate = %v", a)
+	}
+}
+
+func TestAngularDiff(t *testing.T) {
+	if d := AngularDiff(0.1, TwoPi-0.1); !almostEqual(d, 0.2, 1e-12) {
+		t.Errorf("wraparound diff = %v, want 0.2", d)
+	}
+	if d := AngularDiff(0, math.Pi); !almostEqual(d, math.Pi, 1e-12) {
+		t.Errorf("opposite = %v", d)
+	}
+}
+
+func TestOrientationAndCCW(t *testing.T) {
+	a, b, c := Pt(0, 0), Pt(1, 0), Pt(0, 1)
+	if !CCW(a, b, c) {
+		t.Error("expected CCW")
+	}
+	if Orientation(a, b, c) != 1 {
+		t.Error("want +1")
+	}
+	if Orientation(a, c, b) != -1 {
+		t.Error("want -1")
+	}
+	if Orientation(a, b, Pt(2, 0)) != 0 {
+		t.Error("want collinear 0")
+	}
+}
+
+func TestSameSide(t *testing.T) {
+	a, b := Pt(0, 0), Pt(1, 0)
+	if !SameSide(a, b, Pt(0.5, 1), Pt(0.7, 2)) {
+		t.Error("both above: want same side")
+	}
+	if SameSide(a, b, Pt(0.5, 1), Pt(0.5, -1)) {
+		t.Error("opposite sides: want false")
+	}
+	if SameSide(a, b, Pt(0.5, 0), Pt(0.5, 1)) {
+		t.Error("on line: strict same-side must be false")
+	}
+}
+
+func TestDiskContains(t *testing.T) {
+	d := Disk{O: Pt(0, 0), R: 1}
+	if !d.Contains(Pt(0.5, 0)) {
+		t.Error("interior point")
+	}
+	if d.Contains(Pt(1, 0)) {
+		t.Error("boundary point must be outside the open disk")
+	}
+	if !d.ContainsClosed(Pt(1, 0)) {
+		t.Error("boundary point must be inside the closed disk")
+	}
+	if d.Contains(Pt(2, 0)) {
+		t.Error("exterior point")
+	}
+}
+
+func TestSegment(t *testing.T) {
+	s := Segment{A: Pt(0, 0), B: Pt(2, 0)}
+	if s.Len() != 2 {
+		t.Errorf("Len = %v", s.Len())
+	}
+	if got := s.At(0.5); got != Pt(1, 0) {
+		t.Errorf("At(0.5) = %v", got)
+	}
+	if d := s.DistToPoint(Pt(1, 1)); !almostEqual(d, 1, 1e-12) {
+		t.Errorf("DistToPoint above = %v", d)
+	}
+	if d := s.DistToPoint(Pt(-1, 0)); !almostEqual(d, 1, 1e-12) {
+		t.Errorf("DistToPoint beyond A = %v", d)
+	}
+	if d := s.DistToPoint(Pt(3, 0)); !almostEqual(d, 1, 1e-12) {
+		t.Errorf("DistToPoint beyond B = %v", d)
+	}
+	// Degenerate segment.
+	z := Segment{A: Pt(1, 1), B: Pt(1, 1)}
+	if d := z.DistToPoint(Pt(1, 3)); !almostEqual(d, 2, 1e-12) {
+		t.Errorf("degenerate DistToPoint = %v", d)
+	}
+}
+
+func TestSegmentIntersectCircle(t *testing.T) {
+	d := Disk{O: Pt(0, 0), R: 1}
+	// Crosses the circle twice.
+	s := Segment{A: Pt(-2, 0), B: Pt(2, 0)}
+	t0, t1, n := s.IntersectCircle(d)
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+	p0, p1 := s.At(t0), s.At(t1)
+	if !almostEqual(p0.Norm(), 1, 1e-9) || !almostEqual(p1.Norm(), 1, 1e-9) {
+		t.Errorf("intersections not on circle: %v %v", p0, p1)
+	}
+	// Entirely inside: no boundary crossing.
+	if _, _, n := (Segment{A: Pt(-0.1, 0), B: Pt(0.1, 0)}).IntersectCircle(d); n != 0 {
+		t.Errorf("inside segment: n = %d", n)
+	}
+	// Entirely outside.
+	if _, _, n := (Segment{A: Pt(2, 2), B: Pt(3, 3)}).IntersectCircle(d); n != 0 {
+		t.Errorf("outside segment: n = %d", n)
+	}
+	// One endpoint inside: exactly one crossing.
+	if _, _, n := (Segment{A: Pt(0, 0), B: Pt(2, 0)}).IntersectCircle(d); n != 1 {
+		t.Errorf("half-in segment: n = %d", n)
+	}
+	// Degenerate segment.
+	if _, _, n := (Segment{A: Pt(0, 0), B: Pt(0, 0)}).IntersectCircle(d); n != 0 {
+		t.Errorf("degenerate: n = %d", n)
+	}
+}
+
+func TestRotate(t *testing.T) {
+	p := Pt(1, 0).Rotate(math.Pi / 2)
+	if !almostEqual(p.X, 0, 1e-12) || !almostEqual(p.Y, 1, 1e-12) {
+		t.Errorf("Rotate = %v", p)
+	}
+	q := Pt(2, 0).RotateAbout(Pt(1, 0), math.Pi)
+	if !almostEqual(q.X, 0, 1e-12) || !almostEqual(q.Y, 0, 1e-12) {
+		t.Errorf("RotateAbout = %v", q)
+	}
+}
+
+func TestRotatePreservesNorm(t *testing.T) {
+	f := func(x, y, a float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(a) ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsInf(a, 0) {
+			return true
+		}
+		// Constrain magnitudes to keep floating point sane.
+		x, y = math.Mod(x, 1e6), math.Mod(y, 1e6)
+		p := Pt(x, y)
+		r := p.Rotate(math.Mod(a, TwoPi))
+		return almostEqual(p.Norm(), r.Norm(), 1e-6*(1+p.Norm()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSectorsBasics(t *testing.T) {
+	s := NewSectors(math.Pi / 3)
+	if s.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count())
+	}
+	if !almostEqual(s.Width(), math.Pi/3, 1e-12) {
+		t.Errorf("Width = %v", s.Width())
+	}
+	u := Pt(0, 0)
+	if i := s.IndexOf(u, Pt(1, 0.001)); i != 0 {
+		t.Errorf("east: sector %d", i)
+	}
+	if i := s.IndexOf(u, Pt(0, 1)); i != 1 {
+		t.Errorf("north: sector %d", i)
+	}
+	if i := s.IndexOf(u, Pt(0, -1)); i != 4 {
+		t.Errorf("south: sector %d", i)
+	}
+}
+
+func TestSectorsNonIntegerDivision(t *testing.T) {
+	// θ = 0.9 does not divide 2π; Count must round up and Width shrink.
+	s := NewSectors(0.9)
+	if s.Count() != 7 {
+		t.Errorf("Count = %d, want 7", s.Count())
+	}
+	if s.Width() > 0.9+1e-12 {
+		t.Errorf("Width = %v exceeds θ", s.Width())
+	}
+}
+
+func TestSectorsPanicOnBadTheta(t *testing.T) {
+	for _, theta := range []float64{0, -1, math.Pi/3 + 0.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSectors(%v): expected panic", theta)
+				}
+			}()
+			NewSectors(theta)
+		}()
+	}
+}
+
+func TestSectorsIndexRangeQuick(t *testing.T) {
+	s := NewSectors(math.Pi / 6)
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		i := s.IndexOf(Pt(0, 0), Pt(x, y))
+		if i < 0 || i >= s.Count() {
+			return false
+		}
+		// The azimuth must fall inside the reported sector bounds
+		// (half-open) whenever the vector is nonzero.
+		if x != 0 || y != 0 {
+			az := Azimuth(Pt(0, 0), Pt(x, y))
+			return az >= s.Lo(i)-1e-12 && az < s.Hi(i)+1e-12
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSectorsContains(t *testing.T) {
+	s := NewSectors(math.Pi / 4)
+	u, v := Pt(0, 0), Pt(1, 1)
+	i := s.IndexOf(u, v)
+	if !s.Contains(i, u, v) {
+		t.Error("Contains(IndexOf) must hold")
+	}
+	if s.Contains((i+1)%s.Count(), u, v) {
+		t.Error("wrong sector must not contain")
+	}
+}
+
+func TestHexCellOfCenterRoundTrip(t *testing.T) {
+	g := HexGrid{Side: 3.5}
+	for q := -3; q <= 3; q++ {
+		for r := -3; r <= 3; r++ {
+			c := HexCell{q, r}
+			if got := g.CellOf(g.Center(c)); got != c {
+				t.Errorf("CellOf(Center(%v)) = %v", c, got)
+			}
+		}
+	}
+}
+
+func TestHexNearestCenterProperty(t *testing.T) {
+	// Every point belongs to the hexagon whose center is nearest.
+	g := HexGrid{Side: 2}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		p := Pt(rng.Float64()*40-20, rng.Float64()*40-20)
+		c := g.CellOf(p)
+		dc := Dist(p, g.Center(c))
+		for _, nb := range g.Neighbors(c) {
+			if Dist(p, g.Center(nb)) < dc-1e-9 {
+				t.Fatalf("point %v assigned to %v but neighbor %v is closer", p, c, nb)
+			}
+		}
+		// Never farther than the circumradius.
+		if dc > g.Side+1e-9 {
+			t.Fatalf("point %v at distance %v from own center (side %v)", p, dc, g.Side)
+		}
+	}
+}
+
+func TestHexNeighborsAdjacent(t *testing.T) {
+	g := HexGrid{Side: 1}
+	c := HexCell{0, 0}
+	want := g.Side * math.Sqrt(3) // distance between adjacent centers
+	for _, nb := range g.Neighbors(c) {
+		if d := Dist(g.Center(c), g.Center(nb)); !almostEqual(d, want, 1e-9) {
+			t.Errorf("neighbor %v at distance %v, want %v", nb, d, want)
+		}
+	}
+}
+
+func TestHexCellsWithin(t *testing.T) {
+	g := HexGrid{Side: 2}
+	p := Pt(0.3, 0.4)
+	cells := g.CellsWithin(p, 5)
+	found := false
+	own := g.CellOf(p)
+	for _, c := range cells {
+		if c == own {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("CellsWithin must include the cell of p")
+	}
+	// All six neighbors must appear for a radius beyond the center spacing.
+	for _, nb := range g.Neighbors(own) {
+		ok := false
+		for _, c := range cells {
+			if c == nb {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("neighbor %v missing from CellsWithin", nb)
+		}
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	if m := Midpoint(Pt(0, 0), Pt(2, 4)); m != Pt(1, 2) {
+		t.Errorf("Midpoint = %v", m)
+	}
+}
+
+// randomTriangle draws a non-degenerate triangle with coordinates in
+// [-10, 10].
+func randomTriangle(rng *rand.Rand) (a, b, c Point) {
+	for {
+		a = Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		b = Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		c = Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		if Orientation(a, b, c) != 0 && Dist(a, b) > 1e-6 && Dist(b, c) > 1e-6 && Dist(a, c) > 1e-6 {
+			return
+		}
+	}
+}
+
+func TestLemma23Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	applied := 0
+	for i := 0; i < 20000; i++ {
+		a, b, c := randomTriangle(rng)
+		if ok, holds := Lemma23Holds(a, b, c); ok {
+			applied++
+			if !holds {
+				t.Fatalf("Lemma 2.3 violated for %v %v %v", a, b, c)
+			}
+		}
+	}
+	if applied == 0 {
+		t.Error("Lemma 2.3 preconditions never met; test vacuous")
+	}
+}
+
+func TestLemma24Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	applied := 0
+	for i := 0; i < 50000; i++ {
+		a, b, c := randomTriangle(rng)
+		if ok, holds := Lemma24Holds(a, b, c); ok {
+			applied++
+			if !holds {
+				t.Fatalf("Lemma 2.4 violated for %v %v %v", a, b, c)
+			}
+		}
+	}
+	if applied == 0 {
+		t.Error("Lemma 2.4 preconditions never met; test vacuous")
+	}
+}
+
+func TestLemma25Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const theta = math.Pi / 12
+	applied := 0
+	for iter := 0; iter < 5000; iter++ {
+		a := Pt(0, 0)
+		// Build an angularly monotone chain with decreasing radii.
+		k := 2 + rng.Intn(8)
+		radius := 1 + rng.Float64()*9
+		angle := rng.Float64() * TwoPi
+		chain := make([]Point, 0, k)
+		for i := 0; i < k; i++ {
+			chain = append(chain, Pt(radius*math.Cos(angle), radius*math.Sin(angle)))
+			radius *= 0.5 + rng.Float64()*0.5 // non-increasing
+			angle += rng.Float64() * theta    // gap in [0, θ]
+		}
+		if ok, holds := Lemma25Holds(a, chain, theta); ok {
+			applied++
+			if !holds {
+				t.Fatalf("Lemma 2.5 violated for chain %v", chain)
+			}
+		}
+	}
+	if applied == 0 {
+		t.Error("Lemma 2.5 preconditions never met; test vacuous")
+	}
+}
+
+func TestLemmaPredicatesRejectBadInput(t *testing.T) {
+	// Degenerate chain and bad theta must not apply.
+	if ok, _ := Lemma25Holds(Pt(0, 0), []Point{Pt(1, 0)}, 0.1); ok {
+		t.Error("single-point chain should not apply")
+	}
+	if ok, _ := Lemma25Holds(Pt(0, 0), []Point{Pt(1, 0), Pt(0.5, 0)}, 0); ok {
+		t.Error("theta = 0 should not apply")
+	}
+	// Increasing radii violate the precondition.
+	if ok, _ := Lemma25Holds(Pt(0, 0), []Point{Pt(0.5, 0), Pt(1, 0.01)}, math.Pi/12); ok {
+		t.Error("increasing radii should not apply")
+	}
+}
+
+func TestSegmentIntersect(t *testing.T) {
+	// Proper crossing.
+	a := Segment{A: Pt(0, 0), B: Pt(2, 2)}
+	b := Segment{A: Pt(0, 2), B: Pt(2, 0)}
+	x, ok := a.Intersect(b)
+	if !ok || !almostEqual(x.X, 1, 1e-12) || !almostEqual(x.Y, 1, 1e-12) {
+		t.Errorf("crossing: %v %v", x, ok)
+	}
+	// Disjoint parallels.
+	if _, ok := a.Intersect(Segment{A: Pt(0, 1), B: Pt(2, 3)}); ok {
+		t.Error("parallel segments should not intersect")
+	}
+	// Non-parallel but out of range.
+	if _, ok := a.Intersect(Segment{A: Pt(10, 0), B: Pt(10, 5)}); ok {
+		t.Error("distant segments should not intersect")
+	}
+	// Shared endpoint.
+	if _, ok := a.Intersect(Segment{A: Pt(2, 2), B: Pt(3, 0)}); !ok {
+		t.Error("shared endpoint should intersect")
+	}
+	// Collinear overlap: reports an endpoint of the second segment on the first.
+	x, ok = a.Intersect(Segment{A: Pt(1, 1), B: Pt(3, 3)})
+	if !ok || a.DistToPoint(x) > 1e-12 {
+		t.Errorf("collinear overlap: %v %v", x, ok)
+	}
+	// Collinear disjoint.
+	if _, ok := a.Intersect(Segment{A: Pt(3, 3), B: Pt(4, 4)}); ok {
+		t.Error("collinear disjoint should not intersect")
+	}
+}
+
+func TestHexInradius(t *testing.T) {
+	g := HexGrid{Side: 2}
+	if !almostEqual(g.Inradius(), math.Sqrt(3), 1e-12) {
+		t.Errorf("inradius = %v", g.Inradius())
+	}
+}
+
+func TestIndexOfOriented(t *testing.T) {
+	s := NewSectors(math.Pi / 3)
+	u := Pt(0, 0)
+	// With no rotation it matches IndexOf.
+	for _, v := range []Point{Pt(1, 0.1), Pt(0, 1), Pt(-1, -1)} {
+		if s.IndexOfOriented(u, v, 0) != s.IndexOf(u, v) {
+			t.Errorf("offset 0 disagrees for %v", v)
+		}
+	}
+	// Rotating the frame by one sector width shifts the index by one.
+	v := Pt(1, 0.1)
+	base := s.IndexOf(u, v)
+	rot := s.IndexOfOriented(u, v, s.Width())
+	if rot != (base-1+s.Count())%s.Count() {
+		t.Errorf("rotated index = %d, base %d", rot, base)
+	}
+	// Result always in range for arbitrary offsets.
+	for _, off := range []float64{-10, -0.3, 3.7, 99} {
+		i := s.IndexOfOriented(u, v, off)
+		if i < 0 || i >= s.Count() {
+			t.Errorf("offset %v: index %d out of range", off, i)
+		}
+	}
+}

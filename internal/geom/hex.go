@@ -1,0 +1,81 @@
+package geom
+
+import "math"
+
+// HexGrid is a honeycomb tessellation of the plane by regular hexagons of a
+// given side length (= circumradius), used by the honeycomb algorithm of
+// Section 3.4. The paper uses hexagons of side length 3+2Δ. Hexagons are
+// pointy-top and addressed by axial coordinates (Q, R).
+type HexGrid struct {
+	// Side is the side length (and center-to-vertex distance) of each
+	// hexagon. Must be positive.
+	Side float64
+}
+
+// HexCell identifies one hexagon of a HexGrid in axial coordinates.
+type HexCell struct {
+	Q, R int
+}
+
+// CellOf returns the hexagon containing point p. Points on shared boundaries
+// are assigned consistently (to exactly one cell) by cube rounding.
+func (g HexGrid) CellOf(p Point) HexCell {
+	q := (math.Sqrt(3)/3*p.X - p.Y/3) / g.Side
+	r := (2.0 / 3.0 * p.Y) / g.Side
+	return roundHex(q, r)
+}
+
+// Center returns the center point of cell c.
+func (g HexGrid) Center(c HexCell) Point {
+	x := g.Side * math.Sqrt(3) * (float64(c.Q) + float64(c.R)/2)
+	y := g.Side * 3 / 2 * float64(c.R)
+	return Point{x, y}
+}
+
+// Inradius returns the inradius (center-to-edge distance) of each hexagon,
+// side·√3/2.
+func (g HexGrid) Inradius() float64 { return g.Side * math.Sqrt(3) / 2 }
+
+// Neighbors returns the six hexagons adjacent to c.
+func (g HexGrid) Neighbors(c HexCell) [6]HexCell {
+	return [6]HexCell{
+		{c.Q + 1, c.R}, {c.Q - 1, c.R},
+		{c.Q, c.R + 1}, {c.Q, c.R - 1},
+		{c.Q + 1, c.R - 1}, {c.Q - 1, c.R + 1},
+	}
+}
+
+// CellsWithin returns all cells whose centers lie within distance d of point
+// p. It scans the bounding region conservatively; the result always includes
+// CellOf(p).
+func (g HexGrid) CellsWithin(p Point, d float64) []HexCell {
+	center := g.CellOf(p)
+	// Axial step between adjacent centers is side·√3 (inradius·2).
+	step := g.Side * math.Sqrt(3)
+	radius := int(math.Ceil(d/step)) + 1
+	var out []HexCell
+	for dq := -radius; dq <= radius; dq++ {
+		for dr := -radius; dr <= radius; dr++ {
+			c := HexCell{center.Q + dq, center.R + dr}
+			if Dist(g.Center(c), p) <= d+g.Side {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// roundHex converts fractional axial coordinates to the nearest hexagon using
+// cube-coordinate rounding.
+func roundHex(q, r float64) HexCell {
+	s := -q - r
+	rq, rr, rs := math.Round(q), math.Round(r), math.Round(s)
+	dq, dr, ds := math.Abs(rq-q), math.Abs(rr-r), math.Abs(rs-s)
+	switch {
+	case dq > dr && dq > ds:
+		rq = -rr - rs
+	case dr > ds:
+		rr = -rq - rs
+	}
+	return HexCell{int(rq), int(rr)}
+}

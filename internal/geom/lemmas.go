@@ -1,0 +1,72 @@
+package geom
+
+import "math"
+
+// This file encodes the technical geometry lemmas of Section 2.2 of the paper
+// (Lemmas 2.3-2.5) as checkable predicates. They are exercised by
+// property-based tests, which numerically validate the inequalities the
+// energy-stretch proof of Theorem 2.2 relies on.
+
+// Lemma23Holds checks Lemma 2.3: for any triangle ABC with |AC| ≤ |BC| and
+// ∠ACB ≤ π/3, it holds that c·|AB|² + |AC|² ≤ c·|BC|² whenever
+// c ≥ 1/(2cos(∠ACB) − 1). It returns false when the preconditions are not
+// met (the lemma is then vacuous and callers should skip the check).
+func Lemma23Holds(a, b, cpt Point) (applies, holds bool) {
+	ac, bc := Dist(a, cpt), Dist(b, cpt)
+	angle := AngleBetween(a, cpt, b)
+	den := 2*math.Cos(angle) - 1
+	// Preconditions: |AC| ≤ |BC| and ∠ACB < π/3 (strict, so that the
+	// constant c = 1/(2cos∠ACB − 1) is finite and positive).
+	if ac > bc || den <= 0 {
+		return false, false
+	}
+	c := 1 / den
+	ab := Dist(a, b)
+	const slack = 1e-9
+	return true, c*ab*ab+ac*ac <= c*bc*bc+slack
+}
+
+// Lemma24Holds checks Lemma 2.4: for any triangle ABC with
+// |BC| ≤ |AC| ≤ |AB| and ∠BAC ≤ π/6, |BC| ≤ |AB| / (2cos ∠BAC).
+func Lemma24Holds(a, b, cpt Point) (applies, holds bool) {
+	ab, ac, bc := Dist(a, b), Dist(a, cpt), Dist(b, cpt)
+	angle := AngleBetween(b, a, cpt)
+	if !(bc <= ac && ac <= ab && angle <= math.Pi/6) {
+		return false, false
+	}
+	const slack = 1e-9
+	return true, bc <= ab/(2*math.Cos(angle))+slack
+}
+
+// Lemma25Holds checks Lemma 2.5: for points A, A1, ..., Ak with
+// |A·Ai| ≥ |A·Ai+1| and consecutive angular gaps at A in [0, θ], if the total
+// angle ∠A1·A·Ak is α, then
+//
+//	Σ |Ai·Ai+1|² ≤ (|A·A1| − |A·Ak|)² + 2|A·A1|²·(α/θ)(1 − cos θ).
+//
+// The chain must be angularly monotone around A (consecutive points sweep in
+// one direction); callers construct such chains.
+func Lemma25Holds(a Point, chain []Point, theta float64) (applies, holds bool) {
+	if len(chain) < 2 || theta <= 0 {
+		return false, false
+	}
+	for i := 0; i+1 < len(chain); i++ {
+		if Dist(a, chain[i]) < Dist(a, chain[i+1]) {
+			return false, false
+		}
+		gap := AngleBetween(chain[i], a, chain[i+1])
+		if gap > theta+1e-12 {
+			return false, false
+		}
+	}
+	alpha := AngleBetween(chain[0], a, chain[len(chain)-1])
+	sum := 0.0
+	for i := 0; i+1 < len(chain); i++ {
+		sum += Dist2(chain[i], chain[i+1])
+	}
+	d1 := Dist(a, chain[0])
+	dk := Dist(a, chain[len(chain)-1])
+	bound := (d1-dk)*(d1-dk) + 2*d1*d1*(alpha/theta)*(1-math.Cos(theta))
+	const slack = 1e-9
+	return true, sum <= bound+slack*(1+bound)
+}

@@ -1,0 +1,66 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sectors partitions the full angle around every node into k = ⌈2π/θ⌉ equal
+// cones, as done by the ΘALG topology-control algorithm (Section 2.1 of the
+// paper). Sector i of a node u is the half-open cone of directions
+// [i·w, (i+1)·w) where w = 2π/k, anchored at azimuth 0 in a shared global
+// frame. The paper requires θ ≤ π/3; NewSectors enforces this.
+type Sectors struct {
+	k     int     // number of sectors
+	width float64 // angular width of each sector: 2π/k ≤ θ
+}
+
+// NewSectors returns a sector partition with cone angle at most theta.
+// It panics if theta is not in (0, π/3], matching the precondition of the
+// ΘALG analysis.
+func NewSectors(theta float64) Sectors {
+	if !(theta > 0 && theta <= math.Pi/3+1e-12) {
+		panic(fmt.Sprintf("geom: sector angle θ=%v outside (0, π/3]", theta))
+	}
+	k := int(math.Ceil(TwoPi/theta - 1e-9))
+	return Sectors{k: k, width: TwoPi / float64(k)}
+}
+
+// Count returns the number of sectors k.
+func (s Sectors) Count() int { return s.k }
+
+// Width returns the angular width 2π/k of each sector.
+func (s Sectors) Width() float64 { return s.width }
+
+// IndexOf returns the index of the sector S(u, v) of node u that contains
+// node v, i.e. the sector containing the direction from u to v. The result is
+// in [0, Count()). If u == v, the sector index is 0 by convention; callers
+// never ask for the sector of a node relative to itself in the algorithms.
+func (s Sectors) IndexOf(u, v Point) int {
+	i := int(Azimuth(u, v) / s.width)
+	if i >= s.k { // guard against rounding at exactly 2π
+		i = s.k - 1
+	}
+	return i
+}
+
+// IndexOfOriented is IndexOf with a per-node frame rotation: the sector
+// partition of u is anchored at azimuth offset instead of 0. The paper's
+// nodes each divide "the 360° space" around themselves, so no shared frame
+// is required; orientations let every node use its own.
+func (s Sectors) IndexOfOriented(u, v Point, offset float64) int {
+	i := int(NormalizeAngle(Azimuth(u, v)-offset) / s.width)
+	if i >= s.k {
+		i = s.k - 1
+	}
+	return i
+}
+
+// Lo returns the starting azimuth of sector i.
+func (s Sectors) Lo(i int) float64 { return float64(i) * s.width }
+
+// Hi returns the (exclusive) ending azimuth of sector i.
+func (s Sectors) Hi(i int) float64 { return float64(i+1) * s.width }
+
+// Contains reports whether the direction from u to v falls in sector i of u.
+func (s Sectors) Contains(i int, u, v Point) bool { return s.IndexOf(u, v) == i }

@@ -1,0 +1,215 @@
+// Package georouting implements the stateless geometric routing protocols
+// the paper positions its balancing approach against (Section 1.2, [25,
+// 30]): greedy geographic forwarding and GPSR-style greedy-plus-face
+// recovery on a planar subgraph. These serve as baselines in the routing
+// experiments: they need no buffers or height exchange, but provide no
+// throughput or cost competitiveness, and plain greedy can strand packets
+// at local minima.
+package georouting
+
+import (
+	"fmt"
+	"sort"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+)
+
+// Result reports one routing attempt.
+type Result struct {
+	// Path is the node sequence from source to destination (inclusive);
+	// on failure it holds the walk up to the stuck node.
+	Path []int
+	// Delivered reports whether the destination was reached.
+	Delivered bool
+	// PerimeterHops counts hops spent in face-routing recovery mode.
+	PerimeterHops int
+}
+
+// Greedy routes from src to dst by always forwarding to the neighbor
+// strictly closest to dst (closer than the current node). It fails at a
+// local minimum — a node with no neighbor closer to the destination —
+// which planar face recovery (GreedyFace) repairs. maxHops bounds the walk
+// (0 selects 4·n).
+func Greedy(g *graph.Graph, pts []geom.Point, src, dst, maxHops int) Result {
+	checkArgs(g, pts, src, dst)
+	if maxHops <= 0 {
+		maxHops = 4 * g.N()
+	}
+	cur := src
+	res := Result{Path: []int{src}}
+	for cur != dst && len(res.Path) <= maxHops {
+		best, bestD := -1, geom.Dist(pts[cur], pts[dst])
+		for _, w := range g.Neighbors(cur) {
+			if d := geom.Dist(pts[w], pts[dst]); d < bestD {
+				best, bestD = int(w), d
+			}
+		}
+		if best < 0 {
+			return res // local minimum
+		}
+		cur = best
+		res.Path = append(res.Path, cur)
+	}
+	res.Delivered = cur == dst
+	return res
+}
+
+// router carries the precomputed angular adjacency used by face routing.
+type router struct {
+	g   *graph.Graph
+	pts []geom.Point
+	// sorted[v] lists v's neighbors in counterclockwise angular order.
+	sorted [][]int32
+}
+
+// NewPlanarRouter prepares GPSR-style routing over a planar graph (e.g.
+// the Gabriel graph, which is planar and connected whenever the
+// transmission graph is). The planarity of g is the caller's
+// responsibility; face traversal on a non-planar graph may loop and then
+// fails via the hop budget.
+func NewPlanarRouter(g *graph.Graph, pts []geom.Point) *router {
+	if g.N() != len(pts) {
+		panic("georouting: graph/points size mismatch")
+	}
+	r := &router{g: g, pts: pts, sorted: make([][]int32, g.N())}
+	for v := 0; v < g.N(); v++ {
+		nbrs := append([]int32(nil), g.Neighbors(v)...)
+		sort.Slice(nbrs, func(i, j int) bool {
+			return geom.Azimuth(pts[v], pts[nbrs[i]]) < geom.Azimuth(pts[v], pts[nbrs[j]])
+		})
+		r.sorted[v] = nbrs
+	}
+	return r
+}
+
+// nextCCW returns the neighbor of v that follows direction `from` in
+// counterclockwise order — the right-hand-rule successor used by GPSR's
+// perimeter mode.
+func (r *router) nextCCW(v int, fromAngle float64) int {
+	nbrs := r.sorted[v]
+	if len(nbrs) == 0 {
+		return -1
+	}
+	// First neighbor with azimuth strictly greater than fromAngle
+	// (wrapping around to the smallest).
+	for _, w := range nbrs {
+		if geom.Azimuth(r.pts[v], r.pts[w]) > fromAngle+1e-15 {
+			return int(w)
+		}
+	}
+	return int(nbrs[0])
+}
+
+// Route runs GPSR (greedy with perimeter-mode recovery) from src to dst.
+// On a connected planar graph the perimeter mode's face changes guarantee
+// progress; a hop budget (0 selects 8·n) guards against numerically
+// degenerate inputs.
+func (r *router) Route(src, dst, maxHops int) Result {
+	checkArgs(r.g, r.pts, src, dst)
+	if maxHops <= 0 {
+		maxHops = 8 * r.g.N()
+	}
+	res := Result{Path: []int{src}}
+	cur := src
+	perimeter := false
+	var lp geom.Point // location where perimeter mode was entered
+	var lf geom.Point // crossing point on entry to the current face
+	var e0 [2]int     // first edge traversed on the current face
+	var prev int      // node we arrived from (perimeter mode)
+	for cur != dst && len(res.Path) <= maxHops {
+		if !perimeter {
+			best, bestD := -1, geom.Dist(r.pts[cur], r.pts[dst])
+			for _, w := range r.g.Neighbors(cur) {
+				if d := geom.Dist(r.pts[w], r.pts[dst]); d < bestD {
+					best, bestD = int(w), d
+				}
+			}
+			if best >= 0 {
+				cur = best
+				res.Path = append(res.Path, cur)
+				continue
+			}
+			// Local minimum: enter perimeter mode on the face bordering
+			// the line cur→dst.
+			perimeter = true
+			lp = r.pts[cur]
+			lf = r.pts[cur]
+			next := r.nextCCW(cur, geom.Azimuth(r.pts[cur], r.pts[dst]))
+			if next < 0 {
+				return res
+			}
+			e0 = [2]int{cur, next}
+			prev = cur
+			cur = next
+			res.Path = append(res.Path, cur)
+			res.PerimeterHops++
+			continue
+		}
+		// Perimeter mode: leave as soon as we are closer to dst than the
+		// point where we entered.
+		if geom.Dist(r.pts[cur], r.pts[dst]) < geom.Dist(lp, r.pts[dst]) {
+			perimeter = false
+			continue
+		}
+		next := r.nextCCW(cur, geom.Azimuth(r.pts[cur], r.pts[prev]))
+		if next < 0 {
+			return res
+		}
+		// Face change: if the edge (cur,next) crosses the segment
+		// lp→dst at a point closer to dst than the current face's entry
+		// point, start traversing the new face from that edge.
+		seg := geom.Segment{A: lp, B: r.pts[dst]}
+		edgeSeg := geom.Segment{A: r.pts[cur], B: r.pts[next]}
+		if x, ok := edgeSeg.Intersect(seg); ok {
+			if geom.Dist(x, r.pts[dst]) < geom.Dist(lf, r.pts[dst])-1e-15 {
+				lf = x
+				e0 = [2]int{cur, next}
+				prev = cur
+				cur = next
+				res.Path = append(res.Path, cur)
+				res.PerimeterHops++
+				continue
+			}
+		}
+		if cur == e0[0] && next == e0[1] && res.PerimeterHops > 1 {
+			// About to retraverse the first edge of this face tour
+			// without having changed faces: undeliverable.
+			return res
+		}
+		prev2 := cur
+		cur = next
+		prev = prev2
+		res.Path = append(res.Path, cur)
+		res.PerimeterHops++
+	}
+	res.Delivered = cur == dst
+	return res
+}
+
+func checkArgs(g *graph.Graph, pts []geom.Point, src, dst int) {
+	if g.N() != len(pts) {
+		panic("georouting: graph/points size mismatch")
+	}
+	if src < 0 || src >= g.N() || dst < 0 || dst >= g.N() {
+		panic(fmt.Sprintf("georouting: endpoints (%d,%d) out of range", src, dst))
+	}
+}
+
+// PathLength returns the Euclidean length of a node path.
+func PathLength(pts []geom.Point, path []int) float64 {
+	total := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		total += geom.Dist(pts[path[i]], pts[path[i+1]])
+	}
+	return total
+}
+
+// PathEnergy returns the energy cost Σ|uv|^κ of a node path.
+func PathEnergy(pts []geom.Point, path []int, kappa float64) float64 {
+	total := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		total += geom.EnergyCost(pts[path[i]], pts[path[i+1]], kappa)
+	}
+	return total
+}

@@ -1,0 +1,179 @@
+package georouting
+
+import (
+	"math"
+	"testing"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+	"toporouting/internal/pointset"
+	"toporouting/internal/proximity"
+	"toporouting/internal/unitdisk"
+)
+
+func TestGreedyOnLine(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0)}
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	r := Greedy(g, pts, 0, 3, 0)
+	if !r.Delivered || len(r.Path) != 4 {
+		t.Fatalf("greedy line: %+v", r)
+	}
+}
+
+func TestGreedySelfDelivery(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	r := Greedy(g, pts, 1, 1, 0)
+	if !r.Delivered || len(r.Path) != 1 {
+		t.Fatalf("self delivery: %+v", r)
+	}
+}
+
+func TestGreedyLocalMinimum(t *testing.T) {
+	// A "void": node 1 is closer to the destination than its neighbors,
+	// but not adjacent to it — classic greedy failure.
+	pts := []geom.Point{
+		geom.Pt(0, 0), // 0 source
+		geom.Pt(1, 0), // 1 local minimum
+		geom.Pt(1, 2), // 2 detour up
+		geom.Pt(3, 0), // 3 destination
+		geom.Pt(2, 2), // 4 detour toward dst
+	}
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2) // the only way around is via 2, which is farther from 3
+	g.AddEdge(2, 4)
+	g.AddEdge(4, 3)
+	r := Greedy(g, pts, 0, 3, 0)
+	if r.Delivered {
+		t.Fatalf("greedy should strand at the void: %+v", r)
+	}
+	if last := r.Path[len(r.Path)-1]; last != 1 {
+		t.Errorf("stuck node = %d, want 1", last)
+	}
+}
+
+func TestGreedyPanicsOnBadArgs(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	g := graph.New(2)
+	cases := []func(){
+		func() { Greedy(g, pts[:1], 0, 1, 0) },
+		func() { Greedy(g, pts, -1, 1, 0) },
+		func() { Greedy(g, pts, 0, 5, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFaceRecoveryEscapesVoid(t *testing.T) {
+	// Same void as above: GPSR's perimeter mode must route around it.
+	pts := []geom.Point{
+		geom.Pt(0, 0),
+		geom.Pt(1, 0),
+		geom.Pt(1, 2),
+		geom.Pt(3, 0),
+		geom.Pt(2, 2),
+	}
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 4)
+	g.AddEdge(4, 3)
+	r := NewPlanarRouter(g, pts).Route(0, 3, 0)
+	if !r.Delivered {
+		t.Fatalf("face routing failed: %+v", r)
+	}
+	if r.PerimeterHops == 0 {
+		t.Error("expected perimeter hops through the void")
+	}
+}
+
+func TestGPSRDeliversOnGabriel(t *testing.T) {
+	// On a connected planar Gabriel graph, GPSR must deliver every
+	// sampled pair.
+	for seed := int64(0); seed < 4; seed++ {
+		pts := pointset.Generate(pointset.KindUniform, 150, seed)
+		d := unitdisk.CriticalRange(pts) * 1.3
+		gab := proximity.Gabriel(pts, d)
+		if !gab.Connected() {
+			t.Fatalf("seed %d: Gabriel not connected", seed)
+		}
+		router := NewPlanarRouter(gab, pts)
+		greedyFails := 0
+		for src := 0; src < 30; src++ {
+			dst := (src*37 + 101) % len(pts)
+			if src == dst {
+				continue
+			}
+			r := router.Route(src, dst, 0)
+			if !r.Delivered {
+				t.Fatalf("seed %d: GPSR failed %d→%d: path %v (perim %d)",
+					seed, src, dst, r.Path, r.PerimeterHops)
+			}
+			// Walk validity.
+			for i := 0; i+1 < len(r.Path); i++ {
+				if !gab.HasEdge(r.Path[i], r.Path[i+1]) {
+					t.Fatalf("non-edge in path")
+				}
+			}
+			if g := Greedy(gab, pts, src, dst, 0); !g.Delivered {
+				greedyFails++
+			}
+		}
+		t.Logf("seed %d: greedy-only failures: %d/30", seed, greedyFails)
+	}
+}
+
+func TestGPSRPathLongerThanShortest(t *testing.T) {
+	pts := pointset.Generate(pointset.KindUniform, 120, 9)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	gab := proximity.Gabriel(pts, d)
+	router := NewPlanarRouter(gab, pts)
+	distCost := func(u, v int) float64 { return geom.Dist(pts[u], pts[v]) }
+	dist, _ := gab.Dijkstra(0, distCost)
+	for dst := 1; dst < 20; dst++ {
+		r := router.Route(0, dst, 0)
+		if !r.Delivered {
+			t.Fatalf("undelivered 0→%d", dst)
+		}
+		if l := PathLength(pts, r.Path); l < dist[dst]-1e-9 {
+			t.Fatalf("GPSR path shorter than shortest path: %v < %v", l, dist[dst])
+		}
+	}
+}
+
+func TestPathMetrics(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(3, 4), geom.Pt(3, 5)}
+	path := []int{0, 1, 2}
+	if l := PathLength(pts, path); math.Abs(l-6) > 1e-12 {
+		t.Errorf("length = %v", l)
+	}
+	if e := PathEnergy(pts, path, 2); math.Abs(e-26) > 1e-12 {
+		t.Errorf("energy = %v", e)
+	}
+	if PathLength(pts, nil) != 0 || PathEnergy(pts, []int{0}, 2) != 0 {
+		t.Error("degenerate paths")
+	}
+}
+
+func TestRouterPanicsOnMismatch(t *testing.T) {
+	g := graph.New(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPlanarRouter(g, []geom.Point{geom.Pt(0, 0)})
+}

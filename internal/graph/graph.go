@@ -1,0 +1,295 @@
+// Package graph provides the compact undirected-graph representation and the
+// classic algorithms (Dijkstra, BFS, connectivity, union-find) that the
+// topology-control analyses are measured with. Nodes are integers 0..n-1;
+// geometry lives outside this package and enters through edge-cost
+// functions, so the same graph can be evaluated under the distance metric
+// |uv| and the energy metric |uv|^κ.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is an undirected multigraph-free graph over nodes 0..N-1 with
+// adjacency lists. The zero value is an empty graph with no nodes; construct
+// with New.
+type Graph struct {
+	n   int
+	adj [][]int32
+}
+
+// New returns an empty graph on n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]int32, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge (u, v). Self-loops and duplicate
+// edges are ignored. It panics if u or v is out of range.
+func (g *Graph) AddEdge(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if u == v || g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+}
+
+// HasEdge reports whether the undirected edge (u, v) is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	// Scan the shorter list.
+	a, b := u, v
+	if len(g.adj[b]) < len(g.adj[a]) {
+		a, b = b, a
+	}
+	for _, w := range g.adj[a] {
+		if int(w) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of u. Callers must not mutate it.
+func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegree returns the maximum node degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, l := range g.adj {
+		if len(l) > max {
+			max = len(l)
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average node degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) / float64(g.n)
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	sum := 0
+	for _, l := range g.adj {
+		sum += len(l)
+	}
+	return sum / 2
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct {
+	U, V int
+}
+
+// Canon returns the canonical (U ≤ V) form of an edge between a and b.
+func Canon(a, b int) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{U: a, V: b}
+}
+
+// Edges returns all undirected edges with U < V, sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				out = append(out, Edge{U: u, V: int(w)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u, l := range g.adj {
+		c.adj[u] = append([]int32(nil), l...)
+	}
+	return c
+}
+
+// Connected reports whether the graph is connected (true for n ≤ 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[u] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Components returns the component label of every node (labels are dense,
+// starting at 0) and the number of components.
+func (g *Graph) Components() (labels []int, count int) {
+	labels = make([]int, g.n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stack []int32
+	for s := 0; s < g.n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = count
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.adj[u] {
+				if labels[w] < 0 {
+					labels[w] = count
+					stack = append(stack, w)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// BFSHops returns the hop distance from src to every node (-1 when
+// unreachable).
+func (g *Graph) BFSHops(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[u] {
+			if dist[w] < 0 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// CostFunc assigns a nonnegative traversal cost to the directed use of the
+// undirected edge (u, v).
+type CostFunc func(u, v int) float64
+
+// Dijkstra computes least-cost distances from src under cost, returning the
+// distance slice (math.Inf(1) when unreachable) and the parent slice for path
+// reconstruction (-1 for src and unreachable nodes). Costs must be
+// nonnegative; Dijkstra panics on a negative edge cost.
+func (g *Graph) Dijkstra(src int, cost CostFunc) (dist []float64, parent []int) {
+	dist = make([]float64, g.n)
+	parent = make([]int, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[src] = 0
+	pq := &distHeap{items: []distItem{{node: int32(src), d: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		u := int(it.node)
+		if it.d > dist[u] {
+			continue // stale entry
+		}
+		for _, w := range g.adj[u] {
+			c := cost(u, int(w))
+			if c < 0 {
+				panic(fmt.Sprintf("graph: negative edge cost %v on (%d,%d)", c, u, w))
+			}
+			if nd := dist[u] + c; nd < dist[w] {
+				dist[w] = nd
+				parent[w] = u
+				heap.Push(pq, distItem{node: w, d: nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// PathFromParents reconstructs the node sequence src..dst from a parent
+// slice produced by Dijkstra. It returns nil if dst is unreachable.
+func PathFromParents(parent []int, src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	if parent[dst] < 0 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+type distItem struct {
+	node int32
+	d    float64
+}
+
+type distHeap struct{ items []distItem }
+
+func (h *distHeap) Len() int           { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *distHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *distHeap) Push(x interface{}) { h.items = append(h.items, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

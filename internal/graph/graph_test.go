@@ -1,0 +1,340 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestNewAndBasicProps(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.NumEdges() != 0 || g.MaxDegree() != 0 {
+		t.Fatal("empty graph properties wrong")
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 || g.Degree(3) != 0 {
+		t.Error("degrees wrong")
+	}
+	if g.MaxDegree() != 2 {
+		t.Error("MaxDegree wrong")
+	}
+	if g.AvgDegree() != 4.0/5.0 {
+		t.Errorf("AvgDegree = %v", g.AvgDegree())
+	}
+}
+
+func TestAddEdgeDedupAndSelfLoop(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 2)
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.HasEdge(2, 2) {
+		t.Error("self loop present")
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(2).AddEdge(0, 5)
+}
+
+func TestNewPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestHasEdge(t *testing.T) {
+	g := New(4)
+	g.AddEdge(1, 3)
+	if !g.HasEdge(1, 3) || !g.HasEdge(3, 1) {
+		t.Error("edge missing")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge")
+	}
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 99) {
+		t.Error("out of range should be false")
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 2)
+	g.AddEdge(1, 0)
+	g.AddEdge(0, 3)
+	es := g.Edges()
+	want := []Edge{{0, 1}, {0, 3}, {2, 3}}
+	if len(es) != len(want) {
+		t.Fatalf("len = %d", len(es))
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, es[i], want[i])
+		}
+	}
+}
+
+func TestCanon(t *testing.T) {
+	if Canon(5, 2) != (Edge{2, 5}) || Canon(2, 5) != (Edge{2, 5}) {
+		t.Error("Canon wrong")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := path(4)
+	c := g.Clone()
+	c.AddEdge(0, 3)
+	if g.HasEdge(0, 3) {
+		t.Error("clone aliased original")
+	}
+	if !c.HasEdge(1, 2) {
+		t.Error("clone lost edge")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Error("trivial graphs must be connected")
+	}
+	g := path(5)
+	if !g.Connected() {
+		t.Error("path should be connected")
+	}
+	g2 := New(5)
+	g2.AddEdge(0, 1)
+	g2.AddEdge(2, 3)
+	if g2.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	labels, count := g2.Components()
+	if count != 3 {
+		t.Errorf("components = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] || labels[0] == labels[2] || labels[4] == labels[0] {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestBFSHops(t *testing.T) {
+	g := path(5)
+	d := g.BFSHops(0)
+	for i := 0; i < 5; i++ {
+		if d[i] != i {
+			t.Errorf("hop[%d] = %d", i, d[i])
+		}
+	}
+	g2 := New(3)
+	g2.AddEdge(0, 1)
+	d2 := g2.BFSHops(0)
+	if d2[2] != -1 {
+		t.Error("unreachable should be -1")
+	}
+}
+
+func unitCost(u, v int) float64 { return 1 }
+
+func TestDijkstraPath(t *testing.T) {
+	// Weighted diamond: 0-1 cheap, 1-3 cheap, 0-2 and 2-3 expensive.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	w := map[Edge]float64{{0, 1}: 1, {1, 3}: 1, {0, 2}: 5, {2, 3}: 5}
+	cost := func(u, v int) float64 { return w[Canon(u, v)] }
+	dist, parent := g.Dijkstra(0, cost)
+	if dist[3] != 2 {
+		t.Errorf("dist[3] = %v", dist[3])
+	}
+	p := PathFromParents(parent, 0, 3)
+	if len(p) != 3 || p[0] != 0 || p[1] != 1 || p[2] != 3 {
+		t.Errorf("path = %v", p)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	dist, parent := g.Dijkstra(0, unitCost)
+	if !math.IsInf(dist[2], 1) {
+		t.Error("unreachable dist should be +Inf")
+	}
+	if PathFromParents(parent, 0, 2) != nil {
+		t.Error("unreachable path should be nil")
+	}
+}
+
+func TestDijkstraSelfPath(t *testing.T) {
+	g := path(3)
+	_, parent := g.Dijkstra(1, unitCost)
+	p := PathFromParents(parent, 1, 1)
+	if len(p) != 1 || p[0] != 1 {
+		t.Errorf("self path = %v", p)
+	}
+}
+
+func TestDijkstraPanicsOnNegativeCost(t *testing.T) {
+	g := path(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g.Dijkstra(0, func(u, v int) float64 { return -1 })
+}
+
+func TestDijkstraMatchesBFSOnUnitCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 30
+		g := New(n)
+		for i := 0; i < 60; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		src := rng.Intn(n)
+		dist, _ := g.Dijkstra(src, unitCost)
+		hops := g.BFSHops(src)
+		for v := 0; v < n; v++ {
+			if hops[v] < 0 {
+				if !math.IsInf(dist[v], 1) {
+					t.Fatalf("v=%d: bfs unreachable but dijkstra %v", v, dist[v])
+				}
+			} else if dist[v] != float64(hops[v]) {
+				t.Fatalf("v=%d: dijkstra %v vs bfs %d", v, dist[v], hops[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraTriangleInequalityProperty(t *testing.T) {
+	// dist[w] ≤ dist[u] + c(u,w) for all edges: the relaxation fixpoint.
+	rng := rand.New(rand.NewSource(12))
+	n := 40
+	g := New(n)
+	w := map[Edge]float64{}
+	for i := 0; i < 120; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		g.AddEdge(a, b)
+		e := Canon(a, b)
+		if _, ok := w[e]; !ok {
+			w[e] = rng.Float64() * 10
+		}
+	}
+	cost := func(u, v int) float64 { return w[Canon(u, v)] }
+	dist, _ := g.Dijkstra(0, cost)
+	for _, e := range g.Edges() {
+		if dist[e.V] > dist[e.U]+cost(e.U, e.V)+1e-9 {
+			t.Fatalf("relaxation violated on %v", e)
+		}
+		if dist[e.U] > dist[e.V]+cost(e.U, e.V)+1e-9 {
+			t.Fatalf("relaxation violated on reversed %v", e)
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Sets() != 5 {
+		t.Fatal("initial sets")
+	}
+	if !uf.Union(0, 1) || !uf.Union(1, 2) {
+		t.Error("unions should succeed")
+	}
+	if uf.Union(0, 2) {
+		t.Error("redundant union should fail")
+	}
+	if uf.Sets() != 3 {
+		t.Errorf("Sets = %d", uf.Sets())
+	}
+	if !uf.Same(0, 2) || uf.Same(0, 3) {
+		t.Error("Same wrong")
+	}
+}
+
+func TestUnionFindQuickTransitivity(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 32
+		uf := NewUnionFind(n)
+		// Mirror with naive labels.
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		for _, op := range ops {
+			a, b := int(op)%n, int(op>>8)%n
+			uf.Union(a, b)
+			la, lb := labels[a], labels[b]
+			if la != lb {
+				for i := range labels {
+					if labels[i] == lb {
+						labels[i] = la
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if uf.Same(i, j) != (labels[i] == labels[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComponentsMatchUnionFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 50
+	g := New(n)
+	uf := NewUnionFind(n)
+	for i := 0; i < 40; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			g.AddEdge(a, b)
+			uf.Union(a, b)
+		}
+	}
+	labels, count := g.Components()
+	if count != uf.Sets() {
+		t.Fatalf("components %d vs union-find %d", count, uf.Sets())
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if (labels[i] == labels[j]) != uf.Same(i, j) {
+				t.Fatalf("labels disagree for %d,%d", i, j)
+			}
+		}
+	}
+}

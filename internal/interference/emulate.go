@@ -1,0 +1,88 @@
+package interference
+
+import (
+	"toporouting/internal/graph"
+	"toporouting/internal/topology"
+)
+
+// This file implements the machinery of Lemma 2.9 and Theorem 2.8: mapping
+// a round of pairwise non-interfering G* transmissions onto θ-paths in the
+// ΘALG topology N and scheduling those paths under the interference model.
+
+// ThetaPathOverlap computes, for a set T of G* edges (a single round of an
+// optimal schedule, so pairwise non-interfering), the maximum number of
+// θ-paths that share any single edge of N. Lemma 2.9 bounds this by 6
+// whenever T is non-interfering.
+func ThetaPathOverlap(top *topology.Topology, T []graph.Edge) int {
+	count := make(map[graph.Edge]int)
+	max := 0
+	for _, e := range T {
+		for _, ne := range top.ThetaPath(e.U, e.V) {
+			count[ne]++
+			if count[ne] > max {
+				max = count[ne]
+			}
+		}
+	}
+	return max
+}
+
+// EmulateRound schedules the θ-paths replacing the G* round T on topology
+// N under interference model m, and returns the number of time steps used.
+// Each θ-path is traversed edge by edge in order (a packet relays along the
+// path); in every step a maximal pairwise non-interfering subset of the
+// pending next-hop edges is activated greedily. Theorem 2.8 predicts the
+// total emulation cost of a t-step schedule is O(tI + n²) steps.
+func EmulateRound(m Model, top *topology.Topology, T []graph.Edge) int {
+	paths := make([][]graph.Edge, 0, len(T))
+	for _, e := range T {
+		if p := top.ThetaPath(e.U, e.V); len(p) > 0 {
+			paths = append(paths, p)
+		}
+	}
+	pos := make([]int, len(paths))
+	remaining := len(paths)
+	steps := 0
+	pts := top.Pts
+	for remaining > 0 {
+		steps++
+		// Greedily activate a non-interfering subset of next hops.
+		var active []graph.Edge
+		var advanced []int
+		for i, p := range paths {
+			if pos[i] >= len(p) {
+				continue
+			}
+			e := p[pos[i]]
+			ok := true
+			for _, a := range active {
+				if m.Interferes(pts, e, a) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				active = append(active, e)
+				advanced = append(advanced, i)
+			}
+		}
+		for _, i := range advanced {
+			pos[i]++
+			if pos[i] == len(paths[i]) {
+				remaining--
+			}
+		}
+	}
+	return steps
+}
+
+// EmulateSchedule runs EmulateRound over a multi-round G* schedule and
+// returns the total number of N steps. rounds[t] is the set of G* edges
+// activated at OPT step t.
+func EmulateSchedule(m Model, top *topology.Topology, rounds [][]graph.Edge) int {
+	total := 0
+	for _, r := range rounds {
+		total += EmulateRound(m, top, r)
+	}
+	return total
+}

@@ -1,0 +1,204 @@
+// Package interference implements the pairwise (protocol-model) wireless
+// interference model of Section 2.4: interference regions with a guard zone
+// Δ, interference sets I(e), the interference number of a topology, and the
+// interference-aware schedule emulation behind Theorem 2.8.
+package interference
+
+import (
+	"fmt"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+	"toporouting/internal/spatial"
+)
+
+// Model is the pairwise interference model with guard-zone parameter Δ > 0.
+// A transmission X→Y is received iff every other simultaneous sender X' (and
+// receiver Y', since exchanges are bidirectional) keeps distance
+// (1+Δ)|X'Y'| from both X and Y.
+type Model struct {
+	// Delta is the protocol guard zone Δ; must be positive.
+	Delta float64
+}
+
+// DefaultDelta is the guard zone used by experiments unless swept.
+const DefaultDelta = 0.5
+
+// NewModel returns a Model, panicking on a non-positive Δ (the paper
+// requires Δ > 0).
+func NewModel(delta float64) Model {
+	if delta <= 0 {
+		panic(fmt.Sprintf("interference: guard zone Δ=%v must be positive", delta))
+	}
+	return Model{Delta: delta}
+}
+
+// Radius returns the interference-region radius (1+Δ)·|uv| of an edge with
+// endpoints u and v.
+func (m Model) Radius(pts []geom.Point, e graph.Edge) float64 {
+	return (1 + m.Delta) * geom.Dist(pts[e.U], pts[e.V])
+}
+
+// RegionContains reports whether point p lies in the interference region
+// IR(e) = C(u, (1+Δ)|uv|) ∪ C(v, (1+Δ)|uv|) of edge e (open disks).
+func (m Model) RegionContains(pts []geom.Point, e graph.Edge, p geom.Point) bool {
+	r := m.Radius(pts, e)
+	return geom.Dist2(pts[e.U], p) < r*r || geom.Dist2(pts[e.V], p) < r*r
+}
+
+// InterferesDirected reports whether a interferes with b: IR(a) contains an
+// endpoint of b.
+func (m Model) InterferesDirected(pts []geom.Point, a, b graph.Edge) bool {
+	return m.RegionContains(pts, a, pts[b.U]) || m.RegionContains(pts, a, pts[b.V])
+}
+
+// Interferes reports the symmetric relation of Section 2.4: a ∈ I(b) iff a
+// interferes with b or b interferes with a. Identical edges trivially
+// interfere.
+func (m Model) Interferes(pts []geom.Point, a, b graph.Edge) bool {
+	return m.InterferesDirected(pts, a, b) || m.InterferesDirected(pts, b, a)
+}
+
+// Sets computes the interference set I(e) of every edge: Sets(...)[i] lists
+// the indices j ≠ i of edges interfering with edges[i] (symmetric relation).
+// The computation uses a spatial grid over nodes: edge a reaches exactly the
+// edges incident to nodes inside IR(a), so collecting those per edge and
+// symmetrizing yields I(e) in O(m · avg-region-population).
+func (m Model) Sets(pts []geom.Point, edges []graph.Edge) [][]int32 {
+	n := len(pts)
+	// Edges incident to each node.
+	incident := make([][]int32, n)
+	for i, e := range edges {
+		incident[e.U] = append(incident[e.U], int32(i))
+		incident[e.V] = append(incident[e.V], int32(i))
+	}
+	idx := spatial.NewGrid(pts, 0)
+	out := make([][]int32, len(edges))
+	seen := make([]int32, len(edges)) // last edge that marked j, +1
+	addDirected := func(i int, j int32) {
+		if int(j) == i || seen[j] == int32(i)+1 {
+			return
+		}
+		seen[j] = int32(i) + 1
+		out[i] = append(out[i], j)
+	}
+	for i, e := range edges {
+		r := m.Radius(pts, e)
+		// All nodes strictly inside either disk of IR(e).
+		for _, c := range [2]geom.Point{pts[e.U], pts[e.V]} {
+			idx.ForEachWithin(c, r, func(v int) {
+				if geom.Dist2(c, pts[v]) >= r*r {
+					return // boundary: open disk
+				}
+				for _, j := range incident[v] {
+					addDirected(i, j)
+				}
+			})
+		}
+	}
+	// Symmetrize: j ∈ I(i) iff i→j or j→i.
+	sym := make([]map[int32]bool, len(edges))
+	for i := range edges {
+		sym[i] = make(map[int32]bool, len(out[i]))
+	}
+	for i := range edges {
+		for _, j := range out[i] {
+			sym[i][j] = true
+			sym[j][int32(i)] = true
+		}
+	}
+	res := make([][]int32, len(edges))
+	for i := range edges {
+		lst := make([]int32, 0, len(sym[i]))
+		for j := range sym[i] {
+			lst = append(lst, j)
+		}
+		sortInt32(lst)
+		res[i] = lst
+	}
+	return res
+}
+
+// Number returns the interference number of the edge set: max_e |I(e)|.
+// An empty edge set has interference number 0.
+func (m Model) Number(pts []geom.Point, edges []graph.Edge) int {
+	max := 0
+	for _, s := range m.Sets(pts, edges) {
+		if len(s) > max {
+			max = len(s)
+		}
+	}
+	return max
+}
+
+// NumberSampled estimates the interference number by computing |I(e)|
+// exactly for an evenly spaced sample of the edges (all edges when sample
+// ≤ 0 or ≥ len(edges), in which case the result equals Number). Because the
+// true value is a maximum, the sampled value is a lower bound. Each sampled
+// edge is checked against every edge directly, so the cost is
+// O(sample · m) with no set materialization.
+func (m Model) NumberSampled(pts []geom.Point, edges []graph.Edge, sample int) int {
+	if len(edges) == 0 {
+		return 0
+	}
+	if sample <= 0 || sample > len(edges) {
+		sample = len(edges)
+	}
+	max := 0
+	for k := 0; k < sample; k++ {
+		i := k * len(edges) / sample
+		cnt := 0
+		for j := range edges {
+			if j != i && m.Interferes(pts, edges[i], edges[j]) {
+				cnt++
+			}
+		}
+		if cnt > max {
+			max = cnt
+		}
+	}
+	return max
+}
+
+// CompatibleSet reports whether the given edges are pairwise
+// non-interfering, i.e. they could be activated simultaneously. O(k²).
+func (m Model) CompatibleSet(pts []geom.Point, active []graph.Edge) bool {
+	for i := range active {
+		for j := i + 1; j < len(active); j++ {
+			if m.Interferes(pts, active[i], active[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GreedyIndependent selects a maximal subset of candidate edges (by index
+// order) that is pairwise non-interfering. It is the elementary scheduler
+// used by the Theorem 2.8 emulation and by tests constructing
+// non-interfering adversary rounds.
+func (m Model) GreedyIndependent(pts []geom.Point, candidates []graph.Edge) []graph.Edge {
+	var chosen []graph.Edge
+	for _, e := range candidates {
+		ok := true
+		for _, c := range chosen {
+			if m.Interferes(pts, e, c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = append(chosen, e)
+		}
+	}
+	return chosen
+}
+
+func sortInt32(xs []int32) {
+	// Insertion sort: interference lists are short.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package interference
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+	"toporouting/internal/pointset"
+	"toporouting/internal/stats"
+	"toporouting/internal/topology"
+	"toporouting/internal/unitdisk"
+)
+
+func TestNewModelValidation(t *testing.T) {
+	if m := NewModel(0.5); m.Delta != 0.5 {
+		t.Error("delta not stored")
+	}
+	for _, d := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewModel(%v): expected panic", d)
+				}
+			}()
+			NewModel(d)
+		}()
+	}
+}
+
+func TestRadiusAndRegion(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(2, 0)}
+	m := NewModel(0.5)
+	e := graph.Edge{U: 0, V: 1}
+	if r := m.Radius(pts, e); r != 3 {
+		t.Errorf("radius = %v, want 3", r)
+	}
+	// Points inside either disk of radius 3 around (0,0) or (2,0).
+	if !m.RegionContains(pts, e, geom.Pt(-2.9, 0)) {
+		t.Error("point near U should be inside")
+	}
+	if !m.RegionContains(pts, e, geom.Pt(4.9, 0)) {
+		t.Error("point near V should be inside")
+	}
+	if m.RegionContains(pts, e, geom.Pt(-3.1, 0)) {
+		t.Error("point beyond U disk should be outside")
+	}
+	// Boundary is open.
+	if m.RegionContains(pts, e, geom.Pt(-3, 0)) {
+		t.Error("boundary of open disk should be outside")
+	}
+}
+
+func TestInterferesSymmetricSmall(t *testing.T) {
+	// A long edge a whose region swallows a distant short edge b:
+	// a interferes with b, not vice versa; the symmetric relation holds.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 0), // a, radius 15
+		geom.Pt(20, 0), geom.Pt(20.5, 0), // b, radius 0.75
+	}
+	m := NewModel(0.5)
+	a, b := graph.Edge{U: 0, V: 1}, graph.Edge{U: 2, V: 3}
+	if m.InterferesDirected(pts, b, a) {
+		t.Error("short far edge should not reach a")
+	}
+	// b's endpoints at 20, 20.5: distance from node 1 (x=10) is 10 < 15
+	// → IR(a) contains them.
+	if !m.InterferesDirected(pts, a, b) {
+		t.Error("long edge should reach b")
+	}
+	if !m.Interferes(pts, a, b) || !m.Interferes(pts, b, a) {
+		t.Error("symmetric relation broken")
+	}
+}
+
+func TestNonInterferingFarApart(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0),
+		geom.Pt(100, 0), geom.Pt(101, 0),
+	}
+	m := NewModel(0.5)
+	if m.Interferes(pts, graph.Edge{U: 0, V: 1}, graph.Edge{U: 2, V: 3}) {
+		t.Error("distant unit edges should not interfere")
+	}
+}
+
+// bruteSets is the O(m²) reference implementation of interference sets.
+func bruteSets(m Model, pts []geom.Point, edges []graph.Edge) [][]int32 {
+	res := make([][]int32, len(edges))
+	for i := range edges {
+		for j := range edges {
+			if i == j {
+				continue
+			}
+			if m.Interferes(pts, edges[i], edges[j]) {
+				res[i] = append(res[i], int32(j))
+			}
+		}
+	}
+	return res
+}
+
+func TestSetsMatchBrute(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		pts := pointset.Generate(pointset.KindUniform, 120, seed)
+		d := unitdisk.CriticalRange(pts) * 1.3
+		top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+		edges := top.N.Edges()
+		m := NewModel(0.5)
+		got := m.Sets(pts, edges)
+		want := bruteSets(m, pts, edges)
+		for i := range edges {
+			g := append([]int32(nil), got[i]...)
+			w := append([]int32(nil), want[i]...)
+			sort.Slice(g, func(a, b int) bool { return g[a] < g[b] })
+			sort.Slice(w, func(a, b int) bool { return w[a] < w[b] })
+			if len(g) != len(w) {
+				t.Fatalf("seed %d edge %d: |I(e)| = %d, want %d", seed, i, len(g), len(w))
+			}
+			for k := range g {
+				if g[k] != w[k] {
+					t.Fatalf("seed %d edge %d: set differs", seed, i)
+				}
+			}
+		}
+	}
+}
+
+func TestNumberEmptyAndSingle(t *testing.T) {
+	m := NewModel(0.5)
+	if m.Number(nil, nil) != 0 {
+		t.Error("empty edge set")
+	}
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	if m.Number(pts, []graph.Edge{{U: 0, V: 1}}) != 0 {
+		t.Error("single edge interferes with nothing")
+	}
+}
+
+func TestAdjacentEdgesInterfere(t *testing.T) {
+	// Edges sharing a node always interfere (the shared endpoint is in
+	// both regions).
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1.5, 1)}
+	m := NewModel(0.1)
+	if !m.Interferes(pts, graph.Edge{U: 0, V: 1}, graph.Edge{U: 1, V: 2}) {
+		t.Error("adjacent edges must interfere")
+	}
+}
+
+func TestCompatibleSet(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0),
+		geom.Pt(50, 0), geom.Pt(51, 0),
+		geom.Pt(0.5, 0.5), geom.Pt(1.5, 0.5),
+	}
+	m := NewModel(0.5)
+	far := []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}
+	if !m.CompatibleSet(pts, far) {
+		t.Error("far edges should be compatible")
+	}
+	near := []graph.Edge{{U: 0, V: 1}, {U: 4, V: 5}}
+	if m.CompatibleSet(pts, near) {
+		t.Error("overlapping edges should not be compatible")
+	}
+	if !m.CompatibleSet(pts, nil) || !m.CompatibleSet(pts, far[:1]) {
+		t.Error("trivial sets must be compatible")
+	}
+}
+
+func TestGreedyIndependent(t *testing.T) {
+	pts := pointset.Generate(pointset.KindUniform, 150, 3)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	m := NewModel(0.5)
+	edges := top.N.Edges()
+	ind := m.GreedyIndependent(pts, edges)
+	if len(ind) == 0 {
+		t.Fatal("greedy selected nothing")
+	}
+	if !m.CompatibleSet(pts, ind) {
+		t.Fatal("greedy set not independent")
+	}
+	// Maximality: every unchosen edge conflicts with a chosen one.
+	chosen := make(map[graph.Edge]bool, len(ind))
+	for _, e := range ind {
+		chosen[e] = true
+	}
+	for _, e := range edges {
+		if chosen[e] {
+			continue
+		}
+		conflict := false
+		for _, c := range ind {
+			if m.Interferes(pts, e, c) {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			t.Fatalf("edge %v could have been added", e)
+		}
+	}
+}
+
+func TestInterferenceNumberLogGrowth(t *testing.T) {
+	// Lemma 2.10's shape on modest sizes: I(N) grows slowly (consistent
+	// with O(log n)) and stays far below m−1.
+	m := NewModel(DefaultDelta)
+	var ns, is []float64
+	for _, n := range []int{100, 200, 400, 800} {
+		var vals []float64
+		for seed := int64(0); seed < 3; seed++ {
+			pts := pointset.Generate(pointset.KindUniform, n, seed)
+			d := unitdisk.CriticalRange(pts) * 1.2
+			top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+			vals = append(vals, float64(m.Number(pts, top.N.Edges())))
+		}
+		ns = append(ns, float64(n))
+		is = append(is, stats.Mean(vals))
+	}
+	// Interference number must grow sublinearly: quadrupling n from 200
+	// to 800 must much less than quadruple I.
+	if is[3] > 2.5*is[1] {
+		t.Errorf("interference grows too fast: %v", is)
+	}
+	// And the log-linear fit should describe it reasonably.
+	fit := stats.LogLinearFit(ns, is)
+	if fit.B < 0 {
+		t.Logf("note: negative slope %v (tiny sizes)", fit.B)
+	}
+}
+
+func TestThetaPathOverlapLemma29(t *testing.T) {
+	// Lemma 2.9: for any non-interfering G* round T, no N edge appears in
+	// more than 6 θ-paths.
+	m := NewModel(DefaultDelta)
+	for seed := int64(0); seed < 6; seed++ {
+		pts := pointset.Generate(pointset.KindUniform, 250, seed)
+		d := unitdisk.CriticalRange(pts) * 1.4
+		top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+		gstar := unitdisk.Build(pts, d)
+		T := m.GreedyIndependent(pts, gstar.Edges())
+		if len(T) == 0 {
+			t.Fatal("empty round")
+		}
+		if overlap := ThetaPathOverlap(top, T); overlap > 6 {
+			t.Errorf("seed %d: θ-path overlap %d exceeds Lemma 2.9 bound 6", seed, overlap)
+		}
+	}
+}
+
+func TestEmulateRoundCompletes(t *testing.T) {
+	m := NewModel(DefaultDelta)
+	pts := pointset.Generate(pointset.KindUniform, 150, 7)
+	d := unitdisk.CriticalRange(pts) * 1.4
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	gstar := unitdisk.Build(pts, d)
+	T := m.GreedyIndependent(pts, gstar.Edges())
+	steps := EmulateRound(m, top, T)
+	if steps <= 0 {
+		t.Fatal("no steps for non-empty round")
+	}
+	// Upper bound: total path length (fully sequential).
+	total := 0
+	for _, e := range T {
+		total += len(top.ThetaPath(e.U, e.V))
+	}
+	if steps > total {
+		t.Errorf("steps %d exceed sequential bound %d", steps, total)
+	}
+	// Lower bound: the longest path.
+	longest := 0
+	for _, e := range T {
+		if l := len(top.ThetaPath(e.U, e.V)); l > longest {
+			longest = l
+		}
+	}
+	if steps < longest {
+		t.Errorf("steps %d below longest path %d", steps, longest)
+	}
+	// Empty round takes zero steps.
+	if EmulateRound(m, top, nil) != 0 {
+		t.Error("empty round should take 0 steps")
+	}
+}
+
+func TestEmulateScheduleSums(t *testing.T) {
+	m := NewModel(DefaultDelta)
+	pts := pointset.Generate(pointset.KindUniform, 100, 9)
+	d := unitdisk.CriticalRange(pts) * 1.4
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	gstar := unitdisk.Build(pts, d)
+	T := m.GreedyIndependent(pts, gstar.Edges())
+	one := EmulateRound(m, top, T)
+	three := EmulateSchedule(m, top, [][]graph.Edge{T, T, T})
+	if three != 3*one {
+		t.Errorf("schedule emulation %d != 3×%d", three, one)
+	}
+}
+
+func TestNumberSampledMatchesExact(t *testing.T) {
+	pts := pointset.Generate(pointset.KindUniform, 120, 5)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	edges := top.N.Edges()
+	m := NewModel(0.5)
+	exact := m.Number(pts, edges)
+	// Full sample equals the exact number.
+	if got := m.NumberSampled(pts, edges, 0); got != exact {
+		t.Errorf("full sample %d != exact %d", got, exact)
+	}
+	if got := m.NumberSampled(pts, edges, len(edges)+50); got != exact {
+		t.Errorf("oversample %d != exact %d", got, exact)
+	}
+	// Partial sample is a lower bound.
+	if got := m.NumberSampled(pts, edges, 20); got > exact {
+		t.Errorf("sampled %d exceeds exact %d", got, exact)
+	}
+	// Degenerate.
+	if m.NumberSampled(pts, nil, 10) != 0 {
+		t.Error("empty edge set")
+	}
+}

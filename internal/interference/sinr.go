@@ -1,0 +1,129 @@
+package interference
+
+import (
+	"fmt"
+	"math"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+)
+
+// PhysicalModel is the SINR-based physical interference model of Gupta and
+// Kumar, which the paper's pairwise (protocol) model simplifies: a
+// transmission X→Y succeeds iff the signal-to-interference-plus-noise
+// ratio at Y clears the threshold β, accounting for the combined
+// interference of all other simultaneous senders.
+//
+// Senders use minimal power control: sender X transmitting over distance d
+// uses power P = Margin·β·Noise·d^κ, the least power (times a safety
+// margin) that would reach Y at SINR β in a quiet channel. This mirrors
+// the paper's power-controlled radios (Section 2.2).
+type PhysicalModel struct {
+	// Kappa is the path-loss exponent (2 ≤ κ ≤ 4).
+	Kappa float64
+	// Beta is the SINR decoding threshold (> 0).
+	Beta float64
+	// Noise is the ambient noise floor N₀ (> 0).
+	Noise float64
+	// Margin ≥ 1 scales the minimal transmit power.
+	Margin float64
+}
+
+// NewPhysicalModel validates and returns a PhysicalModel.
+func NewPhysicalModel(kappa, beta, noise, margin float64) PhysicalModel {
+	if kappa < 2 || kappa > 4 {
+		panic(fmt.Sprintf("interference: path-loss exponent κ=%v outside [2,4]", kappa))
+	}
+	if beta <= 0 || noise <= 0 {
+		panic("interference: physical model needs β > 0 and noise > 0")
+	}
+	if margin < 1 {
+		panic("interference: power margin must be ≥ 1")
+	}
+	return PhysicalModel{Kappa: kappa, Beta: beta, Noise: noise, Margin: margin}
+}
+
+// Transmission is a directed sender→receiver transmission.
+type Transmission struct {
+	From, To int
+}
+
+// Power returns the transmit power a sender uses for a link of length d.
+func (p PhysicalModel) Power(d float64) float64 {
+	return p.Margin * p.Beta * p.Noise * math.Pow(d, p.Kappa)
+}
+
+// Successful evaluates a set of simultaneous transmissions and reports,
+// per transmission, whether its receiver decodes it: SINR(i) ≥ β where
+//
+//	SINR(i) = (P_i/d_i^κ) / (N₀ + Σ_{j≠i} P_j/|X_j Y_i|^κ).
+//
+// Coincident sender/receiver positions make the denominator infinite
+// (success impossible for the victim).
+func (p PhysicalModel) Successful(pts []geom.Point, txs []Transmission) []bool {
+	powers := make([]float64, len(txs))
+	for i, t := range txs {
+		powers[i] = p.Power(geom.Dist(pts[t.From], pts[t.To]))
+	}
+	out := make([]bool, len(txs))
+	for i, t := range txs {
+		d := geom.Dist(pts[t.From], pts[t.To])
+		if d == 0 {
+			out[i] = true // zero-distance delivery is trivially received
+			continue
+		}
+		signal := powers[i] / math.Pow(d, p.Kappa)
+		interf := 0.0
+		for j, u := range txs {
+			if j == i {
+				continue
+			}
+			dj := geom.Dist(pts[u.From], pts[t.To])
+			if dj == 0 {
+				interf = math.Inf(1)
+				break
+			}
+			interf += powers[j] / math.Pow(dj, p.Kappa)
+		}
+		out[i] = signal >= p.Beta*(p.Noise+interf)
+	}
+	return out
+}
+
+// SuccessfulBidirectional treats each undirected edge as a bidirectional
+// exchange (data + ack), as the paper's Section 2.4 does: the edge
+// succeeds only if both directions decode. It evaluates the two directed
+// sets separately (data frames together, then ack frames together).
+func (p PhysicalModel) SuccessfulBidirectional(pts []geom.Point, edges []graph.Edge) []bool {
+	fwd := make([]Transmission, len(edges))
+	rev := make([]Transmission, len(edges))
+	for i, e := range edges {
+		fwd[i] = Transmission{From: e.U, To: e.V}
+		rev[i] = Transmission{From: e.V, To: e.U}
+	}
+	a := p.Successful(pts, fwd)
+	b := p.Successful(pts, rev)
+	out := make([]bool, len(edges))
+	for i := range out {
+		out[i] = a[i] && b[i]
+	}
+	return out
+}
+
+// AgreementWithProtocol measures how often a round that the pairwise
+// protocol model (guard zone Δ) declares conflict-free also succeeds under
+// the physical model: it returns the fraction of edges in the set that
+// decode bidirectionally. The set must be pairwise non-interfering under
+// the protocol model for the comparison to be meaningful.
+func (p PhysicalModel) AgreementWithProtocol(pts []geom.Point, edges []graph.Edge) float64 {
+	if len(edges) == 0 {
+		return 1
+	}
+	ok := 0
+	for _, s := range p.SuccessfulBidirectional(pts, edges) {
+		if s {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(edges))
+}

@@ -1,0 +1,156 @@
+package interference
+
+import (
+	"math"
+	"testing"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+	"toporouting/internal/pointset"
+	"toporouting/internal/topology"
+	"toporouting/internal/unitdisk"
+)
+
+func stdPhys() PhysicalModel { return NewPhysicalModel(2, 2, 1e-6, 2) }
+
+func TestNewPhysicalModelValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewPhysicalModel(1.5, 2, 1e-6, 2) },
+		func() { NewPhysicalModel(5, 2, 1e-6, 2) },
+		func() { NewPhysicalModel(2, 0, 1e-6, 2) },
+		func() { NewPhysicalModel(2, 2, 0, 2) },
+		func() { NewPhysicalModel(2, 2, 1e-6, 0.5) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPowerScalesWithDistance(t *testing.T) {
+	p := stdPhys()
+	if p.Power(2) <= p.Power(1) {
+		t.Error("power must grow with distance")
+	}
+	// κ=2: quadrupling.
+	if math.Abs(p.Power(2)/p.Power(1)-4) > 1e-9 {
+		t.Errorf("power ratio = %v, want 4", p.Power(2)/p.Power(1))
+	}
+}
+
+func TestSingleTransmissionSucceeds(t *testing.T) {
+	// Alone on the channel, margin ≥ 1 guarantees decoding.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	p := stdPhys()
+	ok := p.Successful(pts, []Transmission{{From: 0, To: 1}})
+	if !ok[0] {
+		t.Error("lone transmission must succeed")
+	}
+}
+
+func TestNearbyTransmissionsCollide(t *testing.T) {
+	// Two parallel unit links right next to each other: each receiver
+	// hears the other sender at comparable power → SINR below β=2.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0),
+		geom.Pt(0, 0.1), geom.Pt(1, 0.1),
+	}
+	p := stdPhys()
+	ok := p.Successful(pts, []Transmission{{From: 0, To: 1}, {From: 2, To: 3}})
+	if ok[0] || ok[1] {
+		t.Errorf("adjacent parallel links should collide: %v", ok)
+	}
+}
+
+func TestFarTransmissionsBothSucceed(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0),
+		geom.Pt(1000, 0), geom.Pt(1001, 0),
+	}
+	p := stdPhys()
+	ok := p.Successful(pts, []Transmission{{From: 0, To: 1}, {From: 2, To: 3}})
+	if !ok[0] || !ok[1] {
+		t.Errorf("distant links should both succeed: %v", ok)
+	}
+}
+
+func TestNearFarProblem(t *testing.T) {
+	// A short link's receiver sits close to a long link's powerful
+	// sender: the short link is jammed even though the protocol distance
+	// to its own sender is tiny.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 0), // long link, high power
+		geom.Pt(1, 0.5), geom.Pt(1.3, 0.5), // short link near the long sender's beam
+	}
+	p := stdPhys()
+	ok := p.Successful(pts, []Transmission{{From: 0, To: 1}, {From: 2, To: 3}})
+	if ok[1] {
+		// Receiver 3 is ~1.4 from sender 0 whose power covers distance
+		// 10: interference dominates.
+		t.Error("short link near a powerful sender should be jammed")
+	}
+}
+
+func TestZeroDistanceEdgeCases(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(5, 5), geom.Pt(6, 5)}
+	p := stdPhys()
+	// Zero-distance transmission is trivially received.
+	ok := p.Successful(pts, []Transmission{{From: 0, To: 1}})
+	if !ok[0] {
+		t.Error("zero-distance delivery")
+	}
+	// A sender coincident with a victim receiver jams it.
+	ok2 := p.Successful(pts, []Transmission{{From: 2, To: 3}, {From: 3, To: 2}})
+	// Both directions of the same link transmitted simultaneously: each
+	// receiver is also a sender; they are 1 apart, comparable powers →
+	// jammed under β=2.
+	if ok2[0] && ok2[1] {
+		t.Error("simultaneous opposite transmissions on one link should collide")
+	}
+}
+
+func TestSuccessfulBidirectional(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0),
+		geom.Pt(50, 0), geom.Pt(51, 0),
+	}
+	p := stdPhys()
+	res := p.SuccessfulBidirectional(pts, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if !res[0] || !res[1] {
+		t.Errorf("distant bidirectional exchanges should succeed: %v", res)
+	}
+}
+
+func TestAgreementWithProtocolHighForLargeGuard(t *testing.T) {
+	// Rounds accepted by the protocol model with a generous guard zone
+	// should mostly decode under SINR; a tiny guard zone protects less.
+	pts := pointset.Generate(pointset.KindUniform, 200, 3)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	phys := NewPhysicalModel(2, 1.5, 1e-9, 1.5)
+	agreementAt := func(delta float64) float64 {
+		m := NewModel(delta)
+		T := m.GreedyIndependent(pts, top.N.Edges())
+		return phys.AgreementWithProtocol(pts, T)
+	}
+	loose := agreementAt(0.25)
+	tight := agreementAt(2.0)
+	if tight < loose-1e-9 {
+		t.Errorf("larger guard zone should not reduce SINR agreement: Δ=2 %v < Δ=0.25 %v", tight, loose)
+	}
+	if tight < 0.5 {
+		t.Errorf("agreement %v implausibly low with Δ=2", tight)
+	}
+}
+
+func TestAgreementEmptySet(t *testing.T) {
+	if a := stdPhys().AgreementWithProtocol(nil, nil); a != 1 {
+		t.Errorf("empty agreement = %v", a)
+	}
+}

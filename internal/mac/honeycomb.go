@@ -1,0 +1,227 @@
+package mac
+
+import (
+	"math/rand"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/routing"
+)
+
+// Honeycomb implements the fixed-transmission-strength algorithm of
+// Section 3.4. All nodes transmit at the same power, reaching exactly the
+// nodes within distance 1; the plane is tessellated by hexagons of side
+// 3+2Δ. Each step, every hexagon nominates the sender-receiver pair of
+// maximum benefit (the largest buffer-height difference over all
+// destination buffers); nominees whose benefit exceeds the threshold T are
+// contestants; each contestant transmits with probability p_t ≤ 1/6, and a
+// transmission succeeds iff every node of every other transmitting pair is
+// farther than 1+Δ from both its endpoints (Lemma 3.7: success probability
+// ≥ 1/2).
+type Honeycomb struct {
+	pts   []geom.Point
+	delta float64
+	grid  geom.HexGrid
+	// pairsInHex[cell] lists the directed sender→receiver pairs whose
+	// sender lies in the cell and whose length is ≤ 1.
+	pairsInHex map[geom.HexCell][][2]int32
+	cells      []geom.HexCell // deterministic iteration order
+	t          float64
+	pt         float64
+	gamma      float64
+	rng        *rand.Rand
+}
+
+// HoneycombConfig configures NewHoneycomb.
+type HoneycombConfig struct {
+	// Delta is the guard zone Δ > 0; hexagons have side 3+2Δ.
+	Delta float64
+	// T is the contestant threshold (> 0 in Theorem 3.8).
+	T float64
+	// PT is the transmission probability p_t; 0 selects the default 1/6,
+	// the largest value Lemma 3.7 allows.
+	PT float64
+	// Gamma is the cost sensitivity passed through to benefit
+	// computation; transmissions have unit cost (fixed power), so the
+	// benefit of a pair is max_d h(s,d) − h(t,d) − γ.
+	Gamma float64
+	// Rng drives the random transmission decisions; required.
+	Rng *rand.Rand
+}
+
+// HoneycombStats reports one honeycomb step.
+type HoneycombStats struct {
+	// Contestants is the number of hexagons whose best pair beat T.
+	Contestants int
+	// Transmitting is the number of contestants that chose to transmit.
+	Transmitting int
+	// Successful is the number of non-interfering transmissions.
+	Successful int
+	// BenefitSum is the total benefit of all contestants (Lemma 3.6's
+	// quantity).
+	BenefitSum float64
+}
+
+// NewHoneycomb builds the honeycomb MAC over pts. Sender-receiver pairs are
+// all ordered pairs at distance ≤ 1 (the fixed transmission range).
+func NewHoneycomb(pts []geom.Point, cfg HoneycombConfig) *Honeycomb {
+	if cfg.Delta <= 0 {
+		panic("mac: honeycomb needs Δ > 0")
+	}
+	if cfg.Rng == nil {
+		panic("mac: honeycomb needs an rng")
+	}
+	if cfg.PT == 0 {
+		cfg.PT = 1.0 / 6
+	}
+	if cfg.PT < 0 || cfg.PT > 1.0/6+1e-12 {
+		panic("mac: honeycomb requires 0 < p_t ≤ 1/6")
+	}
+	h := &Honeycomb{
+		pts:        pts,
+		delta:      cfg.Delta,
+		grid:       geom.HexGrid{Side: 3 + 2*cfg.Delta},
+		pairsInHex: make(map[geom.HexCell][][2]int32),
+		t:          cfg.T,
+		pt:         cfg.PT,
+		gamma:      cfg.Gamma,
+		rng:        cfg.Rng,
+	}
+	for s := range pts {
+		cell := h.grid.CellOf(pts[s])
+		for t := range pts {
+			if s == t || geom.Dist(pts[s], pts[t]) > 1 {
+				continue
+			}
+			if _, ok := h.pairsInHex[cell]; !ok {
+				h.cells = append(h.cells, cell)
+			}
+			h.pairsInHex[cell] = append(h.pairsInHex[cell], [2]int32{int32(s), int32(t)})
+		}
+	}
+	return h
+}
+
+// Grid returns the hexagonal tessellation in use.
+func (h *Honeycomb) Grid() geom.HexGrid { return h.grid }
+
+// Cells returns the hexagons that contain at least one sender, in
+// deterministic order. Callers must not mutate the returned slice.
+func (h *Honeycomb) Cells() []geom.HexCell { return h.cells }
+
+// benefit computes the pair benefit: the maximum over destination buffers
+// (unicast and anycast) of h(s,d) − h(t,d), minus γ (unit transmission
+// cost).
+func (h *Honeycomb) benefit(b *routing.Balancer, s, t int) float64 {
+	return b.MaxBenefit(s, t) - h.gamma
+}
+
+// Contestants returns this step's contestants — per hexagon, the maximum
+// benefit pair if its benefit exceeds T — with their benefits, reading the
+// balancer's current buffer heights.
+func (h *Honeycomb) Contestants(b *routing.Balancer) (pairs [][2]int32, benefits []float64) {
+	for _, cell := range h.cells {
+		bestPair := [2]int32{-1, -1}
+		bestVal := h.t
+		for _, p := range h.pairsInHex[cell] {
+			if v := h.benefit(b, int(p[0]), int(p[1])); v > bestVal {
+				bestVal = v
+				bestPair = p
+			}
+		}
+		if bestPair[0] >= 0 {
+			pairs = append(pairs, bestPair)
+			benefits = append(benefits, bestVal)
+		}
+	}
+	return pairs, benefits
+}
+
+// Independent reports whether two sender-receiver pairs are independent in
+// the fixed-strength model: every node of one pair is farther than 1+Δ from
+// every node of the other.
+func (h *Honeycomb) Independent(a, b [2]int32) bool {
+	lim := 1 + h.delta
+	for _, x := range a {
+		for _, y := range b {
+			if geom.Dist(h.pts[x], h.pts[y]) <= lim {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Step runs one honeycomb round against the balancer's current heights and
+// returns the successful transmissions as active edges (unit cost) together
+// with statistics. The caller passes the result to Balancer.Step.
+func (h *Honeycomb) Step(b *routing.Balancer) ([]routing.ActiveEdge, HoneycombStats) {
+	var st HoneycombStats
+	pairs, benefits := h.Contestants(b)
+	st.Contestants = len(pairs)
+	for _, v := range benefits {
+		st.BenefitSum += v
+	}
+	var chosen [][2]int32
+	for _, p := range pairs {
+		if h.rng.Float64() < h.pt {
+			chosen = append(chosen, p)
+		}
+	}
+	st.Transmitting = len(chosen)
+	var out []routing.ActiveEdge
+	for i, p := range chosen {
+		ok := true
+		for j, q := range chosen {
+			if i != j && !h.Independent(p, q) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, routing.ActiveEdge{U: int(p[0]), V: int(p[1]), Cost: 1})
+			st.Successful++
+		}
+	}
+	return out, st
+}
+
+// GreedyIndependentBenefit computes the total benefit of a greedy maximal
+// independent set of pairs with benefit > T, the comparison quantity of
+// Lemma 3.6 (the contestants' benefit sum is at most a constant factor c_b
+// below the best such set).
+func (h *Honeycomb) GreedyIndependentBenefit(b *routing.Balancer) float64 {
+	type cand struct {
+		p [2]int32
+		v float64
+	}
+	var cands []cand
+	for _, cell := range h.cells {
+		for _, p := range h.pairsInHex[cell] {
+			if v := h.benefit(b, int(p[0]), int(p[1])); v > h.t {
+				cands = append(cands, cand{p, v})
+			}
+		}
+	}
+	// Greedy by descending benefit (stable order).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].v > cands[j-1].v; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	var chosen []cand
+	total := 0.0
+	for _, c := range cands {
+		ok := true
+		for _, d := range chosen {
+			if !h.Independent(c.p, d.p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = append(chosen, c)
+			total += c.v
+		}
+	}
+	return total
+}

@@ -1,0 +1,322 @@
+package mac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/interference"
+	"toporouting/internal/pointset"
+	"toporouting/internal/routing"
+	"toporouting/internal/topology"
+	"toporouting/internal/unitdisk"
+)
+
+func buildMAC(t *testing.T, n int, seed int64) (*RandomMAC, *topology.Topology, pointset.Set) {
+	t.Helper()
+	pts := pointset.Generate(pointset.KindUniform, n, seed)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	model := interference.NewModel(interference.DefaultDelta)
+	m := NewRandomMAC(pts, top.N.Edges(), model, top.EnergyCost(2), rand.New(rand.NewSource(seed)))
+	return m, top, pts
+}
+
+func TestRandomMACConstruction(t *testing.T) {
+	m, top, _ := buildMAC(t, 120, 1)
+	if len(m.Edges()) != top.N.NumEdges() {
+		t.Fatalf("edges = %d", len(m.Edges()))
+	}
+	if m.I() < 1 {
+		t.Error("I must be ≥ 1")
+	}
+	for i := range m.Edges() {
+		if m.IE(i) < 1 || m.IE(i) > m.I() {
+			t.Fatalf("I_e[%d] = %d outside [1, %d]", i, m.IE(i), m.I())
+		}
+	}
+}
+
+func TestRandomMACNeedsRng(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRandomMAC(nil, nil, interference.NewModel(0.5), nil, nil)
+}
+
+func TestRandomMACStepSuccessfulEdgesNonInterfering(t *testing.T) {
+	m, _, pts := buildMAC(t, 150, 2)
+	model := interference.NewModel(interference.DefaultDelta)
+	for round := 0; round < 50; round++ {
+		active, st := m.Step()
+		if st.Successful != len(active) {
+			t.Fatalf("stats inconsistent: %d vs %d", st.Successful, len(active))
+		}
+		if st.Activated != st.Successful+st.Collided {
+			t.Fatalf("activation accounting broken: %+v", st)
+		}
+		// Returned edges must be pairwise non-interfering.
+		var ge []edgeView
+		for _, e := range active {
+			ge = append(ge, edgeView{e.U, e.V})
+		}
+		for i := range ge {
+			for j := i + 1; j < len(ge); j++ {
+				a := canon(ge[i])
+				b := canon(ge[j])
+				if model.Interferes(pts, a, b) {
+					t.Fatalf("round %d: returned interfering edges %v %v", round, a, b)
+				}
+			}
+		}
+	}
+}
+
+type edgeView struct{ u, v int }
+
+func canon(e edgeView) (out struct{ U, V int }) {
+	if e.u > e.v {
+		e.u, e.v = e.v, e.u
+	}
+	out.U, out.V = e.u, e.v
+	return out
+}
+
+func TestLemma32CollisionProbability(t *testing.T) {
+	// Lemma 3.2: each active edge collides with probability ≤ 1/2.
+	for seed := int64(0); seed < 3; seed++ {
+		m, _, _ := buildMAC(t, 200, seed)
+		p := m.CollisionProbability(3000)
+		if p > 0.5 {
+			t.Errorf("seed %d: collision probability %v exceeds 1/2", seed, p)
+		}
+	}
+}
+
+func TestCollisionProbabilityPanics(t *testing.T) {
+	m, _, _ := buildMAC(t, 50, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.CollisionProbability(0)
+}
+
+func TestRandomMACCostsPassedThrough(t *testing.T) {
+	pts := pointset.Set{geom.Pt(0, 0), geom.Pt(0.5, 0)}
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: 1})
+	model := interference.NewModel(0.5)
+	m := NewRandomMAC(pts, top.N.Edges(), model, top.EnergyCost(2), rand.New(rand.NewSource(4)))
+	for i := 0; i < 200; i++ {
+		active, _ := m.Step()
+		for _, e := range active {
+			if math.Abs(e.Cost-0.25) > 1e-12 {
+				t.Fatalf("cost = %v, want 0.25", e.Cost)
+			}
+		}
+	}
+	// Unit costs when nil.
+	m2 := NewRandomMAC(pts, top.N.Edges(), model, nil, rand.New(rand.NewSource(5)))
+	for i := 0; i < 200; i++ {
+		active, _ := m2.Step()
+		for _, e := range active {
+			if e.Cost != 1 {
+				t.Fatalf("unit cost = %v", e.Cost)
+			}
+		}
+	}
+}
+
+func TestRandomMACDrivesBalancer(t *testing.T) {
+	// End-to-end: (T,γ,I)-balancing on a small network delivers packets.
+	m, top, _ := buildMAC(t, 80, 6)
+	b := routing.New(len(top.Pts), routing.Params{T: 0, Gamma: 0, BufferSize: 50})
+	sink := 7
+	delivered := int64(0)
+	// The random MAC wakes each edge only ~1/(2I) of the time, so give
+	// the walk a long horizon relative to the injected load.
+	for step := 0; step < 25000; step++ {
+		active, _ := m.Step()
+		var inj []routing.Injection
+		if step < 1000 && step%8 == 0 {
+			inj = []routing.Injection{{Node: (step * 13) % 80, Dest: sink, Count: 1}}
+		}
+		b.Step(active, inj)
+	}
+	delivered = b.Delivered()
+	if delivered < b.Accepted()/2 {
+		t.Errorf("delivered %d of %d accepted", delivered, b.Accepted())
+	}
+}
+
+// honeyFixture builds a honeycomb over a small fixed-range network.
+func honeyFixture(t *testing.T, seed int64) (*Honeycomb, *routing.Balancer, pointset.Set) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	// Points in a 6×6 square, unit transmission range.
+	pts := pointset.Uniform(120, 6, rng)
+	// Ensure connectivity of the unit-disk graph; regenerate if not.
+	for unitdisk.Build(pts, 1).Connected() == false {
+		pts = pointset.Uniform(120, 6, rng)
+	}
+	h := NewHoneycomb(pts, HoneycombConfig{Delta: 0.25, T: 1, Rng: rng})
+	b := routing.New(len(pts), routing.Params{T: 0, Gamma: 0, BufferSize: 60})
+	return h, b, pts
+}
+
+func TestHoneycombConfigValidation(t *testing.T) {
+	pts := pointset.Generate(pointset.KindUniform, 10, 1)
+	rng := rand.New(rand.NewSource(1))
+	cases := []HoneycombConfig{
+		{Delta: 0, Rng: rng},
+		{Delta: 0.5, Rng: nil},
+		{Delta: 0.5, PT: 0.3, Rng: rng},
+		{Delta: 0.5, PT: -0.1, Rng: rng},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			NewHoneycomb(pts, cfg)
+		}()
+	}
+}
+
+func TestHoneycombGridSide(t *testing.T) {
+	pts := pointset.Generate(pointset.KindUniform, 10, 2)
+	h := NewHoneycomb(pts, HoneycombConfig{Delta: 0.5, Rng: rand.New(rand.NewSource(2))})
+	if got := h.Grid().Side; got != 4 { // 3 + 2·0.5
+		t.Errorf("hex side = %v, want 4", got)
+	}
+}
+
+func TestHoneycombContestantsRespectThreshold(t *testing.T) {
+	h, b, _ := honeyFixture(t, 7)
+	// No packets: no contestants.
+	pairs, _ := h.Contestants(b)
+	if len(pairs) != 0 {
+		t.Fatalf("contestants without packets: %d", len(pairs))
+	}
+	// Pile packets at node 0: its hexagon gets one contestant.
+	b.Step(nil, []routing.Injection{{Node: 0, Dest: 50, Count: 30}})
+	pairs, _ = h.Contestants(b)
+	if len(pairs) == 0 {
+		t.Fatal("expected a contestant after loading node 0")
+	}
+	// At most one contestant per hexagon.
+	seen := map[geom.HexCell]bool{}
+	for _, p := range pairs {
+		cell := h.Grid().CellOf(ptsOf(h)[p[0]])
+		if seen[cell] {
+			t.Fatal("two contestants in one hexagon")
+		}
+		seen[cell] = true
+	}
+}
+
+// ptsOf exposes the honeycomb's points for test assertions.
+func ptsOf(h *Honeycomb) []geom.Point { return h.pts }
+
+func TestHoneycombIndependence(t *testing.T) {
+	pts := pointset.Set{
+		geom.Pt(0, 0), geom.Pt(1, 0),
+		geom.Pt(10, 0), geom.Pt(10.5, 0),
+		geom.Pt(1.5, 0), geom.Pt(2.5, 0),
+	}
+	h := NewHoneycomb(pts, HoneycombConfig{Delta: 0.5, Rng: rand.New(rand.NewSource(3))})
+	far := [2]int32{2, 3}
+	a := [2]int32{0, 1}
+	near := [2]int32{4, 5}
+	if !h.Independent(a, far) {
+		t.Error("distant pairs should be independent")
+	}
+	if h.Independent(a, near) {
+		t.Error("pairs within 1+Δ should not be independent")
+	}
+}
+
+func TestHoneycombStepSuccessfulAreIndependent(t *testing.T) {
+	h, b, _ := honeyFixture(t, 9)
+	// Load several hotspots.
+	// Sustained single-commodity load: with a balancing threshold, a
+	// finite burst can strand up to T packets per buffer (the theorem's
+	// εB slack), so throughput must be observed under continuous
+	// injection pressure.
+	for round := 0; round < 12000; round++ {
+		active, st := h.Step(b)
+		if st.Successful != len(active) {
+			t.Fatalf("stats mismatch")
+		}
+		for i := range active {
+			for j := i + 1; j < len(active); j++ {
+				p := [2]int32{int32(active[i].U), int32(active[i].V)}
+				q := [2]int32{int32(active[j].U), int32(active[j].V)}
+				if !h.Independent(p, q) {
+					t.Fatalf("round %d: dependent transmissions returned", round)
+				}
+			}
+		}
+		var inj []routing.Injection
+		if round < 8000 {
+			inj = []routing.Injection{{Node: 0, Dest: 100, Count: 2}}
+		}
+		b.Step(active, inj)
+	}
+	if b.Delivered() == 0 {
+		t.Error("honeycomb never delivered under sustained load")
+	}
+}
+
+func TestLemma37SuccessProbability(t *testing.T) {
+	// Lemma 3.7: with p_t ≤ 1/6, each contestant that transmits succeeds
+	// with probability ≥ 1/2. Measure success/transmission ratio.
+	h, b, _ := honeyFixture(t, 11)
+	b.Step(nil, []routing.Injection{
+		{Node: 0, Dest: 100, Count: 50},
+		{Node: 10, Dest: 101, Count: 50},
+		{Node: 20, Dest: 102, Count: 50},
+		{Node: 40, Dest: 103, Count: 50},
+		{Node: 80, Dest: 104, Count: 50},
+	})
+	transmitted, succeeded := 0, 0
+	for round := 0; round < 2000; round++ {
+		_, st := h.Step(b)
+		transmitted += st.Transmitting
+		succeeded += st.Successful
+	}
+	if transmitted == 0 {
+		t.Fatal("nothing transmitted")
+	}
+	if ratio := float64(succeeded) / float64(transmitted); ratio < 0.5 {
+		t.Errorf("success ratio %v below Lemma 3.7 bound 1/2", ratio)
+	}
+}
+
+func TestLemma36BenefitConstantFactor(t *testing.T) {
+	// Lemma 3.6: contestants' benefit sum is within a constant factor of
+	// the best independent set's benefit.
+	h, b, _ := honeyFixture(t, 13)
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 40; i++ {
+		b.Step(nil, []routing.Injection{{Node: rng.Intn(120), Dest: rng.Intn(120), Count: 10}})
+	}
+	_, benefits := h.Contestants(b)
+	sum := 0.0
+	for _, v := range benefits {
+		sum += v
+	}
+	best := h.GreedyIndependentBenefit(b)
+	if best == 0 {
+		t.Skip("no independent pairs above threshold")
+	}
+	if sum < best/12 {
+		t.Errorf("contestant benefit %v below best/12 (%v)", sum, best)
+	}
+}

@@ -1,0 +1,148 @@
+// Package mac implements the paper's two medium-access layers: the
+// randomized symmetry-breaking MAC of Section 3.3 (each edge wakes up with
+// probability 1/(2·I_e), turning the (T,γ)-balancing algorithm into the
+// (T,γ,I)-balancing algorithm) and the honeycomb algorithm of Section 3.4
+// for fixed transmission strength (hexagonal tessellation + per-hexagon
+// contestants).
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+	"toporouting/internal/interference"
+	"toporouting/internal/routing"
+)
+
+// RandomMAC activates each edge independently with probability 1/(2·I_e),
+// where I_e upper-bounds the interference number of every edge that e
+// interferes with (Section 3.3). Activated edges that interfere with
+// another activated edge fail (Lemma 3.2 bounds this by probability 1/2);
+// only the successful ones are offered to the routing layer.
+type RandomMAC struct {
+	pts   []geom.Point
+	edges []graph.Edge
+	costs []float64
+	model interference.Model
+	sets  [][]int32
+	ie    []int
+	rng   *rand.Rand
+	maxI  int
+}
+
+// StepStats reports one MAC step.
+type StepStats struct {
+	// Activated is the number of edges that woke up this step.
+	Activated int
+	// Collided is the number of activated edges lost to interference.
+	Collided int
+	// Successful = Activated − Collided.
+	Successful int
+}
+
+// NewRandomMAC builds the MAC over the given edges. cost assigns the
+// per-edge transmission cost handed to the routing layer (nil = unit).
+func NewRandomMAC(pts []geom.Point, edges []graph.Edge, model interference.Model, cost graph.CostFunc, rng *rand.Rand) *RandomMAC {
+	if rng == nil {
+		panic("mac: RandomMAC needs an rng")
+	}
+	m := &RandomMAC{
+		pts:   pts,
+		edges: edges,
+		model: model,
+		sets:  model.Sets(pts, edges),
+		rng:   rng,
+	}
+	m.costs = make([]float64, len(edges))
+	for i, e := range edges {
+		if cost != nil {
+			m.costs[i] = cost(e.U, e.V)
+		} else {
+			m.costs[i] = 1
+		}
+	}
+	// I_e = max interference number among e and everything e interferes
+	// with; at least 1 so that the activation probability is ≤ 1/2.
+	m.ie = make([]int, len(edges))
+	for i := range edges {
+		ie := len(m.sets[i])
+		for _, j := range m.sets[i] {
+			if l := len(m.sets[j]); l > ie {
+				ie = l
+			}
+		}
+		if ie < 1 {
+			ie = 1
+		}
+		m.ie[i] = ie
+		if ie > m.maxI {
+			m.maxI = ie
+		}
+	}
+	return m
+}
+
+// I returns the global bound I = max_e I_e of Theorem 3.3.
+func (m *RandomMAC) I() int { return m.maxI }
+
+// IE returns the per-edge bound I_e used for edge index i.
+func (m *RandomMAC) IE(i int) int { return m.ie[i] }
+
+// Edges returns the edge set the MAC schedules. Callers must not mutate it.
+func (m *RandomMAC) Edges() []graph.Edge { return m.edges }
+
+// Step samples one MAC round and returns the successful (non-interfering)
+// active edges, ready to hand to Balancer.Step, along with statistics.
+func (m *RandomMAC) Step() ([]routing.ActiveEdge, StepStats) {
+	var st StepStats
+	activeIdx := make([]int, 0, 8)
+	for i := range m.edges {
+		if m.rng.Float64() < 1/(2*float64(m.ie[i])) {
+			activeIdx = append(activeIdx, i)
+		}
+	}
+	st.Activated = len(activeIdx)
+	activeSet := make(map[int]bool, len(activeIdx))
+	for _, i := range activeIdx {
+		activeSet[i] = true
+	}
+	var out []routing.ActiveEdge
+	for _, i := range activeIdx {
+		ok := true
+		for _, j := range m.sets[i] {
+			if activeSet[int(j)] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			e := m.edges[i]
+			out = append(out, routing.ActiveEdge{U: e.U, V: e.V, Cost: m.costs[i]})
+			st.Successful++
+		} else {
+			st.Collided++
+		}
+	}
+	return out, st
+}
+
+// CollisionProbability estimates, over the given number of sampled rounds,
+// the empirical probability that an activated edge collides — Lemma 3.2
+// bounds the per-edge probability by 1/2.
+func (m *RandomMAC) CollisionProbability(rounds int) float64 {
+	if rounds <= 0 {
+		panic(fmt.Sprintf("mac: non-positive rounds %d", rounds))
+	}
+	activated, collided := 0, 0
+	for r := 0; r < rounds; r++ {
+		_, st := m.Step()
+		activated += st.Activated
+		collided += st.Collided
+	}
+	if activated == 0 {
+		return 0
+	}
+	return float64(collided) / float64(activated)
+}

@@ -1,0 +1,132 @@
+// Package maxflow implements Dinic's maximum-flow algorithm. The routing
+// experiments use it on time-expanded networks (package optimal) to compute
+// the exact offline optimum OPT_{B,∞} that Theorem 3.1's competitive claims
+// are measured against.
+package maxflow
+
+import "fmt"
+
+// Network is a flow network under construction. Nodes are dense integers
+// allocated by AddNode.
+type Network struct {
+	// head[v] indexes the first arc of v in the arc arrays (-1 = none);
+	// arcs are stored in forward/backward pairs (i ^ 1 is the reverse).
+	head  []int32
+	next  []int32
+	to    []int32
+	cap   []int64
+	level []int32
+	iter  []int32
+}
+
+// New returns an empty network with n pre-allocated nodes.
+func New(n int) *Network {
+	if n < 0 {
+		panic("maxflow: negative node count")
+	}
+	nw := &Network{head: make([]int32, n)}
+	for i := range nw.head {
+		nw.head[i] = -1
+	}
+	return nw
+}
+
+// AddNode appends a node and returns its id.
+func (n *Network) AddNode() int {
+	n.head = append(n.head, -1)
+	return len(n.head) - 1
+}
+
+// N returns the number of nodes.
+func (n *Network) N() int { return len(n.head) }
+
+// AddArc inserts a directed arc u→v with the given capacity (and the
+// implicit residual reverse arc). It returns the arc index, usable with
+// Flow after a MaxFlow run.
+func (n *Network) AddArc(u, v int, capacity int64) int {
+	if u < 0 || u >= len(n.head) || v < 0 || v >= len(n.head) {
+		panic(fmt.Sprintf("maxflow: arc (%d,%d) out of range", u, v))
+	}
+	if capacity < 0 {
+		panic("maxflow: negative capacity")
+	}
+	id := len(n.to)
+	n.to = append(n.to, int32(v), int32(u))
+	n.cap = append(n.cap, capacity, 0)
+	n.next = append(n.next, n.head[u], n.head[v])
+	n.head[u] = int32(id)
+	n.head[v] = int32(id + 1)
+	return id
+}
+
+// Flow returns the flow currently routed through arc id (after MaxFlow).
+func (n *Network) Flow(id int) int64 { return n.cap[id^1] }
+
+// MaxFlow computes the maximum s→t flow with Dinic's algorithm
+// (O(V²·E) generally; O(E·√V) on unit networks like the time-expanded
+// graphs used here).
+func (n *Network) MaxFlow(s, t int) int64 {
+	if s == t {
+		panic("maxflow: source equals sink")
+	}
+	total := int64(0)
+	n.level = make([]int32, len(n.head))
+	n.iter = make([]int32, len(n.head))
+	queue := make([]int32, 0, len(n.head))
+	for {
+		// BFS level graph.
+		for i := range n.level {
+			n.level[i] = -1
+		}
+		n.level[s] = 0
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for e := n.head[u]; e >= 0; e = n.next[e] {
+				v := n.to[e]
+				if n.cap[e] > 0 && n.level[v] < 0 {
+					n.level[v] = n.level[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		if n.level[t] < 0 {
+			return total
+		}
+		copy(n.iter, n.head)
+		for {
+			f := n.dfs(s, t, int64(1)<<62)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+}
+
+func (n *Network) dfs(u, t int, limit int64) int64 {
+	if u == t {
+		return limit
+	}
+	for ; n.iter[u] >= 0; n.iter[u] = n.next[n.iter[u]] {
+		e := n.iter[u]
+		v := int(n.to[e])
+		if n.cap[e] > 0 && n.level[v] == n.level[u]+1 {
+			d := n.dfs(v, t, min64(limit, n.cap[e]))
+			if d > 0 {
+				n.cap[e] -= d
+				n.cap[e^1] += d
+				return d
+			}
+		}
+	}
+	return 0
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplePath(t *testing.T) {
+	n := New(3)
+	n.AddArc(0, 1, 5)
+	n.AddArc(1, 2, 3)
+	if f := n.MaxFlow(0, 2); f != 3 {
+		t.Errorf("flow = %d, want 3", f)
+	}
+}
+
+func TestParallelPaths(t *testing.T) {
+	n := New(4)
+	n.AddArc(0, 1, 2)
+	n.AddArc(1, 3, 2)
+	n.AddArc(0, 2, 3)
+	n.AddArc(2, 3, 1)
+	if f := n.MaxFlow(0, 3); f != 3 {
+		t.Errorf("flow = %d, want 3", f)
+	}
+}
+
+func TestClassicDiamondWithCross(t *testing.T) {
+	// The classic example where augmenting through the cross edge
+	// requires residual arcs.
+	n := New(4)
+	n.AddArc(0, 1, 1)
+	n.AddArc(0, 2, 1)
+	n.AddArc(1, 2, 1)
+	n.AddArc(1, 3, 1)
+	n.AddArc(2, 3, 1)
+	if f := n.MaxFlow(0, 3); f != 2 {
+		t.Errorf("flow = %d, want 2", f)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	n := New(4)
+	n.AddArc(0, 1, 7)
+	if f := n.MaxFlow(0, 3); f != 0 {
+		t.Errorf("flow = %d, want 0", f)
+	}
+}
+
+func TestFlowAccessor(t *testing.T) {
+	n := New(3)
+	a := n.AddArc(0, 1, 5)
+	b := n.AddArc(1, 2, 3)
+	n.MaxFlow(0, 2)
+	if n.Flow(a) != 3 || n.Flow(b) != 3 {
+		t.Errorf("arc flows = %d, %d", n.Flow(a), n.Flow(b))
+	}
+}
+
+func TestBipartiteMatching(t *testing.T) {
+	// 3×3 bipartite graph with a perfect matching.
+	n := New(8) // 0 src, 1-3 left, 4-6 right, 7 sink
+	for l := 1; l <= 3; l++ {
+		n.AddArc(0, l, 1)
+	}
+	for r := 4; r <= 6; r++ {
+		n.AddArc(r, 7, 1)
+	}
+	n.AddArc(1, 4, 1)
+	n.AddArc(1, 5, 1)
+	n.AddArc(2, 4, 1)
+	n.AddArc(3, 6, 1)
+	if f := n.MaxFlow(0, 7); f != 3 {
+		t.Errorf("matching = %d, want 3", f)
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	n := New(1)
+	if id := n.AddNode(); id != 1 {
+		t.Errorf("AddNode = %d", id)
+	}
+	if n.N() != 2 {
+		t.Errorf("N = %d", n.N())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(-1) },
+		func() { New(2).AddArc(0, 5, 1) },
+		func() { New(2).AddArc(0, 1, -1) },
+		func() { New(2).MaxFlow(1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestAgainstBruteforce cross-checks Dinic against a naive
+// Ford-Fulkerson (DFS augmentation) on random small networks.
+func TestAgainstBruteforce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		nNodes := 4 + rng.Intn(6)
+		type arc struct {
+			u, v int
+			c    int64
+		}
+		var arcs []arc
+		for i := 0; i < 2*nNodes; i++ {
+			u, v := rng.Intn(nNodes), rng.Intn(nNodes)
+			if u != v {
+				arcs = append(arcs, arc{u, v, int64(1 + rng.Intn(4))})
+			}
+		}
+		nw := New(nNodes)
+		for _, a := range arcs {
+			nw.AddArc(a.u, a.v, a.c)
+		}
+		got := nw.MaxFlow(0, nNodes-1)
+
+		// Naive Ford-Fulkerson on an adjacency matrix.
+		capM := make([][]int64, nNodes)
+		for i := range capM {
+			capM[i] = make([]int64, nNodes)
+		}
+		for _, a := range arcs {
+			capM[a.u][a.v] += a.c
+		}
+		var want int64
+		for {
+			parent := make([]int, nNodes)
+			for i := range parent {
+				parent[i] = -1
+			}
+			parent[0] = 0
+			stack := []int{0}
+			for len(stack) > 0 && parent[nNodes-1] < 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for v := 0; v < nNodes; v++ {
+					if capM[u][v] > 0 && parent[v] < 0 {
+						parent[v] = u
+						stack = append(stack, v)
+					}
+				}
+			}
+			if parent[nNodes-1] < 0 {
+				break
+			}
+			aug := int64(1) << 62
+			for v := nNodes - 1; v != 0; v = parent[v] {
+				if capM[parent[v]][v] < aug {
+					aug = capM[parent[v]][v]
+				}
+			}
+			for v := nNodes - 1; v != 0; v = parent[v] {
+				capM[parent[v]][v] -= aug
+				capM[v][parent[v]] += aug
+			}
+			want += aug
+		}
+		if got != want {
+			t.Fatalf("trial %d: dinic %d vs brute %d", trial, got, want)
+		}
+	}
+}

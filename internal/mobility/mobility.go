@@ -1,0 +1,157 @@
+// Package mobility provides node-mobility models for dynamic-topology
+// simulations: the random-waypoint model standard in ad hoc network
+// evaluation, and a bounded random-walk (jitter) model. The paper's
+// adversarial framework allows arbitrary topology change; these models
+// generate the natural non-adversarial instances of it.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"toporouting/internal/geom"
+)
+
+// Model advances a set of node positions by one epoch.
+type Model interface {
+	// Step advances positions in place by dt time units.
+	Step(pts []geom.Point, dt float64)
+}
+
+// RandomWaypoint implements the random-waypoint model: each node picks a
+// uniform destination in the arena and a uniform speed in [MinSpeed,
+// MaxSpeed], travels there in straight line, optionally pauses, then
+// repeats. The zero value is unusable; construct with NewRandomWaypoint.
+type RandomWaypoint struct {
+	arena              geom.Point // arena is [0,arena.X] × [0,arena.Y]
+	minSpeed, maxSpeed float64
+	pause              float64
+	rng                *rand.Rand
+
+	targets []geom.Point
+	speeds  []float64
+	pausing []float64
+	init    bool
+}
+
+// NewRandomWaypoint returns a random-waypoint model over the rectangle
+// [0, width] × [0, height].
+func NewRandomWaypoint(width, height, minSpeed, maxSpeed, pause float64, rng *rand.Rand) *RandomWaypoint {
+	if width <= 0 || height <= 0 {
+		panic("mobility: non-positive arena")
+	}
+	if minSpeed <= 0 || maxSpeed < minSpeed {
+		panic(fmt.Sprintf("mobility: invalid speed range [%v, %v]", minSpeed, maxSpeed))
+	}
+	if pause < 0 {
+		panic("mobility: negative pause")
+	}
+	if rng == nil {
+		panic("mobility: nil rng")
+	}
+	return &RandomWaypoint{
+		arena:    geom.Pt(width, height),
+		minSpeed: minSpeed,
+		maxSpeed: maxSpeed,
+		pause:    pause,
+		rng:      rng,
+	}
+}
+
+func (m *RandomWaypoint) ensure(n int) {
+	if m.init && len(m.targets) == n {
+		return
+	}
+	m.targets = make([]geom.Point, n)
+	m.speeds = make([]float64, n)
+	m.pausing = make([]float64, n)
+	for i := range m.targets {
+		m.retarget(i)
+	}
+	m.init = true
+}
+
+func (m *RandomWaypoint) retarget(i int) {
+	m.targets[i] = geom.Pt(m.rng.Float64()*m.arena.X, m.rng.Float64()*m.arena.Y)
+	m.speeds[i] = m.minSpeed + m.rng.Float64()*(m.maxSpeed-m.minSpeed)
+	m.pausing[i] = 0
+}
+
+// Step advances every node toward its waypoint by speed·dt, handling
+// waypoint arrival and pause times within the epoch.
+func (m *RandomWaypoint) Step(pts []geom.Point, dt float64) {
+	m.ensure(len(pts))
+	for i := range pts {
+		remaining := dt
+		for remaining > 0 {
+			if m.pausing[i] > 0 {
+				wait := math.Min(m.pausing[i], remaining)
+				m.pausing[i] -= wait
+				remaining -= wait
+				if m.pausing[i] == 0 && remaining > 0 {
+					m.retarget(i)
+				}
+				continue
+			}
+			to := m.targets[i].Sub(pts[i])
+			dist := to.Norm()
+			travel := m.speeds[i] * remaining
+			if travel < dist {
+				pts[i] = pts[i].Add(to.Scale(travel / dist))
+				remaining = 0
+			} else {
+				pts[i] = m.targets[i]
+				if dist > 0 {
+					remaining -= dist / m.speeds[i]
+				} else {
+					remaining = 0
+				}
+				if m.pause > 0 {
+					m.pausing[i] = m.pause
+				} else {
+					m.retarget(i)
+				}
+			}
+		}
+	}
+}
+
+// RandomWalk displaces every node by an independent uniform step of at
+// most StepSize per unit time, reflecting at the arena boundary.
+type RandomWalk struct {
+	// Width, Height bound the arena [0,Width]×[0,Height].
+	Width, Height float64
+	// StepSize is the maximum per-coordinate displacement per unit time.
+	StepSize float64
+	// Rng drives the walk; required.
+	Rng *rand.Rand
+}
+
+// Step advances the walk by dt.
+func (m *RandomWalk) Step(pts []geom.Point, dt float64) {
+	if m.Rng == nil {
+		panic("mobility: nil rng")
+	}
+	for i := range pts {
+		x := pts[i].X + (m.Rng.Float64()*2-1)*m.StepSize*dt
+		y := pts[i].Y + (m.Rng.Float64()*2-1)*m.StepSize*dt
+		pts[i] = geom.Pt(reflect(x, m.Width), reflect(y, m.Height))
+	}
+}
+
+// reflect folds v into [0, limit] by mirroring at the boundaries.
+func reflect(v, limit float64) float64 {
+	if limit <= 0 {
+		return v
+	}
+	period := 2 * limit
+	v = math.Mod(v, period)
+	if v < 0 {
+		v += period
+	}
+	if v > limit {
+		v = period - v
+	}
+	return v
+}

@@ -1,0 +1,145 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/pointset"
+)
+
+func TestRandomWaypointValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []func(){
+		func() { NewRandomWaypoint(0, 1, 1, 2, 0, rng) },
+		func() { NewRandomWaypoint(1, 1, 0, 2, 0, rng) },
+		func() { NewRandomWaypoint(1, 1, 3, 2, 0, rng) },
+		func() { NewRandomWaypoint(1, 1, 1, 2, -1, rng) },
+		func() { NewRandomWaypoint(1, 1, 1, 2, 0, nil) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandomWaypointStaysInArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewRandomWaypoint(1, 1, 0.05, 0.2, 0.5, rng)
+	pts := pointset.Uniform(50, 1, rng)
+	for epoch := 0; epoch < 200; epoch++ {
+		m.Step(pts, 1)
+		for i, p := range pts {
+			if p.X < -1e-9 || p.X > 1+1e-9 || p.Y < -1e-9 || p.Y > 1+1e-9 {
+				t.Fatalf("epoch %d: node %d escaped to %v", epoch, i, p)
+			}
+		}
+	}
+}
+
+func TestRandomWaypointSpeedBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const maxSpeed = 0.1
+	m := NewRandomWaypoint(1, 1, 0.01, maxSpeed, 0, rng)
+	pts := pointset.Uniform(30, 1, rng)
+	prev := append(pointset.Set(nil), pts...)
+	for epoch := 0; epoch < 100; epoch++ {
+		m.Step(pts, 1)
+		for i := range pts {
+			if d := geom.Dist(prev[i], pts[i]); d > maxSpeed+1e-9 {
+				t.Fatalf("node %d moved %v > max speed %v", i, d, maxSpeed)
+			}
+		}
+		copy(prev, pts)
+	}
+}
+
+func TestRandomWaypointActuallyMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewRandomWaypoint(1, 1, 0.1, 0.2, 0, rng)
+	pts := pointset.Uniform(20, 1, rng)
+	orig := append(pointset.Set(nil), pts...)
+	for epoch := 0; epoch < 50; epoch++ {
+		m.Step(pts, 1)
+	}
+	moved := 0
+	for i := range pts {
+		if geom.Dist(orig[i], pts[i]) > 0.05 {
+			moved++
+		}
+	}
+	if moved < 15 {
+		t.Errorf("only %d/20 nodes moved substantially", moved)
+	}
+}
+
+func TestRandomWaypointPause(t *testing.T) {
+	// With a huge pause, a node reaching its waypoint stops there.
+	rng := rand.New(rand.NewSource(5))
+	m := NewRandomWaypoint(1, 1, 10, 10, 1e9, rng) // crosses arena in one step, then pauses forever
+	pts := pointset.Set{geom.Pt(0.5, 0.5)}
+	m.Step(pts, 1)
+	after := pts[0]
+	for i := 0; i < 10; i++ {
+		m.Step(pts, 1)
+	}
+	if pts[0] != after {
+		t.Error("paused node moved")
+	}
+}
+
+func TestRandomWalkReflects(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := &RandomWalk{Width: 1, Height: 1, StepSize: 0.3, Rng: rng}
+	pts := pointset.Uniform(40, 1, rng)
+	for epoch := 0; epoch < 300; epoch++ {
+		m.Step(pts, 1)
+		for i, p := range pts {
+			if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+				t.Fatalf("node %d escaped to %v", i, p)
+			}
+		}
+	}
+}
+
+func TestRandomWalkNilRngPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	(&RandomWalk{Width: 1, Height: 1, StepSize: 0.1}).Step(pointset.Set{geom.Pt(0, 0)}, 1)
+}
+
+func TestReflectQuick(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		v = math.Mod(v, 1e6)
+		r := reflect(v, 3)
+		return r >= 0 && r <= 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Identity inside the arena.
+	if reflect(1.5, 3) != 1.5 {
+		t.Error("interior point changed")
+	}
+	// Mirror just beyond the boundary.
+	if math.Abs(reflect(3.2, 3)-2.8) > 1e-12 {
+		t.Errorf("reflect(3.2,3) = %v", reflect(3.2, 3))
+	}
+	if math.Abs(reflect(-0.2, 3)-0.2) > 1e-12 {
+		t.Errorf("reflect(-0.2,3) = %v", reflect(-0.2, 3))
+	}
+}

@@ -1,0 +1,93 @@
+// Package optimal computes exact offline routing optima on time-expanded
+// networks. For a static topology whose edges are all usable every step
+// (the Section 3.2 MAC-given scenario), the maximum number of packets an
+// omniscient scheduler can deliver to a single destination by a deadline —
+// with at most one packet per edge direction per step and bounded buffers —
+// is a maximum flow in the time-expanded graph. The routing experiments use
+// it as the true OPT for exact competitive ratios (Theorem 3.1).
+package optimal
+
+import (
+	"fmt"
+
+	"toporouting/internal/graph"
+	"toporouting/internal/maxflow"
+)
+
+// Injection adds Count packets for the single destination at Node at the
+// end of step Step.
+type Injection struct {
+	Node, Step, Count int
+}
+
+// Config describes a single-destination offline instance.
+type Config struct {
+	// Graph is the static topology; every edge is usable each step, one
+	// packet per direction per step.
+	Graph *graph.Graph
+	// Dest is the single destination node.
+	Dest int
+	// Horizon is the number of steps T (deliveries count through step T).
+	Horizon int
+	// Buffer bounds how many packets a node can hold between steps
+	// (OPT's buffer size B; ≤ 0 means unbounded).
+	Buffer int
+	// Injections is the packet arrival pattern.
+	Injections []Injection
+}
+
+// MaxDeliveries returns the exact maximum number of packets deliverable to
+// Dest within the horizon, over all causal schedules respecting edge
+// capacities and buffers. It runs Dinic on the time-expanded network:
+// layer t holds a copy of every node; movement arcs (v,t)→(w,t+1) have
+// capacity 1 per direction; hold arcs (v,t)→(v,t+1) have capacity Buffer;
+// the destination's copies drain into the sink.
+func MaxDeliveries(cfg Config) int64 {
+	g := cfg.Graph
+	if g == nil || g.N() == 0 {
+		panic("optimal: nil or empty graph")
+	}
+	if cfg.Dest < 0 || cfg.Dest >= g.N() {
+		panic(fmt.Sprintf("optimal: destination %d out of range", cfg.Dest))
+	}
+	if cfg.Horizon <= 0 {
+		panic("optimal: non-positive horizon")
+	}
+	n := g.N()
+	T := cfg.Horizon
+	// Node ids: (v, t) = t*n + v for t in [0, T]; then source and sink.
+	nw := maxflow.New(n*(T+1) + 2)
+	src := n * (T + 1)
+	sink := src + 1
+	id := func(v, t int) int { return t*n + v }
+
+	hold := int64(1) << 40
+	if cfg.Buffer > 0 {
+		hold = int64(cfg.Buffer)
+	}
+	for t := 0; t < T; t++ {
+		for v := 0; v < n; v++ {
+			if v != cfg.Dest {
+				nw.AddArc(id(v, t), id(v, t+1), hold)
+			}
+		}
+		for _, e := range g.Edges() {
+			nw.AddArc(id(e.U, t), id(e.V, t+1), 1)
+			nw.AddArc(id(e.V, t), id(e.U, t+1), 1)
+		}
+	}
+	// Destination copies drain immediately (absorption).
+	for t := 0; t <= T; t++ {
+		nw.AddArc(id(cfg.Dest, t), sink, int64(1)<<40)
+	}
+	for _, inj := range cfg.Injections {
+		if inj.Count <= 0 || inj.Step > T {
+			continue // beyond the horizon: cannot contribute
+		}
+		if inj.Node < 0 || inj.Node >= n || inj.Step < 0 {
+			panic(fmt.Sprintf("optimal: invalid injection %+v", inj))
+		}
+		nw.AddArc(src, id(inj.Node, inj.Step), int64(inj.Count))
+	}
+	return nw.MaxFlow(src, sink)
+}

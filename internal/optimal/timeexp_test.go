@@ -1,0 +1,163 @@
+package optimal
+
+import (
+	"math"
+	"testing"
+
+	"toporouting/internal/graph"
+	"toporouting/internal/pointset"
+	"toporouting/internal/routing"
+	"toporouting/internal/topology"
+	"toporouting/internal/unitdisk"
+)
+
+func line(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestLinePipelineExact(t *testing.T) {
+	// 4-node line, inject 1 packet at node 0 at each of steps 0..9,
+	// destination node 3 (3 hops). A packet injected at step s arrives
+	// no earlier than step s+3; the pipeline delivers one per step.
+	// Horizon 12 ⇒ packets injected at steps 0..9 all deliverable.
+	var inj []Injection
+	for s := 0; s < 10; s++ {
+		inj = append(inj, Injection{Node: 0, Step: s, Count: 1})
+	}
+	got := MaxDeliveries(Config{Graph: line(4), Dest: 3, Horizon: 12, Injections: inj})
+	if got != 10 {
+		t.Errorf("deliveries = %d, want 10", got)
+	}
+	// Horizon 5: only packets injected at steps ≤ 2 can arrive.
+	got = MaxDeliveries(Config{Graph: line(4), Dest: 3, Horizon: 5, Injections: inj})
+	if got != 3 {
+		t.Errorf("tight horizon deliveries = %d, want 3", got)
+	}
+}
+
+func TestEdgeCapacityLimits(t *testing.T) {
+	// Burst of 5 packets at step 0 on a 2-node line: one edge, one
+	// packet per step ⇒ deliveries = min(horizon, 5).
+	inj := []Injection{{Node: 0, Step: 0, Count: 5}}
+	for _, tc := range []struct{ horizon, want int64 }{{3, 3}, {5, 5}, {8, 5}} {
+		got := MaxDeliveries(Config{Graph: line(2), Dest: 1, Horizon: int(tc.horizon), Injections: inj})
+		if got != tc.want {
+			t.Errorf("horizon %d: %d, want %d", tc.horizon, got, tc.want)
+		}
+	}
+}
+
+func TestBufferBound(t *testing.T) {
+	// Node 0 receives a burst of 10 but may hold only 2 packets between
+	// steps: the rest never exist (the flow formulation drops them at
+	// injection). With buffer 2 and one outgoing edge, at most
+	// 2 (buffered) + 1·(horizon arrival slots)... exact value via flow:
+	// source→(0,0) cap 10, hold arcs cap 2.
+	inj := []Injection{{Node: 0, Step: 0, Count: 10}}
+	unbounded := MaxDeliveries(Config{Graph: line(2), Dest: 1, Horizon: 6, Injections: inj})
+	bounded := MaxDeliveries(Config{Graph: line(2), Dest: 1, Horizon: 6, Buffer: 2, Injections: inj})
+	if bounded > unbounded {
+		t.Fatalf("buffer bound increased flow: %d > %d", bounded, unbounded)
+	}
+	if bounded != 3 {
+		// Step 0 holds ≤ 2 after sending... the packet moved at step 1
+		// plus 2 buffered moving at steps 2 and 3 ⇒ 3.
+		t.Errorf("bounded = %d, want 3", bounded)
+	}
+}
+
+func TestParallelPathsDouble(t *testing.T) {
+	// Diamond: 0→{1,2}→3 doubles per-step delivery bandwidth.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	inj := []Injection{{Node: 0, Step: 0, Count: 6}}
+	got := MaxDeliveries(Config{Graph: g, Dest: 3, Horizon: 5, Injections: inj})
+	// Per step, node 0 can emit 2 packets (two edges); first arrivals at
+	// step 2. Steps 2,3,4,5 arrivals... with horizon 5: emissions at
+	// steps 1..4 of 2/step = 8 ≥ 6, arrivals ≤ horizon: emitted at step
+	// s arrives s+1... compute: flow should be 6.
+	if got != 6 {
+		t.Errorf("diamond deliveries = %d, want 6", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := line(2)
+	cases := []Config{
+		{Graph: nil, Dest: 0, Horizon: 1},
+		{Graph: g, Dest: 5, Horizon: 1},
+		{Graph: g, Dest: 1, Horizon: 0},
+		{Graph: g, Dest: 1, Horizon: 2, Injections: []Injection{{Node: 9, Step: 0, Count: 1}}},
+		{Graph: g, Dest: 1, Horizon: 2, Injections: []Injection{{Node: 0, Step: -1, Count: 1}}},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			MaxDeliveries(cfg)
+		}()
+	}
+}
+
+func TestZeroCountIgnored(t *testing.T) {
+	got := MaxDeliveries(Config{
+		Graph: line(2), Dest: 1, Horizon: 3,
+		Injections: []Injection{{Node: 0, Step: 0, Count: 0}},
+	})
+	if got != 0 {
+		t.Errorf("deliveries = %d", got)
+	}
+}
+
+func TestBalancerNeverBeatsExactOPT(t *testing.T) {
+	// The exact time-expanded OPT upper-bounds any online algorithm with
+	// the same buffers; verify against the (T,γ)-balancer on a real
+	// topology, and verify the balancer reaches a healthy fraction.
+	pts := pointset.Generate(pointset.KindUniform, 40, 3)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	dest := 7
+	// Injections confined to the first quarter; both the balancer and the
+	// time-expanded OPT observe the same total horizon, so the comparison
+	// is fair and the online algorithm gets the drain time the asymptotic
+	// competitive definition grants it.
+	horizon := 400
+	var optInj []Injection
+	bal := routing.New(40, routing.Params{T: 0, Gamma: 0, BufferSize: 1 << 30})
+	var active []routing.ActiveEdge
+	for _, e := range top.N.Edges() {
+		active = append(active, routing.ActiveEdge{U: e.U, V: e.V})
+	}
+	for step := 0; step < horizon; step++ {
+		var inj []routing.Injection
+		if step < horizon/4 && step%2 == 0 {
+			node := (step * 11) % 40
+			if node != dest {
+				inj = []routing.Injection{{Node: node, Dest: dest, Count: 1}}
+				optInj = append(optInj, Injection{Node: node, Step: step, Count: 1})
+			}
+		}
+		bal.Step(active, inj)
+	}
+	opt := MaxDeliveries(Config{Graph: top.N, Dest: dest, Horizon: horizon, Injections: optInj})
+	if bal.Delivered() > opt {
+		t.Fatalf("balancer %d beat exact OPT %d — impossible", bal.Delivered(), opt)
+	}
+	if opt == 0 {
+		t.Fatal("OPT = 0 with injections present")
+	}
+	frac := float64(bal.Delivered()) / float64(opt)
+	if frac < 0.5 {
+		t.Errorf("balancer at %.2f of exact OPT (%d/%d)", frac, bal.Delivered(), opt)
+	}
+}

@@ -1,0 +1,333 @@
+// Package pointset generates the node distributions used throughout the
+// experiments: uniform random placements, civilized (λ-precision) sets,
+// clustered sets, jittered grids, exponential chains (which stress the
+// non-civilized regime of Theorem 2.2), rings, and bridge/dumbbell layouts.
+// All generators are deterministic given a *rand.Rand.
+package pointset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"toporouting/internal/geom"
+)
+
+// Set is an ordered collection of node positions; the index of a point is
+// its node identifier throughout the repository.
+type Set []geom.Point
+
+// Bounds returns the axis-aligned bounding box (min, max) of the set.
+// An empty set yields two zero points.
+func (s Set) Bounds() (min, max geom.Point) {
+	if len(s) == 0 {
+		return
+	}
+	min, max = s[0], s[0]
+	for _, p := range s[1:] {
+		if p.X < min.X {
+			min.X = p.X
+		}
+		if p.Y < min.Y {
+			min.Y = p.Y
+		}
+		if p.X > max.X {
+			max.X = p.X
+		}
+		if p.Y > max.Y {
+			max.Y = p.Y
+		}
+	}
+	return
+}
+
+// MinPairwiseDist returns the smallest pairwise distance, or +Inf for sets
+// with fewer than two points. O(n²); intended for tests and diagnostics.
+func (s Set) MinPairwiseDist() float64 {
+	min := math.Inf(1)
+	for i := range s {
+		for j := i + 1; j < len(s); j++ {
+			if d := geom.Dist(s[i], s[j]); d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}
+
+// MaxPairwiseDist returns the largest pairwise distance (the diameter), or 0
+// for sets with fewer than two points. O(n²).
+func (s Set) MaxPairwiseDist() float64 {
+	max := 0.0
+	for i := range s {
+		for j := i + 1; j < len(s); j++ {
+			if d := geom.Dist(s[i], s[j]); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Precision returns the λ-precision of the set: the ratio of the minimum to
+// the maximum pairwise distance (Section 2.3). Civilized graphs have λ
+// bounded below by a constant. Sets with fewer than two points yield 1.
+func (s Set) Precision() float64 {
+	if len(s) < 2 {
+		return 1
+	}
+	return s.MinPairwiseDist() / s.MaxPairwiseDist()
+}
+
+// HasDuplicatePoints reports whether any two points coincide exactly.
+func (s Set) HasDuplicatePoints() bool {
+	seen := make(map[geom.Point]bool, len(s))
+	for _, p := range s {
+		if seen[p] {
+			return true
+		}
+		seen[p] = true
+	}
+	return false
+}
+
+// Uniform places n points independently and uniformly at random in the
+// square [0, side]², the distribution of Lemma 2.10 and Corollary 3.5.
+func Uniform(n int, side float64, rng *rand.Rand) Set {
+	s := make(Set, n)
+	for i := range s {
+		s[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	return s
+}
+
+// PoissonDisk generates a civilized (λ-precision) set: up to n points in
+// [0, side]² with pairwise distance at least minDist, by dart throwing over
+// a background grid. It returns fewer than n points if the square cannot
+// accommodate them after a bounded number of attempts per point.
+func PoissonDisk(n int, side, minDist float64, rng *rand.Rand) Set {
+	if minDist <= 0 {
+		panic("pointset: PoissonDisk requires minDist > 0")
+	}
+	cell := minDist / math.Sqrt2
+	grid := make(map[[2]int]geom.Point, n)
+	cellOf := func(p geom.Point) [2]int {
+		return [2]int{int(p.X / cell), int(p.Y / cell)}
+	}
+	fits := func(p geom.Point) bool {
+		c := cellOf(p)
+		for dx := -2; dx <= 2; dx++ {
+			for dy := -2; dy <= 2; dy++ {
+				if q, ok := grid[[2]int{c[0] + dx, c[1] + dy}]; ok {
+					if geom.Dist(p, q) < minDist {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	s := make(Set, 0, n)
+	const maxAttempts = 60
+	for len(s) < n {
+		placed := false
+		for a := 0; a < maxAttempts; a++ {
+			p := geom.Pt(rng.Float64()*side, rng.Float64()*side)
+			if fits(p) {
+				grid[cellOf(p)] = p
+				s = append(s, p)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			break
+		}
+	}
+	return s
+}
+
+// Clustered places n points in k Gaussian clusters with standard deviation
+// sigma; cluster centers are uniform in [0, side]². Samples falling outside
+// the square are redrawn (never clamped: clamping creates boundary atoms
+// where two points coincide exactly, violating the paper's standing
+// assumption of distinct positions).
+func Clustered(n, k int, side, sigma float64, rng *rand.Rand) Set {
+	if k < 1 {
+		k = 1
+	}
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	s := make(Set, n)
+	for i := range s {
+		c := centers[i%k]
+		for {
+			p := geom.Pt(c.X+rng.NormFloat64()*sigma, c.Y+rng.NormFloat64()*sigma)
+			if p.X >= 0 && p.X <= side && p.Y >= 0 && p.Y <= side {
+				s[i] = p
+				break
+			}
+		}
+	}
+	return s
+}
+
+// GridJitter places points on a rows×cols grid with spacing 1, each point
+// displaced uniformly in [-jitter, jitter]². jitter < 1/2 keeps the set
+// civilized; jitter = 0 gives an exact grid (exercising distance ties).
+func GridJitter(rows, cols int, jitter float64, rng *rand.Rand) Set {
+	s := make(Set, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			dx, dy := 0.0, 0.0
+			if jitter > 0 {
+				dx = (rng.Float64()*2 - 1) * jitter
+				dy = (rng.Float64()*2 - 1) * jitter
+			}
+			s = append(s, geom.Pt(float64(c)+dx, float64(r)+dy))
+		}
+	}
+	return s
+}
+
+// ExponentialChain places n points on a line with geometrically growing gaps
+// (gap_i = base^i · first). The ratio of max to min edge length is
+// unbounded in n, so the resulting transmission graph is maximally
+// non-civilized — the regime in which Theorem 2.2 goes beyond prior work.
+// A slight per-point perpendicular offset (deterministic) avoids exact
+// collinearity degeneracies.
+func ExponentialChain(n int, first, base float64, rng *rand.Rand) Set {
+	if base <= 1 {
+		panic("pointset: ExponentialChain requires base > 1")
+	}
+	s := make(Set, n)
+	x := 0.0
+	gap := first
+	for i := range s {
+		off := 0.0
+		if rng != nil {
+			off = (rng.Float64()*2 - 1) * first * 1e-3
+		}
+		s[i] = geom.Pt(x, off)
+		x += gap
+		gap *= base
+	}
+	return s
+}
+
+// Ring places n points evenly on a circle of the given radius centered at
+// (radius, radius), each perturbed radially by up to jitter.
+func Ring(n int, radius, jitter float64, rng *rand.Rand) Set {
+	s := make(Set, n)
+	for i := range s {
+		a := geom.TwoPi * float64(i) / float64(n)
+		r := radius
+		if jitter > 0 && rng != nil {
+			r += (rng.Float64()*2 - 1) * jitter
+		}
+		s[i] = geom.Pt(radius+r*math.Cos(a), radius+r*math.Sin(a))
+	}
+	return s
+}
+
+// Bridge generates a dumbbell: two dense square clusters of nc points each
+// (side clusterSide), connected by a sparse chain of nb points. The chain
+// carries all inter-cluster traffic, creating a routing bottleneck.
+func Bridge(nc, nb int, clusterSide, gap float64, rng *rand.Rand) Set {
+	s := make(Set, 0, 2*nc+nb)
+	// Left cluster at origin.
+	for i := 0; i < nc; i++ {
+		s = append(s, geom.Pt(rng.Float64()*clusterSide, rng.Float64()*clusterSide))
+	}
+	// Right cluster shifted by gap.
+	x0 := clusterSide + gap
+	for i := 0; i < nc; i++ {
+		s = append(s, geom.Pt(x0+rng.Float64()*clusterSide, rng.Float64()*clusterSide))
+	}
+	// Chain across the gap at mid-height.
+	y := clusterSide / 2
+	for i := 1; i <= nb; i++ {
+		x := clusterSide + gap*float64(i)/float64(nb+1)
+		s = append(s, geom.Pt(x, y+(rng.Float64()*2-1)*clusterSide*1e-2))
+	}
+	return s
+}
+
+// Kind names a node-distribution family for experiment configuration.
+type Kind int
+
+// Distribution kinds available to experiments.
+const (
+	KindUniform Kind = iota
+	KindCivilized
+	KindClustered
+	KindGrid
+	KindExponential
+	KindRing
+	KindBridge
+)
+
+// String returns the experiment-table name of the distribution.
+func (k Kind) String() string {
+	switch k {
+	case KindUniform:
+		return "uniform"
+	case KindCivilized:
+		return "civilized"
+	case KindClustered:
+		return "clustered"
+	case KindGrid:
+		return "grid"
+	case KindExponential:
+		return "expchain"
+	case KindRing:
+		return "ring"
+	case KindBridge:
+		return "bridge"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Generate produces approximately n points of the given kind inside a unit
+// square (scaled appropriately per family), seeded deterministically.
+// It is the single entry point used by experiment runners.
+func Generate(k Kind, n int, seed int64) Set {
+	rng := rand.New(rand.NewSource(seed))
+	switch k {
+	case KindUniform:
+		return Uniform(n, 1, rng)
+	case KindCivilized:
+		// minDist chosen so that n points fit comfortably: packing
+		// density of dart throwing is ~0.5 of hexagonal packing.
+		minDist := 0.55 / math.Sqrt(float64(n))
+		return PoissonDisk(n, 1, minDist, rng)
+	case KindClustered:
+		kc := 1 + n/32
+		return Clustered(n, kc, 1, 0.05, rng)
+	case KindGrid:
+		side := int(math.Ceil(math.Sqrt(float64(n))))
+		s := GridJitter(side, side, 0.2, rng)
+		if len(s) > n {
+			s = s[:n]
+		}
+		// Scale into the unit square.
+		sc := 1 / float64(side)
+		for i := range s {
+			s[i] = s[i].Scale(sc)
+		}
+		return s
+	case KindExponential:
+		return ExponentialChain(n, 1e-3, 1.15, rng)
+	case KindRing:
+		return Ring(n, 0.5, 0.01, rng)
+	case KindBridge:
+		nc := n * 2 / 5
+		nb := n - 2*nc
+		return Bridge(nc, nb, 0.25, 0.5, rng)
+	default:
+		panic(fmt.Sprintf("pointset: unknown kind %d", int(k)))
+	}
+}

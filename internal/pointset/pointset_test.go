@@ -1,0 +1,258 @@
+package pointset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toporouting/internal/geom"
+)
+
+func TestUniformInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Uniform(500, 2.5, rng)
+	if len(s) != 500 {
+		t.Fatalf("len = %d", len(s))
+	}
+	min, max := s.Bounds()
+	if min.X < 0 || min.Y < 0 || max.X > 2.5 || max.Y > 2.5 {
+		t.Errorf("out of bounds: %v %v", min, max)
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(50, 1, rand.New(rand.NewSource(7)))
+	b := Uniform(50, 1, rand.New(rand.NewSource(7)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPoissonDiskSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const minDist = 0.05
+	s := PoissonDisk(200, 1, minDist, rng)
+	if len(s) < 150 {
+		t.Fatalf("only %d points placed", len(s))
+	}
+	if d := s.MinPairwiseDist(); d < minDist {
+		t.Errorf("min pairwise distance %v < %v", d, minDist)
+	}
+}
+
+func TestPoissonDiskSaturates(t *testing.T) {
+	// Ask for far more points than fit: generator must terminate and
+	// return a partial set rather than loop forever.
+	rng := rand.New(rand.NewSource(3))
+	s := PoissonDisk(10000, 1, 0.2, rng)
+	if len(s) >= 10000 {
+		t.Fatalf("impossible placement count %d", len(s))
+	}
+	if len(s) < 10 {
+		t.Fatalf("too few points: %d", len(s))
+	}
+	if s.MinPairwiseDist() < 0.2 {
+		t.Error("separation violated")
+	}
+}
+
+func TestPoissonDiskPanicsOnBadMinDist(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PoissonDisk(10, 1, 0, rand.New(rand.NewSource(1)))
+}
+
+func TestClusteredBoundsAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := Clustered(300, 5, 1, 0.03, rng)
+	if len(s) != 300 {
+		t.Fatalf("len = %d", len(s))
+	}
+	min, max := s.Bounds()
+	if min.X < 0 || min.Y < 0 || max.X > 1 || max.Y > 1 {
+		t.Errorf("clamp failed: %v %v", min, max)
+	}
+}
+
+func TestClusteredZeroClustersCoerced(t *testing.T) {
+	s := Clustered(10, 0, 1, 0.01, rand.New(rand.NewSource(5)))
+	if len(s) != 10 {
+		t.Fatalf("len = %d", len(s))
+	}
+}
+
+func TestGridJitterExact(t *testing.T) {
+	s := GridJitter(3, 4, 0, nil)
+	if len(s) != 12 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0] != geom.Pt(0, 0) || s[11] != geom.Pt(3, 2) {
+		t.Errorf("corners wrong: %v %v", s[0], s[11])
+	}
+	// Exact grid has duplicate distances but no duplicate points.
+	if s.HasDuplicatePoints() {
+		t.Error("duplicate points on exact grid")
+	}
+}
+
+func TestGridJitterCivilized(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := GridJitter(10, 10, 0.2, rng)
+	// With jitter 0.2 the minimum spacing is ≥ 1−2·0.2 = 0.6.
+	if d := s.MinPairwiseDist(); d < 0.6-1e-9 {
+		t.Errorf("min dist %v < 0.6", d)
+	}
+}
+
+func TestExponentialChainGrowth(t *testing.T) {
+	s := ExponentialChain(20, 1, 2, nil)
+	if len(s) != 20 {
+		t.Fatalf("len = %d", len(s))
+	}
+	// Gaps double: x-coordinates are 0, 1, 3, 7, 15, ...
+	for i := 1; i < len(s); i++ {
+		want := math.Pow(2, float64(i)) - 1
+		if math.Abs(s[i].X-want) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", i, s[i].X, want)
+		}
+	}
+	// λ-precision decays with n: the chain is non-civilized.
+	if p := s.Precision(); p > 1e-4 {
+		t.Errorf("precision %v unexpectedly large", p)
+	}
+}
+
+func TestExponentialChainPanicsOnBase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ExponentialChain(5, 1, 1, nil)
+}
+
+func TestRing(t *testing.T) {
+	s := Ring(36, 1, 0, nil)
+	if len(s) != 36 {
+		t.Fatalf("len = %d", len(s))
+	}
+	c := geom.Pt(1, 1)
+	for i, p := range s {
+		if d := geom.Dist(c, p); math.Abs(d-1) > 1e-9 {
+			t.Fatalf("point %d at radius %v", i, d)
+		}
+	}
+}
+
+func TestBridgeStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := Bridge(20, 5, 0.2, 1.0, rng)
+	if len(s) != 45 {
+		t.Fatalf("len = %d", len(s))
+	}
+	// Left cluster within [0, 0.2], right cluster beyond 1.2.
+	for i := 0; i < 20; i++ {
+		if s[i].X < 0 || s[i].X > 0.2 {
+			t.Fatalf("left cluster point %d at x=%v", i, s[i].X)
+		}
+	}
+	for i := 20; i < 40; i++ {
+		if s[i].X < 1.2 {
+			t.Fatalf("right cluster point %d at x=%v", i, s[i].X)
+		}
+	}
+	for i := 40; i < 45; i++ {
+		if s[i].X <= 0.2 || s[i].X >= 1.2 {
+			t.Fatalf("bridge point %d at x=%v", i, s[i].X)
+		}
+	}
+}
+
+func TestPrecisionAndDistExtremes(t *testing.T) {
+	s := Set{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(4, 0)}
+	if d := s.MinPairwiseDist(); d != 1 {
+		t.Errorf("min = %v", d)
+	}
+	if d := s.MaxPairwiseDist(); d != 4 {
+		t.Errorf("max = %v", d)
+	}
+	if p := s.Precision(); p != 0.25 {
+		t.Errorf("precision = %v", p)
+	}
+	var empty Set
+	if !math.IsInf(empty.MinPairwiseDist(), 1) {
+		t.Error("empty min should be +Inf")
+	}
+	if empty.MaxPairwiseDist() != 0 {
+		t.Error("empty max should be 0")
+	}
+	if empty.Precision() != 1 {
+		t.Error("empty precision should be 1")
+	}
+}
+
+func TestBoundsEmpty(t *testing.T) {
+	var s Set
+	min, max := s.Bounds()
+	if min != (geom.Point{}) || max != (geom.Point{}) {
+		t.Error("empty bounds should be zero points")
+	}
+}
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, k := range []Kind{KindUniform, KindCivilized, KindClustered, KindGrid, KindExponential, KindRing, KindBridge} {
+		s := Generate(k, 100, 42)
+		if len(s) < 50 {
+			t.Errorf("%v: only %d points", k, len(s))
+		}
+		if s.HasDuplicatePoints() {
+			t.Errorf("%v: duplicate points", k)
+		}
+		// Determinism.
+		s2 := Generate(k, 100, 42)
+		if len(s) != len(s2) {
+			t.Errorf("%v: nondeterministic length", k)
+			continue
+		}
+		for i := range s {
+			if s[i] != s2[i] {
+				t.Errorf("%v: nondeterministic point %d", k, i)
+				break
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindUniform:     "uniform",
+		KindCivilized:   "civilized",
+		KindClustered:   "clustered",
+		KindGrid:        "grid",
+		KindExponential: "expchain",
+		KindRing:        "ring",
+		KindBridge:      "bridge",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind: %q", Kind(99).String())
+	}
+}
+
+func TestGeneratePanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Generate(Kind(99), 10, 1)
+}

@@ -1,0 +1,142 @@
+package proximity
+
+import (
+	"math"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+)
+
+// Delaunay builds the Delaunay triangulation of pts as a graph, using the
+// Bowyer–Watson incremental algorithm (O(n²) worst case, ample for the
+// experiment sizes). For degenerate inputs whose points are all collinear
+// the triangulation is empty and the returned graph has no edges; the
+// experiment generators avoid this case.
+func Delaunay(pts []geom.Point) *graph.Graph {
+	g := graph.New(len(pts))
+	n := len(pts)
+	if n < 2 {
+		return g
+	}
+	if n == 2 {
+		g.AddEdge(0, 1)
+		return g
+	}
+
+	// Extended point array: real points then the three super-triangle
+	// vertices, sized to dwarf the bounding box.
+	ext := make([]geom.Point, n, n+3)
+	copy(ext, pts)
+	minP, maxP := pts[0], pts[0]
+	for _, p := range pts[1:] {
+		minP.X = math.Min(minP.X, p.X)
+		minP.Y = math.Min(minP.Y, p.Y)
+		maxP.X = math.Max(maxP.X, p.X)
+		maxP.Y = math.Max(maxP.Y, p.Y)
+	}
+	span := math.Max(maxP.X-minP.X, maxP.Y-minP.Y)
+	if span == 0 {
+		span = 1
+	}
+	cx, cy := (minP.X+maxP.X)/2, (minP.Y+maxP.Y)/2
+	const m = 64.0
+	s0 := n
+	ext = append(ext,
+		geom.Pt(cx-m*span, cy-span),
+		geom.Pt(cx+m*span, cy-span),
+		geom.Pt(cx, cy+m*span),
+	)
+
+	type tri struct{ a, b, c int32 }
+	mkTri := func(a, b, c int32) tri {
+		// Store counterclockwise.
+		if geom.Orientation(ext[a], ext[b], ext[c]) < 0 {
+			b, c = c, b
+		}
+		return tri{a, b, c}
+	}
+	tris := []tri{mkTri(int32(s0), int32(s0+1), int32(s0+2))}
+
+	type edge struct{ a, b int32 }
+	canonEdge := func(a, b int32) edge {
+		if a > b {
+			a, b = b, a
+		}
+		return edge{a, b}
+	}
+
+	for p := 0; p < n; p++ {
+		pp := ext[p]
+		// Collect triangles whose circumcircle contains p.
+		var bad []int
+		for i, t := range tris {
+			if inCircumcircle(ext[t.a], ext[t.b], ext[t.c], pp) {
+				bad = append(bad, i)
+			}
+		}
+		// Boundary of the cavity: edges belonging to exactly one bad
+		// triangle.
+		edgeCount := make(map[edge]int, 3*len(bad))
+		for _, i := range bad {
+			t := tris[i]
+			edgeCount[canonEdge(t.a, t.b)]++
+			edgeCount[canonEdge(t.b, t.c)]++
+			edgeCount[canonEdge(t.c, t.a)]++
+		}
+		// Remove bad triangles (swap-delete from the back).
+		for i := len(bad) - 1; i >= 0; i-- {
+			j := bad[i]
+			tris[j] = tris[len(tris)-1]
+			tris = tris[:len(tris)-1]
+		}
+		// Retriangulate the cavity.
+		for e, cnt := range edgeCount {
+			if cnt == 1 {
+				if geom.Orientation(ext[e.a], ext[e.b], pp) != 0 {
+					tris = append(tris, mkTri(e.a, e.b, int32(p)))
+				}
+			}
+		}
+	}
+
+	// Emit edges between real points only.
+	for _, t := range tris {
+		if int(t.a) < n && int(t.b) < n {
+			g.AddEdge(int(t.a), int(t.b))
+		}
+		if int(t.b) < n && int(t.c) < n {
+			g.AddEdge(int(t.b), int(t.c))
+		}
+		if int(t.c) < n && int(t.a) < n {
+			g.AddEdge(int(t.c), int(t.a))
+		}
+	}
+	return g
+}
+
+// RestrictedDelaunay builds the restricted Delaunay graph of Gao et al.
+// [21]: Delaunay edges no longer than maxRange. Restricted Delaunay graphs
+// are spanners of the unit-disk graph but have Ω(n) worst-case degree.
+func RestrictedDelaunay(pts []geom.Point, maxRange float64) *graph.Graph {
+	full := Delaunay(pts)
+	g := graph.New(len(pts))
+	for _, e := range full.Edges() {
+		if geom.Dist(pts[e.U], pts[e.V]) <= maxRange {
+			g.AddEdge(e.U, e.V)
+		}
+	}
+	return g
+}
+
+// inCircumcircle reports whether d lies strictly inside the circumcircle of
+// triangle (a, b, c) given in counterclockwise order, using the standard
+// lifted determinant evaluated relative to d for numerical stability.
+func inCircumcircle(a, b, c, d geom.Point) bool {
+	ax, ay := a.X-d.X, a.Y-d.Y
+	bx, by := b.X-d.X, b.Y-d.Y
+	cx, cy := c.X-d.X, c.Y-d.Y
+	det := (ax*ax+ay*ay)*(bx*cy-cx*by) -
+		(bx*bx+by*by)*(ax*cy-cx*ay) +
+		(cx*cx+cy*cy)*(ax*by-bx*ay)
+	return det > 0
+}

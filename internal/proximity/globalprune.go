@@ -1,0 +1,51 @@
+package proximity
+
+import (
+	"math"
+	"sort"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+)
+
+// GlobalPrune is the global-ranking sparsification the paper contrasts
+// ΘALG against (Section 1.2, after Salowe [36] / Wattenhofer et al. [43]):
+// the classical greedy spanner. Edges of g are processed in increasing
+// length; an edge is kept only when the edges kept so far do not already
+// connect its endpoints within stretch factor t under the chosen metric.
+// The result is a t-spanner of g with far fewer edges — but the
+// construction requires a global edge ordering and repeated network-wide
+// shortest-path queries, which is exactly the non-local overhead the
+// paper's purely local phase-2 avoids.
+//
+// metric: the per-edge cost (nil = Euclidean length). t must be > 1.
+func GlobalPrune(g *graph.Graph, pts []geom.Point, t float64, metric graph.CostFunc) *graph.Graph {
+	if t <= 1 {
+		panic("proximity: GlobalPrune needs stretch factor t > 1")
+	}
+	if metric == nil {
+		metric = func(u, v int) float64 { return geom.Dist(pts[u], pts[v]) }
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		return metric(edges[i].U, edges[i].V) < metric(edges[j].U, edges[j].V)
+	})
+	out := graph.New(g.N())
+	for _, e := range edges {
+		direct := metric(e.U, e.V)
+		if boundedDistance(out, e.U, e.V, metric, t*direct) > t*direct {
+			out.AddEdge(e.U, e.V)
+		}
+	}
+	return out
+}
+
+// boundedDistance returns the src→dst shortest distance, or +Inf when it
+// exceeds the bound (the spanner test only needs that classification).
+func boundedDistance(g *graph.Graph, src, dst int, metric graph.CostFunc, bound float64) float64 {
+	dist, _ := g.Dijkstra(src, metric)
+	if math.IsInf(dist[dst], 1) || dist[dst] > bound {
+		return math.Inf(1)
+	}
+	return dist[dst]
+}

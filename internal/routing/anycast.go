@@ -1,0 +1,129 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Anycast support: the paper's balancing approach descends from the
+// anycast results of Awerbuch, Brinkmann and Scheideler [10], where a
+// packet must reach *any* member of a destination set. The balancer
+// generalizes naturally: an anycast group gets its own buffer slot whose
+// height is pinned to 0 at every member, so packets flow downhill to the
+// nearest member. This file provides the group-injection API; the core
+// Step logic already absorbs at any group member.
+
+// canonGroup returns the sorted, deduplicated member list.
+func canonGroup(members []int) []int {
+	canon := append([]int(nil), members...)
+	sort.Ints(canon)
+	out := canon[:1]
+	for _, m := range canon[1:] {
+		if m != out[len(out)-1] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// groupKey renders a canonical member list as a map key.
+func groupKey(canon []int) string {
+	var key strings.Builder
+	for i, m := range canon {
+		if i > 0 {
+			key.WriteByte(',')
+		}
+		key.WriteString(strconv.Itoa(m))
+	}
+	return key.String()
+}
+
+// groupSlot returns (allocating on first use) the buffer slot of the
+// anycast group with the given members. Member lists are canonicalized
+// (sorted, deduplicated), so the same set always maps to the same slot.
+func (b *Balancer) groupSlot(members []int) int {
+	if len(members) == 0 {
+		panic("routing: empty anycast group")
+	}
+	out := canonGroup(members)
+	for _, m := range out {
+		if m < 0 || m >= b.n {
+			panic(fmt.Sprintf("routing: anycast member %d out of range", m))
+		}
+	}
+	if len(out) == 1 {
+		return b.slot(out[0]) // singleton group is plain unicast
+	}
+	k := groupKey(out)
+	if s, ok := b.groupOf[k]; ok {
+		return s
+	}
+	s := len(b.dests)
+	b.groupOf[k] = s
+	g := destGroup{label: -1}
+	for _, m := range out {
+		g.members = append(g.members, int32(m))
+	}
+	b.dests = append(b.dests, g)
+	b.heights = append(b.heights, make([]int32, b.n))
+	b.advertised = append(b.advertised, make([]int32, b.n))
+	return s
+}
+
+// InjectAnycast admits count packets at node that are satisfied by
+// delivery to any member of the group. It applies the same admission
+// control as unicast injections and returns (accepted, dropped). Packets
+// injected at a node that is itself a member are delivered immediately.
+// Call it between Steps (injections happen at step boundaries).
+func (b *Balancer) InjectAnycast(node int, members []int, count int) (accepted, dropped int) {
+	if count <= 0 {
+		return 0, 0
+	}
+	if node < 0 || node >= b.n {
+		panic(fmt.Sprintf("routing: anycast source %d out of range", node))
+	}
+	s := b.groupSlot(members)
+	if b.dests[s].contains(node) {
+		b.delivers += int64(count)
+		b.accepts += int64(count)
+		if b.trackLatency {
+			for i := 0; i < count; i++ {
+				b.latencies = append(b.latencies, 0)
+			}
+		}
+		return count, 0
+	}
+	space := b.params.BufferSize - int(b.heights[s][node])
+	if space < 0 {
+		space = 0
+	}
+	accepted = count
+	if accepted > space {
+		accepted = space
+	}
+	dropped = count - accepted
+	b.heights[s][node] += int32(accepted)
+	if b.trackLatency {
+		for i := 0; i < accepted; i++ {
+			b.latencyPush(s, node, int32(b.steps))
+		}
+	}
+	b.accepts += int64(accepted)
+	b.drops += int64(dropped)
+	return accepted, dropped
+}
+
+// GroupHeight returns the height of the anycast buffer for the given group
+// at node v (0 if the group was never injected).
+func (b *Balancer) GroupHeight(v int, members []int) int {
+	canon := canonGroup(members)
+	if len(canon) == 1 {
+		return b.Height(v, canon[0])
+	}
+	if s, ok := b.groupOf[groupKey(canon)]; ok {
+		return int(b.heights[s][v])
+	}
+	return 0
+}

@@ -1,0 +1,117 @@
+package routing
+
+import "testing"
+
+func TestAnycastDeliversToNearestMember(t *testing.T) {
+	// Line 0-1-2-3-4 with members {0, 4}: packets injected at node 1
+	// should drain to member 0 (1 hop) rather than member 4.
+	b := New(5, Params{T: 0, Gamma: 0, BufferSize: 20})
+	edges := []ActiveEdge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}}
+	acc, drop := b.InjectAnycast(1, []int{0, 4}, 5)
+	if acc != 5 || drop != 0 {
+		t.Fatalf("inject: %d %d", acc, drop)
+	}
+	for i := 0; i < 30; i++ {
+		b.Step(edges, nil)
+	}
+	if b.Delivered() != 5 {
+		t.Fatalf("delivered %d of 5", b.Delivered())
+	}
+	if q := b.TotalQueued(); q != 0 {
+		t.Errorf("residual queue %d", q)
+	}
+}
+
+func TestAnycastSelfMemberInstant(t *testing.T) {
+	b := New(3, Params{BufferSize: 5})
+	acc, drop := b.InjectAnycast(2, []int{1, 2}, 3)
+	if acc != 3 || drop != 0 || b.Delivered() != 3 {
+		t.Fatalf("self member: acc=%d drop=%d delivered=%d", acc, drop, b.Delivered())
+	}
+}
+
+func TestAnycastAdmissionControl(t *testing.T) {
+	b := New(4, Params{BufferSize: 2})
+	acc, drop := b.InjectAnycast(0, []int{3}, 5)
+	if acc != 2 || drop != 3 {
+		t.Fatalf("admission: %d %d", acc, drop)
+	}
+	if b.Dropped() != 3 {
+		t.Error("cumulative drops wrong")
+	}
+}
+
+func TestAnycastSingletonIsUnicast(t *testing.T) {
+	b := New(3, Params{BufferSize: 10})
+	b.InjectAnycast(0, []int{2}, 4)
+	if h := b.Height(0, 2); h != 4 {
+		t.Errorf("singleton group not unified with unicast: height %d", h)
+	}
+}
+
+func TestAnycastCanonicalization(t *testing.T) {
+	b := New(5, Params{BufferSize: 10})
+	b.InjectAnycast(0, []int{4, 1, 4}, 2)
+	b.InjectAnycast(0, []int{1, 4}, 3)
+	if h := b.GroupHeight(0, []int{4, 1}); h != 5 {
+		t.Errorf("group buffers not unified: height %d", h)
+	}
+	if h := b.GroupHeight(0, []int{1, 2}); h != 0 {
+		t.Errorf("unknown group height %d", h)
+	}
+}
+
+func TestAnycastGroupLabeledInDestinations(t *testing.T) {
+	b := New(5, Params{BufferSize: 10})
+	b.InjectAnycast(0, []int{1, 4}, 1)
+	b.Step(nil, []Injection{{Node: 0, Dest: 3, Count: 1}})
+	dests := b.Destinations()
+	foundGroup, foundUni := false, false
+	for _, d := range dests {
+		if d == -1 {
+			foundGroup = true
+		}
+		if d == 3 {
+			foundUni = true
+		}
+	}
+	if !foundGroup || !foundUni {
+		t.Errorf("destinations = %v", dests)
+	}
+}
+
+func TestAnycastPanics(t *testing.T) {
+	b := New(3, Params{BufferSize: 5})
+	cases := []func(){
+		func() { b.InjectAnycast(0, nil, 1) },
+		func() { b.InjectAnycast(0, []int{9}, 1) },
+		func() { b.InjectAnycast(-1, []int{1}, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	if acc, drop := b.InjectAnycast(0, []int{1}, 0); acc != 0 || drop != 0 {
+		t.Error("zero count should be a no-op")
+	}
+}
+
+func TestAnycastWithLatency(t *testing.T) {
+	b := New(4, Params{T: 0, Gamma: 0, BufferSize: 10})
+	b.EnableLatencyTracking()
+	edges := []ActiveEdge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}
+	b.InjectAnycast(1, []int{3, 0}, 2)
+	for i := 0; i < 20; i++ {
+		b.Step(edges, nil)
+	}
+	st := b.Latencies()
+	if int64(st.Count) != b.Delivered() {
+		t.Errorf("latency samples %d != delivered %d", st.Count, b.Delivered())
+	}
+}

@@ -1,0 +1,455 @@
+// Package routing implements the adversarial routing layer of Section 3 of
+// the paper: destination-indexed packet buffers and the (T,γ)-balancing
+// algorithm, a local height-balancing rule extended with per-edge
+// transmission costs. Theorem 3.1 shows it is
+// (1−ε, 1+2(1+(T+δ)/B)·L̄/ε, 1+2/ε)-competitive against any offline schedule
+// under adversarial edge activations and injections.
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Params configures a Balancer.
+type Params struct {
+	// T is the balancing threshold: a packet crosses edge (v,w) toward
+	// destination d only when h(v,d) − h(w,d) − γ·c(e) > T. Theorem 3.1
+	// requires T ≥ B + 2(δ−1), where B is OPT's buffer size and δ the
+	// number of frequencies.
+	T float64
+	// Gamma is the cost sensitivity γ; Theorem 3.1 uses
+	// γ ≥ (T+B+δ)·L̄/C̄.
+	Gamma float64
+	// BufferSize is the maximum height H of each buffer Q(v,d); newly
+	// injected packets that would exceed it are dropped (the paper's
+	// admission control). Relayed packets are never dropped.
+	BufferSize int
+	// HeightQuantization reduces control traffic as the paper's remark on
+	// practical implementations suggests: a node re-advertises a buffer
+	// height to its neighbors only when it drifts more than this many
+	// packets from the last advertised value, and balancing decisions use
+	// the advertised (possibly stale) heights of the remote endpoint.
+	// 0 keeps the idealized continuous exchange of the analysis.
+	HeightQuantization int
+}
+
+// Validate panics if the parameters are unusable.
+func (p Params) Validate() {
+	if p.BufferSize <= 0 {
+		panic(fmt.Sprintf("routing: buffer size %d must be positive", p.BufferSize))
+	}
+	if p.Gamma < 0 {
+		panic(fmt.Sprintf("routing: negative gamma %v", p.Gamma))
+	}
+}
+
+// SuggestedT returns the threshold of Theorem 3.1, T = B + 2(δ−1), from
+// OPT's buffer size B and the frequency count δ.
+func SuggestedT(optBuffer, delta int) float64 {
+	return float64(optBuffer) + 2*float64(delta-1)
+}
+
+// SuggestedGamma returns the cost sensitivity of Theorem 3.1,
+// γ = (T+B+δ)·L̄/C̄, from the threshold, OPT's buffer size and frequency
+// count, and OPT's average path length and cost per delivery.
+func SuggestedGamma(t float64, optBuffer, delta int, avgPathLen, avgCost float64) float64 {
+	if avgCost <= 0 {
+		panic("routing: average cost must be positive")
+	}
+	return (t + float64(optBuffer) + float64(delta)) * avgPathLen / avgCost
+}
+
+// ActiveEdge is an edge offered to the router for one step by the
+// MAC/topology layers, with its current transmission cost (e.g. |uv|^κ).
+// The edge is full-duplex: one packet may cross in each direction.
+type ActiveEdge struct {
+	U, V int
+	Cost float64
+}
+
+// Injection adds Count packets destined to Dest at node Node at the end of
+// a step.
+type Injection struct {
+	Node, Dest int
+	Count      int
+}
+
+// StepReport summarizes one balancing step.
+type StepReport struct {
+	// Moved is the number of packets transmitted across edges.
+	Moved int
+	// Delivered is the number of packets absorbed at their destination.
+	Delivered int
+	// Accepted and Dropped count injected packets admitted and rejected.
+	Accepted, Dropped int
+	// Cost is the transmission cost spent this step.
+	Cost float64
+}
+
+// Balancer runs the (T,γ)-balancing algorithm over n nodes. Destination
+// buffers are allocated lazily per destination. The zero value is unusable;
+// construct with New.
+type Balancer struct {
+	n      int
+	params Params
+	// heights[destSlot][node]; destination buffers h(v,d).
+	heights [][]int32
+	destOf  map[int]int    // unicast destination node -> slot
+	groupOf map[string]int // canonical anycast member list -> slot
+	dests   []destGroup    // slot -> destination group (singleton = unicast)
+	moveBuf []move         // scratch for synchronous application
+	steps   int64          // completed Step calls; rotates destination tie-breaks
+	// advertised[slot][node]: last height broadcast to neighbors; only
+	// maintained when HeightQuantization > 0 (see Params).
+	advertised  [][]int32
+	controlMsgs int64
+	// optional latency tracking (see latency.go)
+	trackLatency bool
+	lat          *latencyState
+	latencies    []int32
+	delivers     int64
+	drops        int64
+	accepts      int64
+	moves        int64
+	cost         float64
+}
+
+type move struct {
+	from, to int
+	slot     int32
+	cost     float64
+	val      float64 // benefit h(v,d) − h(w,d) − γc at decision time
+}
+
+// New returns a Balancer over n nodes with the given parameters.
+func New(n int, p Params) *Balancer {
+	p.Validate()
+	if n <= 0 {
+		panic(fmt.Sprintf("routing: node count %d must be positive", n))
+	}
+	return &Balancer{
+		n:       n,
+		params:  p,
+		destOf:  make(map[int]int),
+		groupOf: make(map[string]int),
+	}
+}
+
+// destGroup is a delivery target: a packet is absorbed at any member.
+// Unicast traffic uses singleton groups.
+type destGroup struct {
+	members []int32
+	label   int // representative id reported by Destinations (unicast node, or -1 for groups)
+}
+
+// contains reports whether node v is a member (linear scan: groups are
+// small).
+func (g destGroup) contains(v int) bool {
+	for _, m := range g.members {
+		if int(m) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// N returns the number of nodes.
+func (b *Balancer) N() int { return b.n }
+
+// Params returns the parameters the balancer was built with.
+func (b *Balancer) Params() Params { return b.params }
+
+// slot returns the height table slot for unicast destination d, allocating
+// it on first use.
+func (b *Balancer) slot(d int) int {
+	if s, ok := b.destOf[d]; ok {
+		return s
+	}
+	s := len(b.dests)
+	b.destOf[d] = s
+	b.dests = append(b.dests, destGroup{members: []int32{int32(d)}, label: d})
+	b.heights = append(b.heights, make([]int32, b.n))
+	b.advertised = append(b.advertised, make([]int32, b.n))
+	return s
+}
+
+// Destinations returns the delivery targets registered so far, in
+// first-seen order: the node id for unicast targets, -1 for anycast
+// groups. The MAC layers use it to evaluate buffer-height benefits.
+func (b *Balancer) Destinations() []int {
+	out := make([]int, len(b.dests))
+	for i, g := range b.dests {
+		out[i] = g.label
+	}
+	return out
+}
+
+// Height returns the height of buffer Q(v,d). Destinations never injected
+// have height 0 everywhere.
+func (b *Balancer) Height(v, d int) int {
+	if s, ok := b.destOf[d]; ok {
+		return int(b.heights[s][v])
+	}
+	return 0
+}
+
+// ControlMessages returns the cumulative number of height-advertisement
+// control messages sent (only counted when HeightQuantization > 0).
+func (b *Balancer) ControlMessages() int64 { return b.controlMsgs }
+
+// MaxBenefit returns the maximum, over all destination buffers (unicast
+// and anycast), of h(v,d) − h(w,d), treating w as absorbing (height 0)
+// for buffers whose destination group contains w. This is the
+// sender-receiver "benefit" of Section 3.4 that the honeycomb MAC elects
+// contestants by.
+func (b *Balancer) MaxBenefit(v, w int) float64 {
+	best := 0.0
+	for s, row := range b.heights {
+		hv := float64(row[v])
+		if hv == 0 {
+			continue
+		}
+		hw := 0.0
+		if !b.dests[s].contains(w) {
+			hw = float64(row[w])
+		}
+		if d := hv - hw; d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TotalQueued returns the total number of packets currently buffered.
+func (b *Balancer) TotalQueued() int {
+	total := 0
+	for _, row := range b.heights {
+		for _, h := range row {
+			total += int(h)
+		}
+	}
+	return total
+}
+
+// Delivered returns the cumulative number of packets absorbed at their
+// destinations.
+func (b *Balancer) Delivered() int64 { return b.delivers }
+
+// Dropped returns the cumulative number of injections rejected by admission
+// control.
+func (b *Balancer) Dropped() int64 { return b.drops }
+
+// Accepted returns the cumulative number of injections admitted.
+func (b *Balancer) Accepted() int64 { return b.accepts }
+
+// Moves returns the cumulative number of packet transmissions.
+func (b *Balancer) Moves() int64 { return b.moves }
+
+// TotalCost returns the cumulative transmission cost spent on all packets
+// (including packets not yet delivered).
+func (b *Balancer) TotalCost() float64 { return b.cost }
+
+// AvgCostPerDelivery returns TotalCost / Delivered (0 when nothing has been
+// delivered yet).
+func (b *Balancer) AvgCostPerDelivery() float64 {
+	if b.delivers == 0 {
+		return 0
+	}
+	return b.cost / float64(b.delivers)
+}
+
+// Step executes one synchronous step of the (T,γ)-balancing algorithm:
+//
+//  1. For every active edge and each direction (v,w), pick the destination
+//     d maximizing h(v,d) − h(w,d) − γ·c(e); if the value exceeds T, move
+//     one packet from Q(v,d) to Q(w,d). All decisions use the heights at
+//     the beginning of the step.
+//  2. Absorb packets that reached their destination.
+//  3. Admit the new injections, dropping packets whose buffer is full.
+//
+// Active edges must be usable concurrently (the MAC layer's contract); the
+// balancer itself never inspects geometry.
+func (b *Balancer) Step(active []ActiveEdge, injections []Injection) StepReport {
+	var rep StepReport
+	b.moveBuf = b.moveBuf[:0]
+
+	// Phase 1: decisions against start-of-step heights.
+	for _, e := range active {
+		if e.U == e.V || e.U < 0 || e.U >= b.n || e.V < 0 || e.V >= b.n {
+			panic(fmt.Sprintf("routing: invalid active edge %+v", e))
+		}
+		if e.Cost < 0 {
+			panic(fmt.Sprintf("routing: negative edge cost %+v", e))
+		}
+		b.consider(e.U, e.V, e.Cost)
+		b.consider(e.V, e.U, e.Cost)
+	}
+
+	// Apply the moves. Decisions were made against start-of-step heights;
+	// several edges at the same node may have picked the same buffer, so
+	// re-check availability at apply time (a real node cannot transmit a
+	// packet it no longer holds). Contention is resolved deterministically
+	// in favor of the largest benefit, with absorbing moves (to == dest)
+	// winning ties, and remaining ties broken by a step-dependent hash —
+	// a static order would walk lone packets around deterministic cycles
+	// forever. The paper leaves this resolution unspecified because in its
+	// parameter regime (T ≥ B + 2(δ−1)) no contention arises.
+	sort.SliceStable(b.moveBuf, func(i, j int) bool {
+		mi, mj := b.moveBuf[i], b.moveBuf[j]
+		if mi.val != mj.val {
+			return mi.val > mj.val
+		}
+		iAbsorb := b.dests[mi.slot].contains(mi.to)
+		jAbsorb := b.dests[mj.slot].contains(mj.to)
+		if iAbsorb != jAbsorb {
+			return iAbsorb
+		}
+		return b.moveHash(mi) < b.moveHash(mj)
+	})
+	for _, m := range b.moveBuf {
+		if b.heights[m.slot][m.from] <= 0 {
+			continue
+		}
+		b.heights[m.slot][m.from]--
+		rep.Moved++
+		rep.Cost += m.cost
+		var ts int32
+		var tracked bool
+		if b.trackLatency {
+			ts, tracked = b.latencyPop(int(m.slot), m.from)
+		}
+		if b.dests[m.slot].contains(m.to) {
+			rep.Delivered++
+			if tracked {
+				b.latencies = append(b.latencies, int32(b.steps)-ts)
+			}
+		} else {
+			b.heights[m.slot][m.to]++
+			if tracked {
+				b.latencyPush(int(m.slot), m.to, ts)
+			}
+		}
+	}
+
+	// Phase 3: injections with admission control.
+	H := int32(b.params.BufferSize)
+	for _, inj := range injections {
+		if inj.Count <= 0 {
+			continue
+		}
+		if inj.Node < 0 || inj.Node >= b.n || inj.Dest < 0 || inj.Dest >= b.n {
+			panic(fmt.Sprintf("routing: invalid injection %+v", inj))
+		}
+		if inj.Node == inj.Dest {
+			// Source is the destination: instantly delivered.
+			rep.Delivered += inj.Count
+			rep.Accepted += inj.Count
+			if b.trackLatency {
+				for i := 0; i < inj.Count; i++ {
+					b.latencies = append(b.latencies, 0)
+				}
+			}
+			continue
+		}
+		s := b.slot(inj.Dest)
+		space := int(H - b.heights[s][inj.Node])
+		if space < 0 {
+			space = 0
+		}
+		admit := inj.Count
+		if admit > space {
+			admit = space
+		}
+		b.heights[s][inj.Node] += int32(admit)
+		if b.trackLatency {
+			for i := 0; i < admit; i++ {
+				b.latencyPush(s, inj.Node, int32(b.steps))
+			}
+		}
+		rep.Accepted += admit
+		rep.Dropped += inj.Count - admit
+	}
+
+	// Height-advertisement refresh: each node re-broadcasts a buffer's
+	// height when it drifted beyond the quantization threshold. Each
+	// refresh is one control message.
+	if q := int32(b.params.HeightQuantization); q > 0 {
+		for s, row := range b.heights {
+			adv := b.advertised[s]
+			for v, h := range row {
+				if d := h - adv[v]; d > q || d < -q {
+					adv[v] = h
+					b.controlMsgs++
+				}
+			}
+		}
+	}
+
+	b.steps++
+	b.delivers += int64(rep.Delivered)
+	b.drops += int64(rep.Dropped)
+	b.accepts += int64(rep.Accepted)
+	b.moves += int64(rep.Moved)
+	b.cost += rep.Cost
+	return rep
+}
+
+// moveHash mixes the current step with a move's endpoints and buffer into
+// a well-distributed 64-bit value (splitmix64 finalizer). It varies per
+// step, so tie resolution is fair over time yet fully reproducible.
+func (b *Balancer) moveHash(m move) uint64 {
+	x := uint64(b.steps)*0x9E3779B97F4A7C15 ^
+		uint64(m.from)<<40 ^ uint64(m.to)<<20 ^ uint64(m.slot)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// consider evaluates the direction v→w of an active edge and records the
+// move if the best destination clears the threshold. Ties between
+// destinations are broken by a per-step rotation of the scan origin; a
+// fixed tie-break would permanently starve high-index destinations under
+// diffuse load (the paper leaves the resolution unspecified).
+func (b *Balancer) consider(v, w int, cost float64) {
+	nslots := len(b.heights)
+	if nslots == 0 {
+		return
+	}
+	bestSlot := -1
+	bestVal := math.Inf(-1)
+	gammaCost := b.params.Gamma * cost
+	start := int((b.steps + int64(v)) % int64(nslots))
+	for i := 0; i < nslots; i++ {
+		s := start + i
+		if s >= nslots {
+			s -= nslots
+		}
+		row := b.heights[s]
+		hv := float64(row[v])
+		if hv == 0 {
+			continue // nothing to send
+		}
+		var hw float64
+		if b.dests[s].contains(w) {
+			hw = 0 // destination buffer height is always 0
+		} else if b.params.HeightQuantization > 0 {
+			// The sender only knows w's last advertised height.
+			hw = float64(b.advertised[s][w])
+		} else {
+			hw = float64(row[w])
+		}
+		val := hv - hw - gammaCost
+		if val > bestVal {
+			bestVal = val
+			bestSlot = s
+		}
+	}
+	if bestSlot >= 0 && bestVal > b.params.T {
+		b.moveBuf = append(b.moveBuf, move{from: v, to: w, slot: int32(bestSlot), cost: cost, val: bestVal})
+	}
+}

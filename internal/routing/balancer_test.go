@@ -1,0 +1,301 @@
+package routing
+
+import (
+	"math"
+	"testing"
+)
+
+func newTest(n int, t, gamma float64, buf int) *Balancer {
+	return New(n, Params{T: t, Gamma: gamma, BufferSize: buf})
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []func(){
+		func() { New(0, Params{BufferSize: 1}) },
+		func() { New(3, Params{BufferSize: 0}) },
+		func() { New(3, Params{BufferSize: 1, Gamma: -1}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSuggestedParams(t *testing.T) {
+	if SuggestedT(4, 1) != 4 {
+		t.Errorf("T = %v", SuggestedT(4, 1))
+	}
+	if SuggestedT(4, 3) != 8 {
+		t.Errorf("T = %v", SuggestedT(4, 3))
+	}
+	if g := SuggestedGamma(8, 4, 1, 5, 2); g != (8+4+1)*5.0/2.0 {
+		t.Errorf("gamma = %v", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero cost")
+		}
+	}()
+	SuggestedGamma(1, 1, 1, 1, 0)
+}
+
+func TestInjectionAndHeight(t *testing.T) {
+	b := newTest(3, 0, 0, 10)
+	rep := b.Step(nil, []Injection{{Node: 0, Dest: 2, Count: 4}})
+	if rep.Accepted != 4 || rep.Dropped != 0 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	if h := b.Height(0, 2); h != 4 {
+		t.Errorf("height = %d", h)
+	}
+	if b.Height(1, 2) != 0 || b.Height(0, 1) != 0 {
+		t.Error("other buffers should be empty")
+	}
+	if b.TotalQueued() != 4 {
+		t.Errorf("queued = %d", b.TotalQueued())
+	}
+}
+
+func TestAdmissionControlDrops(t *testing.T) {
+	b := newTest(2, 0, 0, 3)
+	rep := b.Step(nil, []Injection{{Node: 0, Dest: 1, Count: 5}})
+	if rep.Accepted != 3 || rep.Dropped != 2 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	if b.Dropped() != 2 || b.Accepted() != 3 {
+		t.Error("cumulative counters wrong")
+	}
+	// Buffer full: everything drops.
+	rep2 := b.Step(nil, []Injection{{Node: 0, Dest: 1, Count: 2}})
+	if rep2.Accepted != 0 || rep2.Dropped != 2 {
+		t.Fatalf("rep2 = %+v", rep2)
+	}
+}
+
+func TestSelfInjectionDeliversImmediately(t *testing.T) {
+	b := newTest(2, 0, 0, 3)
+	rep := b.Step(nil, []Injection{{Node: 1, Dest: 1, Count: 2}})
+	if rep.Delivered != 2 || b.TotalQueued() != 0 {
+		t.Fatalf("self injection: %+v", rep)
+	}
+}
+
+func TestZeroOrNegativeCountIgnored(t *testing.T) {
+	b := newTest(2, 0, 0, 3)
+	rep := b.Step(nil, []Injection{{Node: 0, Dest: 1, Count: 0}, {Node: 0, Dest: 1, Count: -2}})
+	if rep.Accepted != 0 || rep.Dropped != 0 {
+		t.Fatalf("rep = %+v", rep)
+	}
+}
+
+func TestStepMovesTowardDestination(t *testing.T) {
+	// Two nodes, direct edge; threshold 0, no cost: any positive height
+	// difference moves a packet, which is then absorbed.
+	b := newTest(2, 0, 0, 10)
+	b.Step(nil, []Injection{{Node: 0, Dest: 1, Count: 3}})
+	edge := []ActiveEdge{{U: 0, V: 1, Cost: 0}}
+	total := 0
+	for i := 0; i < 5; i++ {
+		rep := b.Step(edge, nil)
+		total += rep.Delivered
+	}
+	if total != 3 {
+		t.Errorf("delivered %d of 3", total)
+	}
+	if b.TotalQueued() != 0 {
+		t.Error("queue should drain")
+	}
+	if b.Delivered() != 3 {
+		t.Errorf("cumulative delivered = %d", b.Delivered())
+	}
+}
+
+func TestThresholdBlocksSmallDifferences(t *testing.T) {
+	// T = 5: height difference of 3 must not move.
+	b := newTest(2, 5, 0, 10)
+	b.Step(nil, []Injection{{Node: 0, Dest: 1, Count: 3}})
+	rep := b.Step([]ActiveEdge{{U: 0, V: 1, Cost: 0}}, nil)
+	if rep.Moved != 0 {
+		t.Errorf("moved %d despite threshold", rep.Moved)
+	}
+	// Raise the height beyond T: moves resume.
+	b.Step(nil, []Injection{{Node: 0, Dest: 1, Count: 5}})
+	rep2 := b.Step([]ActiveEdge{{U: 0, V: 1, Cost: 0}}, nil)
+	if rep2.Moved != 1 {
+		t.Errorf("moved %d, want 1", rep2.Moved)
+	}
+}
+
+func TestGammaCostBlocksExpensiveEdges(t *testing.T) {
+	// γ=1, edge cost 100: difference 5 cannot clear 5 − 100 > 0.
+	b := newTest(2, 0, 1, 10)
+	b.Step(nil, []Injection{{Node: 0, Dest: 1, Count: 5}})
+	rep := b.Step([]ActiveEdge{{U: 0, V: 1, Cost: 100}}, nil)
+	if rep.Moved != 0 {
+		t.Errorf("moved across too-expensive edge")
+	}
+	// A cheap edge moves.
+	rep2 := b.Step([]ActiveEdge{{U: 0, V: 1, Cost: 1}}, nil)
+	if rep2.Moved != 1 || rep2.Cost != 1 {
+		t.Errorf("rep2 = %+v", rep2)
+	}
+	if b.TotalCost() != 1 {
+		t.Errorf("total cost = %v", b.TotalCost())
+	}
+}
+
+func TestFullDuplexOppositeFlows(t *testing.T) {
+	// Packets for d=1 queued at node 0 and packets for d=0 queued at
+	// node 1; one step moves one packet each way.
+	b := newTest(2, 0, 0, 10)
+	b.Step(nil, []Injection{
+		{Node: 0, Dest: 1, Count: 2},
+		{Node: 1, Dest: 0, Count: 2},
+	})
+	rep := b.Step([]ActiveEdge{{U: 0, V: 1, Cost: 0}}, nil)
+	if rep.Moved != 2 || rep.Delivered != 2 {
+		t.Errorf("rep = %+v", rep)
+	}
+}
+
+func TestLineRelayDelivery(t *testing.T) {
+	// 0 → 1 → 2 relay: packets travel one hop per step.
+	b := newTest(3, 0, 0, 100)
+	edges := []ActiveEdge{{U: 0, V: 1}, {U: 1, V: 2}}
+	b.Step(nil, []Injection{{Node: 0, Dest: 2, Count: 10}})
+	steps := 0
+	for b.Delivered() < 10 && steps < 100 {
+		b.Step(edges, nil)
+		steps++
+	}
+	if b.Delivered() != 10 {
+		t.Fatalf("delivered %d after %d steps", b.Delivered(), steps)
+	}
+	// Height gradients mean ~1 packet delivered per step once the
+	// pipeline fills; 10 packets over 2 hops needs ≥ 11 steps.
+	if steps < 11 {
+		t.Errorf("delivery faster than physically possible: %d steps", steps)
+	}
+}
+
+func TestNoOverdrainWhenManyEdgesPickSameBuffer(t *testing.T) {
+	// Star: center holds 1 packet; 3 edges all want to pull from it.
+	b := newTest(4, 0, 0, 10)
+	b.Step(nil, []Injection{{Node: 0, Dest: 3, Count: 1}})
+	edges := []ActiveEdge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}}
+	rep := b.Step(edges, nil)
+	if rep.Moved != 1 {
+		t.Errorf("moved %d, want exactly 1 (no phantom packets)", rep.Moved)
+	}
+	if b.Height(0, 3) != 0 {
+		t.Errorf("height = %d, want 0 (never negative)", b.Height(0, 3))
+	}
+	if b.TotalQueued() < 0 {
+		t.Error("negative queue")
+	}
+}
+
+func TestDestinationBufferAlwaysZero(t *testing.T) {
+	b := newTest(2, 0, 0, 10)
+	b.Step(nil, []Injection{{Node: 0, Dest: 1, Count: 5}})
+	for i := 0; i < 10; i++ {
+		b.Step([]ActiveEdge{{U: 0, V: 1}}, nil)
+	}
+	if b.Height(1, 1) != 0 {
+		t.Errorf("destination buffer height = %d", b.Height(1, 1))
+	}
+}
+
+func TestStepPanicsOnBadInput(t *testing.T) {
+	cases := []func(b *Balancer){
+		func(b *Balancer) { b.Step([]ActiveEdge{{U: 0, V: 0}}, nil) },
+		func(b *Balancer) { b.Step([]ActiveEdge{{U: 0, V: 9}}, nil) },
+		func(b *Balancer) { b.Step([]ActiveEdge{{U: 0, V: 1, Cost: -1}}, nil) },
+		func(b *Balancer) { b.Step(nil, []Injection{{Node: -1, Dest: 0, Count: 1}}) },
+		func(b *Balancer) { b.Step(nil, []Injection{{Node: 0, Dest: 9, Count: 1}}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f(newTest(3, 0, 0, 5))
+		}()
+	}
+}
+
+func TestAvgCostPerDelivery(t *testing.T) {
+	b := newTest(2, 0, 0, 10)
+	if b.AvgCostPerDelivery() != 0 {
+		t.Error("zero deliveries should report 0")
+	}
+	b.Step(nil, []Injection{{Node: 0, Dest: 1, Count: 2}})
+	b.Step([]ActiveEdge{{U: 0, V: 1, Cost: 3}}, nil)
+	b.Step([]ActiveEdge{{U: 0, V: 1, Cost: 5}}, nil)
+	if b.Delivered() != 2 {
+		t.Fatalf("delivered = %d", b.Delivered())
+	}
+	if got := b.AvgCostPerDelivery(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("avg cost = %v, want 4", got)
+	}
+}
+
+func TestPacketConservation(t *testing.T) {
+	// Invariant: accepted = delivered + queued (relays never drop).
+	b := newTest(5, 0, 0.1, 20)
+	edges := []ActiveEdge{{U: 0, V: 1, Cost: 1}, {U: 1, V: 2, Cost: 1}, {U: 2, V: 3, Cost: 1}, {U: 3, V: 4, Cost: 1}}
+	for step := 0; step < 50; step++ {
+		var inj []Injection
+		if step%3 == 0 {
+			inj = []Injection{{Node: 0, Dest: 4, Count: 2}}
+		}
+		b.Step(edges, inj)
+		if int64(b.TotalQueued())+b.Delivered() != b.Accepted() {
+			t.Fatalf("step %d: conservation broken: queued %d + delivered %d != accepted %d",
+				step, b.TotalQueued(), b.Delivered(), b.Accepted())
+		}
+	}
+	if b.Delivered() == 0 {
+		t.Error("pipeline never delivered")
+	}
+}
+
+func TestPickHighestDifferenceDestination(t *testing.T) {
+	// Node 0 holds packets for two destinations; only one move per step
+	// per direction, and it must serve the larger height difference.
+	b := newTest(3, 0, 0, 50)
+	b.Step(nil, []Injection{
+		{Node: 0, Dest: 1, Count: 10},
+		{Node: 0, Dest: 2, Count: 2},
+	})
+	rep := b.Step([]ActiveEdge{{U: 0, V: 1}}, nil)
+	if rep.Moved != 1 {
+		t.Fatalf("moved = %d", rep.Moved)
+	}
+	// The packet moved must be for destination 1 (difference 10 vs 2).
+	if b.Height(0, 1) != 9 || b.Height(0, 2) != 2 {
+		t.Errorf("heights after move: d1=%d d2=%d", b.Height(0, 1), b.Height(0, 2))
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	b := newTest(4, 1, 2, 7)
+	if b.N() != 4 {
+		t.Error("N")
+	}
+	p := b.Params()
+	if p.T != 1 || p.Gamma != 2 || p.BufferSize != 7 {
+		t.Error("params")
+	}
+	if b.Moves() != 0 {
+		t.Error("moves should start at 0")
+	}
+}

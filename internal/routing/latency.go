@@ -1,0 +1,84 @@
+package routing
+
+import "sort"
+
+// This file adds optional per-packet latency observability to the
+// balancer. Buffers are fungible packet counts in the core algorithm (all
+// the theorems quantify aggregate throughput and cost), so latency is
+// tracked by shadowing each buffer with a FIFO of injection timestamps:
+// every move transfers the oldest timestamp, every delivery retires it.
+// FIFO order is the natural service discipline for indistinguishable
+// packets and leaves the algorithm's behavior untouched.
+
+// LatencyStats summarizes delivered-packet latencies (in steps).
+type LatencyStats struct {
+	Count         int
+	Min, Max      int
+	Mean          float64
+	P50, P95, P99 int
+}
+
+// EnableLatencyTracking switches on per-packet latency recording. It must
+// be called before the first Step; enabling mid-run would fabricate
+// timestamps for packets already buffered.
+func (b *Balancer) EnableLatencyTracking() {
+	if b.steps > 0 {
+		panic("routing: latency tracking must be enabled before the first step")
+	}
+	b.trackLatency = true
+}
+
+// latencyState holds the shadow FIFOs, keyed like heights[slot][node].
+type latencyState struct {
+	fifos map[int64][]int32 // (slot<<32|node) -> injection steps, FIFO
+}
+
+func fifoKey(slot, node int) int64 { return int64(slot)<<32 | int64(node) }
+
+func (b *Balancer) latencyPush(slot, node int, step int32) {
+	if b.lat == nil {
+		b.lat = &latencyState{fifos: make(map[int64][]int32)}
+	}
+	k := fifoKey(slot, node)
+	b.lat.fifos[k] = append(b.lat.fifos[k], step)
+}
+
+func (b *Balancer) latencyPop(slot, node int) (int32, bool) {
+	if b.lat == nil {
+		return 0, false
+	}
+	k := fifoKey(slot, node)
+	q := b.lat.fifos[k]
+	if len(q) == 0 {
+		return 0, false
+	}
+	v := q[0]
+	if len(q) == 1 {
+		delete(b.lat.fifos, k)
+	} else {
+		b.lat.fifos[k] = q[1:]
+	}
+	return v, true
+}
+
+// Latencies returns the summary of all delivered-packet latencies so far.
+// It is only meaningful when EnableLatencyTracking was called.
+func (b *Balancer) Latencies() LatencyStats {
+	var s LatencyStats
+	s.Count = len(b.latencies)
+	if s.Count == 0 {
+		return s
+	}
+	sorted := make([]int, s.Count)
+	sum := 0
+	for i, l := range b.latencies {
+		sorted[i] = int(l)
+		sum += int(l)
+	}
+	sort.Ints(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.Count-1]
+	s.Mean = float64(sum) / float64(s.Count)
+	q := func(p float64) int { return sorted[int(p*float64(s.Count-1))] }
+	s.P50, s.P95, s.P99 = q(0.50), q(0.95), q(0.99)
+	return s
+}

@@ -1,0 +1,98 @@
+package routing
+
+import "testing"
+
+func TestLatencyLineNetwork(t *testing.T) {
+	// 0→1→2: a packet injected at step s is delivered at step s+2 under
+	// continuous edge activation → latency exactly 2 once the pipeline
+	// is warm (the first packet may see contention-free latency 2 too).
+	b := New(3, Params{T: 0, Gamma: 0, BufferSize: 50})
+	b.EnableLatencyTracking()
+	edges := []ActiveEdge{{U: 0, V: 1}, {U: 1, V: 2}}
+	for step := 0; step < 40; step++ {
+		var inj []Injection
+		if step < 20 {
+			inj = []Injection{{Node: 0, Dest: 2, Count: 1}}
+		}
+		b.Step(edges, inj)
+	}
+	st := b.Latencies()
+	if st.Count == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	if int64(st.Count) != b.Delivered() {
+		t.Errorf("latency samples %d != delivered %d", st.Count, b.Delivered())
+	}
+	if st.Min < 2 {
+		t.Errorf("min latency %d below physical minimum 2", st.Min)
+	}
+	if st.Mean < 2 || st.P50 < st.Min || st.P99 > st.Max {
+		t.Errorf("inconsistent stats: %+v", st)
+	}
+}
+
+func TestLatencySelfInjectionZero(t *testing.T) {
+	b := New(2, Params{BufferSize: 5})
+	b.EnableLatencyTracking()
+	b.Step(nil, []Injection{{Node: 1, Dest: 1, Count: 2}})
+	st := b.Latencies()
+	if st.Count != 2 || st.Max != 0 {
+		t.Errorf("self-injection latency: %+v", st)
+	}
+}
+
+func TestLatencyEmptyStats(t *testing.T) {
+	b := New(2, Params{BufferSize: 5})
+	b.EnableLatencyTracking()
+	if st := b.Latencies(); st.Count != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestLatencyEnableAfterStepPanics(t *testing.T) {
+	b := New(2, Params{BufferSize: 5})
+	b.Step(nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b.EnableLatencyTracking()
+}
+
+func TestLatencyFIFOConservation(t *testing.T) {
+	// Every delivered packet yields exactly one latency sample; the
+	// shadow FIFOs never leak or fabricate timestamps even under heavy
+	// contention and admission drops.
+	b := New(6, Params{T: 0, Gamma: 0, BufferSize: 4})
+	b.EnableLatencyTracking()
+	edges := []ActiveEdge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 1, V: 3}}
+	for step := 0; step < 300; step++ {
+		var inj []Injection
+		if step%2 == 0 {
+			inj = append(inj, Injection{Node: 0, Dest: 5, Count: 3})
+		}
+		if step%3 == 0 {
+			inj = append(inj, Injection{Node: 2, Dest: 0, Count: 1})
+		}
+		b.Step(edges, inj)
+		if int64(b.Latencies().Count) != b.Delivered() {
+			t.Fatalf("step %d: samples %d != delivered %d", step, b.Latencies().Count, b.Delivered())
+		}
+	}
+	if b.Delivered() == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestLatencyDisabledNoSamples(t *testing.T) {
+	b := New(2, Params{BufferSize: 5})
+	b.Step([]ActiveEdge{{U: 0, V: 1}}, []Injection{{Node: 0, Dest: 1, Count: 1}})
+	b.Step([]ActiveEdge{{U: 0, V: 1}}, nil)
+	if b.Delivered() == 0 {
+		t.Fatal("setup failed")
+	}
+	if st := b.Latencies(); st.Count != 0 {
+		t.Error("samples recorded while disabled")
+	}
+}

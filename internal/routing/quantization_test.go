@@ -1,0 +1,70 @@
+package routing
+
+import "testing"
+
+func TestQuantizationControlMessagesCounted(t *testing.T) {
+	b := New(3, Params{T: 0, Gamma: 0, BufferSize: 20, HeightQuantization: 1})
+	if b.ControlMessages() != 0 {
+		t.Fatal("initial control messages")
+	}
+	// Inject 5 packets: height jumps 0→5, drift 5 > 1 → one refresh.
+	b.Step(nil, []Injection{{Node: 0, Dest: 2, Count: 5}})
+	if got := b.ControlMessages(); got != 1 {
+		t.Errorf("control msgs = %d, want 1", got)
+	}
+}
+
+func TestQuantizationZeroSendsNoControl(t *testing.T) {
+	b := New(3, Params{T: 0, Gamma: 0, BufferSize: 20})
+	b.Step(nil, []Injection{{Node: 0, Dest: 2, Count: 5}})
+	b.Step([]ActiveEdge{{U: 0, V: 1}, {U: 1, V: 2}}, nil)
+	if b.ControlMessages() != 0 {
+		t.Error("control messages counted in idealized mode")
+	}
+}
+
+func TestQuantizationStillDeliversUnderPressure(t *testing.T) {
+	// Stale heights slow the balancer down but sustained load must still
+	// flow; compare against the idealized exchange.
+	run := func(q int) int64 {
+		b := New(6, Params{T: 0, Gamma: 0, BufferSize: 30, HeightQuantization: q})
+		edges := []ActiveEdge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}}
+		for step := 0; step < 600; step++ {
+			var inj []Injection
+			if step < 400 {
+				inj = []Injection{{Node: 0, Dest: 5, Count: 1}}
+			}
+			b.Step(edges, inj)
+		}
+		return b.Delivered()
+	}
+	exact := run(0)
+	coarse := run(4)
+	if coarse == 0 {
+		t.Fatal("quantized balancer never delivered")
+	}
+	if float64(coarse) < 0.3*float64(exact) {
+		t.Errorf("quantized delivery %d collapsed vs exact %d", coarse, exact)
+	}
+}
+
+func TestQuantizationControlSavings(t *testing.T) {
+	// Coarser quantization must send fewer control messages for the same
+	// workload.
+	run := func(q int) int64 {
+		b := New(6, Params{T: 0, Gamma: 0, BufferSize: 30, HeightQuantization: q})
+		edges := []ActiveEdge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}}
+		for step := 0; step < 400; step++ {
+			var inj []Injection
+			if step < 300 {
+				inj = []Injection{{Node: 0, Dest: 5, Count: 1}}
+			}
+			b.Step(edges, inj)
+		}
+		return b.ControlMessages()
+	}
+	fine, coarse := run(1), run(8)
+	if coarse >= fine {
+		t.Errorf("quantization 8 sent %d msgs, not fewer than quantization 1's %d", coarse, fine)
+	}
+}

@@ -1,0 +1,280 @@
+// Package sim composes the layers of the paper into a runnable system:
+// point set → ΘALG topology → MAC (given / randomized / honeycomb) →
+// (T,γ)-balancing router, driven by an injection process over a discrete
+// time axis, with optional node mobility (topology rebuilds). A parallel
+// Monte-Carlo runner fans simulations out over a worker pool with
+// deterministic, seed-ordered results.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/interference"
+	"toporouting/internal/mac"
+	"toporouting/internal/mobility"
+	"toporouting/internal/pointset"
+	"toporouting/internal/routing"
+	"toporouting/internal/topology"
+	"toporouting/internal/unitdisk"
+)
+
+// MACKind selects the medium-access layer.
+type MACKind int
+
+// Available MAC layers.
+const (
+	// MACGiven offers every topology edge each step (the Section 3.2
+	// scenario: a perfect MAC below the routing layer).
+	MACGiven MACKind = iota
+	// MACRandom is the randomized symmetry-breaking MAC of Section 3.3.
+	MACRandom
+	// MACHoneycomb is the fixed-transmission-strength honeycomb
+	// algorithm of Section 3.4 (ignores Theta/RangeSlack; uses unit
+	// range).
+	MACHoneycomb
+)
+
+// String returns the MAC layer name.
+func (k MACKind) String() string {
+	switch k {
+	case MACGiven:
+		return "given"
+	case MACRandom:
+		return "random"
+	case MACHoneycomb:
+		return "honeycomb"
+	default:
+		return fmt.Sprintf("MACKind(%d)", int(k))
+	}
+}
+
+// Injector produces the injections for a step.
+type Injector func(step int, rng *rand.Rand) []routing.Injection
+
+// SinksInjector injects rate packets per step (during the first horizon
+// steps), each from a uniformly random source to a uniformly random sink
+// from the given list.
+func SinksInjector(n int, sinks []int, rate, horizon int) Injector {
+	if len(sinks) == 0 {
+		panic("sim: SinksInjector needs sinks")
+	}
+	return func(step int, rng *rand.Rand) []routing.Injection {
+		if step >= horizon {
+			return nil
+		}
+		out := make([]routing.Injection, 0, rate)
+		for i := 0; i < rate; i++ {
+			out = append(out, routing.Injection{
+				Node:  rng.Intn(n),
+				Dest:  sinks[rng.Intn(len(sinks))],
+				Count: 1,
+			})
+		}
+		return out
+	}
+}
+
+// Mobility periodically perturbs node positions and rebuilds the topology
+// and MAC, modeling uncontrollable topology change.
+type Mobility struct {
+	// Every is the number of steps between moves (0 disables mobility).
+	Every int
+	// StepSize is the maximum per-coordinate displacement per move (used
+	// by the default unbounded random-jitter model when Model is nil).
+	StepSize float64
+	// Model, when non-nil, advances positions instead of the default
+	// jitter (e.g. mobility.NewRandomWaypoint or mobility.RandomWalk);
+	// each move advances it by dt = 1.
+	Model mobility.Model
+}
+
+// Config assembles one simulation.
+type Config struct {
+	// Points are the node positions (mutated only under Mobility; the
+	// simulator copies them).
+	Points pointset.Set
+	// Theta is the ΘALG cone angle (0 = default π/6).
+	Theta float64
+	// RangeSlack scales the critical range to set the transmission range
+	// (values ≥ 1; 0 = default 1.3). MACHoneycomb ignores it and uses
+	// unit range.
+	RangeSlack float64
+	// Range, when positive, fixes the transmission range directly and
+	// overrides RangeSlack. Mobility rebuilds keep the fixed range.
+	Range float64
+	// Delta is the interference guard zone (0 = default).
+	Delta float64
+	// Kappa is the energy exponent for edge costs (0 = 2).
+	Kappa float64
+	// MAC selects the medium-access layer.
+	MAC MACKind
+	// Router parameterizes the (T,γ)-balancing algorithm.
+	Router routing.Params
+	// Inject produces the injection stream; nil injects nothing.
+	Inject Injector
+	// Steps is the simulation horizon (> 0).
+	Steps int
+	// Mobility optionally perturbs the node set.
+	Mobility Mobility
+	// Seed drives all randomness of the run.
+	Seed int64
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Seed      int64
+	Delivered int64
+	Accepted  int64
+	Dropped   int64
+	Moves     int64
+	TotalCost float64
+	AvgCost   float64
+	Queued    int
+	// I is the interference bound used by the random MAC (0 otherwise).
+	I int
+	// MaxDegree is the topology's maximum degree (last rebuild).
+	MaxDegree int
+	// Rebuilds counts topology rebuilds due to mobility.
+	Rebuilds int
+}
+
+// Run executes one simulation.
+func Run(cfg Config) Result {
+	if cfg.Steps <= 0 {
+		panic("sim: non-positive step count")
+	}
+	if len(cfg.Points) < 2 {
+		panic("sim: need at least two nodes")
+	}
+	if cfg.Kappa == 0 {
+		cfg.Kappa = 2
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = interference.DefaultDelta
+	}
+	if cfg.RangeSlack == 0 {
+		cfg.RangeSlack = 1.3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pts := append(pointset.Set(nil), cfg.Points...)
+	n := len(pts)
+	router := routing.New(n, cfg.Router)
+	model := interference.NewModel(cfg.Delta)
+
+	var res Result
+	res.Seed = cfg.Seed
+
+	var (
+		active  []routing.ActiveEdge // MACGiven: reused every step
+		rmac    *mac.RandomMAC
+		honey   *mac.Honeycomb
+		rebuild func()
+	)
+	rebuild = func() {
+		switch cfg.MAC {
+		case MACGiven, MACRandom:
+			d := cfg.Range
+			if d <= 0 {
+				d = unitdisk.CriticalRange(pts) * cfg.RangeSlack
+			}
+			top := topology.BuildTheta(pts, topology.Config{Theta: cfg.Theta, Range: d})
+			res.MaxDegree = top.N.MaxDegree()
+			cost := top.EnergyCost(cfg.Kappa)
+			if cfg.MAC == MACGiven {
+				active = active[:0]
+				for _, e := range top.N.Edges() {
+					active = append(active, routing.ActiveEdge{U: e.U, V: e.V, Cost: cost(e.U, e.V)})
+				}
+			} else {
+				rmac = mac.NewRandomMAC(pts, top.N.Edges(), model, cost, rng)
+				res.I = rmac.I()
+			}
+		case MACHoneycomb:
+			honey = mac.NewHoneycomb(pts, mac.HoneycombConfig{
+				Delta: cfg.Delta,
+				T:     cfg.Router.T,
+				Rng:   rng,
+			})
+			res.MaxDegree = 0
+		default:
+			panic(fmt.Sprintf("sim: unknown MAC kind %d", int(cfg.MAC)))
+		}
+	}
+	rebuild()
+
+	for step := 0; step < cfg.Steps; step++ {
+		if cfg.Mobility.Every > 0 && step > 0 && step%cfg.Mobility.Every == 0 {
+			if cfg.Mobility.Model != nil {
+				cfg.Mobility.Model.Step(pts, 1)
+			} else {
+				for i := range pts {
+					pts[i] = geom.Pt(
+						pts[i].X+(rng.Float64()*2-1)*cfg.Mobility.StepSize,
+						pts[i].Y+(rng.Float64()*2-1)*cfg.Mobility.StepSize,
+					)
+				}
+			}
+			rebuild()
+			res.Rebuilds++
+		}
+		var offered []routing.ActiveEdge
+		switch cfg.MAC {
+		case MACGiven:
+			offered = active
+		case MACRandom:
+			offered, _ = rmac.Step()
+		case MACHoneycomb:
+			offered, _ = honey.Step(router)
+		}
+		var inj []routing.Injection
+		if cfg.Inject != nil {
+			inj = cfg.Inject(step, rng)
+		}
+		router.Step(offered, inj)
+	}
+
+	res.Delivered = router.Delivered()
+	res.Accepted = router.Accepted()
+	res.Dropped = router.Dropped()
+	res.Moves = router.Moves()
+	res.TotalCost = router.TotalCost()
+	res.AvgCost = router.AvgCostPerDelivery()
+	res.Queued = router.TotalQueued()
+	return res
+}
+
+// MonteCarlo runs the configuration once per seed, fanned out over a worker
+// pool, and returns results in seed order. parallelism ≤ 0 uses
+// GOMAXPROCS workers.
+func MonteCarlo(cfg Config, seeds []int64, parallelism int) []Result {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(seeds) {
+		parallelism = len(seeds)
+	}
+	results := make([]Result, len(seeds))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				c := cfg
+				c.Seed = seeds[i]
+				results[i] = Run(c)
+			}
+		}()
+	}
+	for i := range seeds {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results
+}

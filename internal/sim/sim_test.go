@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"toporouting/internal/mobility"
+	"toporouting/internal/pointset"
+	"toporouting/internal/routing"
+)
+
+// randT aliases rand.Rand for compact injector signatures in tests.
+type randT = rand.Rand
+
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func baseConfig(n int, seed int64) Config {
+	return Config{
+		Points: pointset.Generate(pointset.KindUniform, n, seed),
+		Router: routing.Params{T: 0, Gamma: 0, BufferSize: 50},
+		Inject: SinksInjector(n, []int{1, 2}, 2, 200),
+		Steps:  600,
+		Seed:   seed,
+	}
+}
+
+func TestRunGivenMAC(t *testing.T) {
+	res := Run(baseConfig(60, 1))
+	if res.Accepted == 0 {
+		t.Fatal("nothing accepted")
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if res.Delivered+int64(res.Queued) != res.Accepted {
+		t.Errorf("conservation: %d + %d != %d", res.Delivered, res.Queued, res.Accepted)
+	}
+	if res.MaxDegree == 0 || res.MaxDegree > 24 {
+		t.Errorf("max degree = %d", res.MaxDegree)
+	}
+	if res.I != 0 {
+		t.Error("given MAC should not report I")
+	}
+}
+
+func TestRunRandomMAC(t *testing.T) {
+	cfg := baseConfig(60, 2)
+	cfg.MAC = MACRandom
+	cfg.Steps = 3000
+	cfg.Inject = SinksInjector(60, []int{5}, 1, 500)
+	res := Run(cfg)
+	if res.I < 1 {
+		t.Error("random MAC must report I ≥ 1")
+	}
+	if res.Delivered == 0 {
+		t.Error("random MAC run never delivered")
+	}
+}
+
+func TestRunHoneycomb(t *testing.T) {
+	cfg := Config{
+		Points: pointset.Uniform(100, 5, randSource(3)),
+		MAC:    MACHoneycomb,
+		Router: routing.Params{T: 0, Gamma: 0, BufferSize: 60},
+		Inject: func(step int, _ *randT) []routing.Injection {
+			if step < 6000 {
+				return []routing.Injection{{Node: 0, Dest: 99, Count: 1}}
+			}
+			return nil
+		},
+		Steps: 9000,
+		Seed:  3,
+	}
+	res := Run(cfg)
+	if res.Delivered == 0 {
+		t.Error("honeycomb run never delivered")
+	}
+	if res.Dropped == 0 {
+		t.Log("note: no drops (buffer large enough)")
+	}
+}
+
+func TestRunMobilityRebuilds(t *testing.T) {
+	cfg := baseConfig(50, 4)
+	cfg.Steps = 400
+	cfg.Mobility = Mobility{Every: 100, StepSize: 0.02}
+	res := Run(cfg)
+	if res.Rebuilds != 3 {
+		t.Errorf("rebuilds = %d, want 3", res.Rebuilds)
+	}
+	if res.Delivered == 0 {
+		t.Error("mobile run never delivered")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(baseConfig(40, 7))
+	b := Run(baseConfig(40, 7))
+	if a != b {
+		t.Errorf("non-deterministic results: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunPanics(t *testing.T) {
+	cases := []Config{
+		{Points: pointset.Generate(pointset.KindUniform, 10, 1), Router: routing.Params{BufferSize: 5}, Steps: 0},
+		{Points: nil, Router: routing.Params{BufferSize: 5}, Steps: 10},
+		{Points: pointset.Generate(pointset.KindUniform, 10, 1), Router: routing.Params{BufferSize: 5}, Steps: 10, MAC: MACKind(9)},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func TestSinksInjectorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty sinks")
+		}
+	}()
+	SinksInjector(10, nil, 1, 10)
+}
+
+func TestSinksInjectorHorizon(t *testing.T) {
+	inj := SinksInjector(10, []int{3}, 2, 5)
+	rng := randSource(1)
+	if got := inj(4, rng); len(got) != 2 {
+		t.Errorf("in-horizon injections = %d", len(got))
+	}
+	if got := inj(5, rng); got != nil {
+		t.Errorf("post-horizon injections = %v", got)
+	}
+}
+
+func TestMACKindString(t *testing.T) {
+	if MACGiven.String() != "given" || MACRandom.String() != "random" ||
+		MACHoneycomb.String() != "honeycomb" || MACKind(9).String() != "MACKind(9)" {
+		t.Error("MACKind strings")
+	}
+}
+
+func TestMonteCarloSeedOrderAndDeterminism(t *testing.T) {
+	cfg := baseConfig(40, 0)
+	cfg.Steps = 300
+	seeds := []int64{11, 22, 33, 44, 55, 66}
+	par := MonteCarlo(cfg, seeds, 4)
+	seq := MonteCarlo(cfg, seeds, 1)
+	if len(par) != len(seeds) {
+		t.Fatalf("results = %d", len(par))
+	}
+	for i := range seeds {
+		if par[i].Seed != seeds[i] {
+			t.Fatalf("result %d has seed %d", i, par[i].Seed)
+		}
+		if par[i] != seq[i] {
+			t.Fatalf("parallel result %d differs from sequential", i)
+		}
+	}
+}
+
+func TestMonteCarloDefaultParallelism(t *testing.T) {
+	cfg := baseConfig(30, 0)
+	cfg.Steps = 100
+	res := MonteCarlo(cfg, []int64{1, 2}, 0)
+	if len(res) != 2 {
+		t.Fatal("wrong result count")
+	}
+}
+
+func TestRunWithWaypointModel(t *testing.T) {
+	cfg := baseConfig(40, 9)
+	cfg.Steps = 600
+	cfg.Mobility = Mobility{
+		Every: 150,
+		Model: mobility.NewRandomWaypoint(1, 1, 0.01, 0.05, 0, randSource(9)),
+	}
+	res := Run(cfg)
+	if res.Rebuilds != 3 {
+		t.Errorf("rebuilds = %d", res.Rebuilds)
+	}
+	if res.Delivered == 0 {
+		t.Error("waypoint run never delivered")
+	}
+}

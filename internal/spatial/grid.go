@@ -1,0 +1,184 @@
+// Package spatial provides a uniform-grid spatial index over a fixed set of
+// 2-D points. It turns the O(n²) neighbourhood scans of the transmission
+// graph builder, the proximity-graph baselines and the interference-set
+// computation into O(n · avg-bucket) scans, which is what makes the large-n
+// experiment sweeps feasible.
+package spatial
+
+import (
+	"math"
+
+	"toporouting/internal/geom"
+)
+
+// Grid is an immutable uniform-grid index over a point set. The zero value
+// is not usable; construct with NewGrid.
+type Grid struct {
+	pts      []geom.Point
+	cell     float64
+	min      geom.Point
+	cols     int
+	rows     int
+	buckets  [][]int32 // indexed by row*cols+col
+	hasCells bool
+}
+
+// NewGrid indexes pts with the given cell size. A non-positive cellSize is
+// replaced by a heuristic (bounding-box area / n, clamped). The index keeps a
+// reference to pts; callers must not mutate the slice afterwards.
+func NewGrid(pts []geom.Point, cellSize float64) *Grid {
+	g := &Grid{pts: pts}
+	if len(pts) == 0 {
+		g.cell = 1
+		return g
+	}
+	min, max := pts[0], pts[0]
+	for _, p := range pts[1:] {
+		if p.X < min.X {
+			min.X = p.X
+		}
+		if p.Y < min.Y {
+			min.Y = p.Y
+		}
+		if p.X > max.X {
+			max.X = p.X
+		}
+		if p.Y > max.Y {
+			max.Y = p.Y
+		}
+	}
+	w, h := max.X-min.X, max.Y-min.Y
+	if cellSize <= 0 {
+		area := w * h
+		if area <= 0 {
+			cellSize = 1
+		} else {
+			cellSize = math.Sqrt(area / float64(len(pts)))
+		}
+		if cellSize <= 0 {
+			cellSize = 1
+		}
+	}
+	g.cell = cellSize
+	g.min = min
+	g.cols = int(w/cellSize) + 1
+	g.rows = int(h/cellSize) + 1
+	g.buckets = make([][]int32, g.cols*g.rows)
+	g.hasCells = true
+	for i, p := range pts {
+		c := g.cellIndex(p)
+		g.buckets[c] = append(g.buckets[c], int32(i))
+	}
+	return g
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// Point returns the i-th indexed point.
+func (g *Grid) Point(i int) geom.Point { return g.pts[i] }
+
+// CellSize returns the side length of the grid cells.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+func (g *Grid) cellIndex(p geom.Point) int {
+	col := int((p.X - g.min.X) / g.cell)
+	row := int((p.Y - g.min.Y) / g.cell)
+	if col < 0 {
+		col = 0
+	} else if col >= g.cols {
+		col = g.cols - 1
+	}
+	if row < 0 {
+		row = 0
+	} else if row >= g.rows {
+		row = g.rows - 1
+	}
+	return row*g.cols + col
+}
+
+// ForEachWithin calls fn(j) for every indexed point j with |p, pts[j]| ≤ r.
+// The order of visits is deterministic (bucket-major, insertion order).
+func (g *Grid) ForEachWithin(p geom.Point, r float64, fn func(j int)) {
+	if !g.hasCells || r < 0 {
+		return
+	}
+	r2 := r * r
+	c0 := int(math.Floor((p.X - r - g.min.X) / g.cell))
+	c1 := int(math.Floor((p.X + r - g.min.X) / g.cell))
+	r0 := int(math.Floor((p.Y - r - g.min.Y) / g.cell))
+	r1 := int(math.Floor((p.Y + r - g.min.Y) / g.cell))
+	if c0 < 0 {
+		c0 = 0
+	}
+	if r0 < 0 {
+		r0 = 0
+	}
+	if c1 >= g.cols {
+		c1 = g.cols - 1
+	}
+	if r1 >= g.rows {
+		r1 = g.rows - 1
+	}
+	for row := r0; row <= r1; row++ {
+		base := row * g.cols
+		for col := c0; col <= c1; col++ {
+			for _, j := range g.buckets[base+col] {
+				if geom.Dist2(p, g.pts[j]) <= r2 {
+					fn(int(j))
+				}
+			}
+		}
+	}
+}
+
+// Within returns the indices of all points within distance r of p, in
+// deterministic order.
+func (g *Grid) Within(p geom.Point, r float64) []int {
+	var out []int
+	g.ForEachWithin(p, r, func(j int) { out = append(out, j) })
+	return out
+}
+
+// NeighborsOf returns the indices of all points within distance r of point i,
+// excluding i itself.
+func (g *Grid) NeighborsOf(i int, r float64) []int {
+	var out []int
+	p := g.pts[i]
+	g.ForEachWithin(p, r, func(j int) {
+		if j != i {
+			out = append(out, j)
+		}
+	})
+	return out
+}
+
+// Nearest returns the index of the point nearest to p and its distance,
+// excluding indices for which skip(j) is true (skip may be nil). It returns
+// (-1, +Inf) if no eligible point exists. The search expands ring by ring,
+// so it is efficient when a near point exists.
+func (g *Grid) Nearest(p geom.Point, skip func(j int) bool) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	if !g.hasCells {
+		return best, bestD
+	}
+	maxRing := g.cols
+	if g.rows > maxRing {
+		maxRing = g.rows
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		r := float64(ring+1) * g.cell
+		g.ForEachWithin(p, r, func(j int) {
+			if skip != nil && skip(j) {
+				return
+			}
+			if d := geom.Dist(p, g.pts[j]); d < bestD {
+				best, bestD = j, d
+			}
+		})
+		if best >= 0 && bestD <= float64(ring)*g.cell {
+			break
+		}
+	}
+	return best, bestD
+}

@@ -1,0 +1,180 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"toporouting/internal/geom"
+)
+
+func randomPoints(n int, side float64, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	return pts
+}
+
+// bruteWithin is the O(n) reference for Within.
+func bruteWithin(pts []geom.Point, p geom.Point, r float64) []int {
+	var out []int
+	for j, q := range pts {
+		if geom.Dist(p, q) <= r {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWithinMatchesBrute(t *testing.T) {
+	pts := randomPoints(400, 10, 1)
+	g := NewGrid(pts, 0)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		p := geom.Pt(rng.Float64()*12-1, rng.Float64()*12-1)
+		r := rng.Float64() * 3
+		got := g.Within(p, r)
+		want := bruteWithin(pts, p, r)
+		if !sameSet(got, want) {
+			t.Fatalf("Within(%v, %v): got %d points, want %d", p, r, len(got), len(want))
+		}
+	}
+}
+
+func TestWithinCustomCellSize(t *testing.T) {
+	pts := randomPoints(200, 5, 3)
+	for _, cs := range []float64{0.1, 0.5, 2, 50} {
+		g := NewGrid(pts, cs)
+		got := g.Within(geom.Pt(2.5, 2.5), 1.3)
+		want := bruteWithin(pts, geom.Pt(2.5, 2.5), 1.3)
+		if !sameSet(got, want) {
+			t.Fatalf("cell %v: got %d, want %d", cs, len(got), len(want))
+		}
+	}
+}
+
+func TestNeighborsOfExcludesSelf(t *testing.T) {
+	pts := randomPoints(100, 3, 4)
+	g := NewGrid(pts, 0)
+	for i := range pts {
+		for _, j := range g.NeighborsOf(i, 1) {
+			if j == i {
+				t.Fatalf("NeighborsOf(%d) contains self", i)
+			}
+		}
+	}
+}
+
+func TestNearest(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(5, 5)}
+	g := NewGrid(pts, 0)
+	j, d := g.Nearest(geom.Pt(0.9, 0), nil)
+	if j != 1 || math.Abs(d-0.1) > 1e-9 {
+		t.Errorf("Nearest = %d, %v", j, d)
+	}
+	// Skip index 1: next nearest is 0.
+	j, d = g.Nearest(geom.Pt(0.9, 0), func(k int) bool { return k == 1 })
+	if j != 0 || math.Abs(d-0.9) > 1e-9 {
+		t.Errorf("Nearest with skip = %d, %v", j, d)
+	}
+	// Skip everything.
+	j, d = g.Nearest(geom.Pt(0, 0), func(int) bool { return true })
+	if j != -1 || !math.IsInf(d, 1) {
+		t.Errorf("Nearest all-skipped = %d, %v", j, d)
+	}
+}
+
+func TestNearestMatchesBrute(t *testing.T) {
+	pts := randomPoints(300, 8, 5)
+	g := NewGrid(pts, 0)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		p := geom.Pt(rng.Float64()*8, rng.Float64()*8)
+		gotJ, gotD := g.Nearest(p, nil)
+		wantJ, wantD := -1, math.Inf(1)
+		for j, q := range pts {
+			if d := geom.Dist(p, q); d < wantD {
+				wantJ, wantD = j, d
+			}
+		}
+		if gotJ != wantJ || math.Abs(gotD-wantD) > 1e-9 {
+			t.Fatalf("Nearest(%v): got (%d,%v), want (%d,%v)", p, gotJ, gotD, wantJ, wantD)
+		}
+	}
+}
+
+func TestEmptyGrid(t *testing.T) {
+	g := NewGrid(nil, 0)
+	if g.Len() != 0 {
+		t.Error("Len != 0")
+	}
+	if got := g.Within(geom.Pt(0, 0), 10); got != nil {
+		t.Errorf("Within on empty = %v", got)
+	}
+	if j, d := g.Nearest(geom.Pt(0, 0), nil); j != -1 || !math.IsInf(d, 1) {
+		t.Errorf("Nearest on empty = %d, %v", j, d)
+	}
+}
+
+func TestSinglePointAndCollinear(t *testing.T) {
+	g := NewGrid([]geom.Point{geom.Pt(2, 3)}, 0)
+	if got := g.Within(geom.Pt(2, 3), 0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single point Within = %v", got)
+	}
+	// Degenerate bounding box (all points on a vertical line).
+	pts := []geom.Point{geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(1, 2)}
+	g2 := NewGrid(pts, 0)
+	if got := g2.Within(geom.Pt(1, 1), 1.5); len(got) != 3 {
+		t.Errorf("collinear Within = %v", got)
+	}
+}
+
+func TestNegativeRadius(t *testing.T) {
+	g := NewGrid(randomPoints(10, 1, 7), 0)
+	if got := g.Within(geom.Pt(0.5, 0.5), -1); got != nil {
+		t.Errorf("negative radius = %v", got)
+	}
+}
+
+func TestPointAccessors(t *testing.T) {
+	pts := []geom.Point{geom.Pt(1, 2), geom.Pt(3, 4)}
+	g := NewGrid(pts, 0.5)
+	if g.Point(1) != geom.Pt(3, 4) {
+		t.Error("Point accessor")
+	}
+	if g.CellSize() != 0.5 {
+		t.Error("CellSize accessor")
+	}
+}
+
+func TestDeterministicVisitOrder(t *testing.T) {
+	pts := randomPoints(200, 4, 8)
+	g := NewGrid(pts, 0)
+	a := g.Within(geom.Pt(2, 2), 1.5)
+	b := g.Within(geom.Pt(2, 2), 1.5)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("visit order not deterministic")
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness reports with: summary statistics, percentiles, histograms, and
+// least-squares fits (linear and log-linear) used to verify asymptotic
+// claims such as Lemma 2.10's O(log n) interference number.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N                   int
+	Min, Max, Mean, Std float64
+	P50, P90, P95, P99  float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	ss := 0.0
+	for _, x := range sorted {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	s.P50 = Percentile(sorted, 0.50)
+	s.P90 = Percentile(sorted, 0.90)
+	s.P95 = Percentile(sorted, 0.95)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of an ascending-sorted
+// sample using linear interpolation. It panics if sorted is empty or p is
+// outside [0,1].
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,1]", p))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Fit is a least-squares line y = A + B·x with its coefficient of
+// determination R².
+type Fit struct {
+	A, B, R2 float64
+}
+
+// LinearFit fits y = A + B·x by ordinary least squares. It panics if the
+// slices differ in length or contain fewer than two points.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) {
+		panic("stats: mismatched fit inputs")
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		panic("stats: fit needs at least two points")
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	var f Fit
+	if den == 0 {
+		// Vertical data: slope undefined; report flat fit through mean.
+		f.A = sy / n
+		return f
+	}
+	f.B = (n*sxy - sx*sy) / den
+	f.A = (sy - f.B*sx) / n
+	// R² = 1 − SS_res/SS_tot.
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		f.R2 = 1
+		return f
+	}
+	ssRes := 0.0
+	for i := range xs {
+		r := ys[i] - (f.A + f.B*xs[i])
+		ssRes += r * r
+	}
+	f.R2 = 1 - ssRes/ssTot
+	return f
+}
+
+// LogLinearFit fits y = A + B·ln(x), the shape of Lemma 2.10's O(log n)
+// claim. All xs must be positive.
+func LogLinearFit(xs, ys []float64) Fit {
+	lx := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: log-linear fit requires positive x, got %v", x))
+		}
+		lx[i] = math.Log(x)
+	}
+	return LinearFit(lx, ys)
+}
+
+// Histogram counts xs into nbins equal-width bins over [lo, hi]; values
+// outside the range clamp into the edge bins. It panics for nbins < 1 or
+// hi ≤ lo.
+func Histogram(xs []float64, lo, hi float64, nbins int) []int {
+	if nbins < 1 {
+		panic("stats: nbins < 1")
+	}
+	if hi <= lo {
+		panic("stats: empty histogram range")
+	}
+	counts := make([]int, nbins)
+	w := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}

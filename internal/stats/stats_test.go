@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+	if s.P50 != 3 {
+		t.Errorf("median = %v", s.P50)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty summary")
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.P99 != 7 {
+		t.Errorf("single = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if p := Percentile(sorted, 0); p != 10 {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := Percentile(sorted, 1); p != 40 {
+		t.Errorf("p100 = %v", p)
+	}
+	if p := Percentile(sorted, 0.5); p != 25 {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := Percentile([]float64{5}, 0.9); p != 5 {
+		t.Errorf("single = %v", p)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 0.5) },
+		func() { Percentile([]float64{1}, -0.1) },
+		func() { Percentile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentileMonotoneQuick(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		_ = s
+		a := math.Abs(math.Mod(p1, 1))
+		b := math.Abs(math.Mod(p2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		sorted := append([]float64(nil), xs...)
+		sortFloats(sorted)
+		return Percentile(sorted, a) <= Percentile(sorted, b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("mean")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	f := LinearFit(xs, ys)
+	if math.Abs(f.A-1) > 1e-12 || math.Abs(f.B-2) > 1e-12 || math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 2+0.5*x+rng.NormFloat64()*0.1)
+	}
+	f := LinearFit(xs, ys)
+	if math.Abs(f.B-0.5) > 0.01 {
+		t.Errorf("slope = %v", f.B)
+	}
+	if f.R2 < 0.99 {
+		t.Errorf("R² = %v", f.R2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	// All x equal: flat fit through the mean.
+	f := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if f.B != 0 || f.A != 2 {
+		t.Errorf("degenerate fit = %+v", f)
+	}
+	// Constant y: R² defined as 1.
+	f2 := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if f2.R2 != 1 || f2.B != 0 {
+		t.Errorf("constant-y fit = %+v", f2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { LinearFit([]float64{1}, []float64{1, 2}) },
+		func() { LinearFit([]float64{1}, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLogLinearFit(t *testing.T) {
+	// y = 3 + 2 ln x.
+	var xs, ys []float64
+	for _, x := range []float64{1, 2, 4, 8, 16, 32} {
+		xs = append(xs, x)
+		ys = append(ys, 3+2*math.Log(x))
+	}
+	f := LogLinearFit(xs, ys)
+	if math.Abs(f.A-3) > 1e-9 || math.Abs(f.B-2) > 1e-9 {
+		t.Errorf("log fit = %+v", f)
+	}
+}
+
+func TestLogLinearFitPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	LogLinearFit([]float64{0, 1}, []float64{1, 2})
+}
+
+func TestHistogram(t *testing.T) {
+	counts := Histogram([]float64{0.1, 0.2, 0.9, -5, 99}, 0, 1, 2)
+	if counts[0] != 3 || counts[1] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Histogram(nil, 0, 1, 0) },
+		func() { Histogram(nil, 1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummaryPercentileOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	s := Summarize(xs)
+	if !(s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Errorf("percentile ordering violated: %+v", s)
+	}
+}

@@ -1,0 +1,215 @@
+// Package stretch evaluates the quality measures of Section 2 of the paper:
+// the energy-stretch of a subgraph H of the transmission graph G*
+// (Theorem 2.2) and the distance-stretch (Theorem 2.7). Both are defined as
+// the maximum, over node pairs, of the ratio between H's least-cost path and
+// G*'s least-cost path under the respective metric.
+package stretch
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+	"toporouting/internal/stats"
+)
+
+// Metric selects the path-cost metric used for stretch evaluation.
+type Metric int
+
+// Available metrics.
+const (
+	// Energy uses edge cost |uv|^κ (Section 2.2).
+	Energy Metric = iota
+	// Distance uses edge cost |uv| (Section 2.3).
+	Distance
+)
+
+// Options configures an evaluation.
+type Options struct {
+	// Kappa is the path-loss exponent for the Energy metric (default 2;
+	// ignored for Distance).
+	Kappa float64
+	// Sources restricts the evaluation to shortest-path trees rooted at
+	// these nodes; nil evaluates all n sources (exact stretch).
+	Sources []int
+	// EuclideanDenominator, for the Distance metric, divides by the
+	// straight-line distance |uv| instead of G*'s shortest-path distance;
+	// this is the classical spanner ratio. Ignored for Energy.
+	EuclideanDenominator bool
+}
+
+// Result summarizes the observed stretch ratios.
+type Result struct {
+	// Max is the stretch: the maximum observed ratio.
+	Max float64
+	// Mean and P95 summarize the ratio distribution.
+	Mean, P95 float64
+	// Pairs is the number of (source, destination) pairs measured.
+	Pairs int
+	// Disconnected counts pairs reachable in G* but not in H; a correct
+	// topology-control output has zero.
+	Disconnected int
+}
+
+// Evaluate measures the stretch of h relative to gstar over the shared
+// point set pts. Both graphs must have len(pts) nodes. Pairs unreachable in
+// gstar are skipped (they are unreachable for every subgraph); pairs
+// reachable in gstar but not in h are tallied in Disconnected and drive Max
+// to +Inf.
+func Evaluate(h, gstar *graph.Graph, pts []geom.Point, m Metric, opt Options) Result {
+	if h.N() != len(pts) || gstar.N() != len(pts) {
+		panic("stretch: graph/point size mismatch")
+	}
+	kappa := opt.Kappa
+	if kappa == 0 {
+		kappa = 2
+	}
+	var cost graph.CostFunc
+	switch m {
+	case Energy:
+		cost = func(u, v int) float64 { return geom.EnergyCost(pts[u], pts[v], kappa) }
+	case Distance:
+		cost = func(u, v int) float64 { return geom.Dist(pts[u], pts[v]) }
+	default:
+		panic("stretch: unknown metric")
+	}
+
+	sources := opt.Sources
+	if sources == nil {
+		sources = make([]int, len(pts))
+		for i := range sources {
+			sources[i] = i
+		}
+	}
+
+	// Shortest-path trees from distinct sources are independent; fan the
+	// sources out over a worker pool and merge in deterministic order.
+	type srcResult struct {
+		ratios       []float64
+		disconnected int
+	}
+	perSource := make([]srcResult, len(sources))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				s := sources[i]
+				var sr srcResult
+				dh, _ := h.Dijkstra(s, cost)
+				var dg []float64
+				if m != Distance || !opt.EuclideanDenominator {
+					dg, _ = gstar.Dijkstra(s, cost)
+				}
+				for v := range pts {
+					if v == s {
+						continue
+					}
+					var denom float64
+					if dg == nil {
+						denom = geom.Dist(pts[s], pts[v])
+					} else {
+						denom = dg[v]
+					}
+					if math.IsInf(denom, 1) {
+						continue // unreachable even in G*
+					}
+					if denom == 0 {
+						continue // coincident points
+					}
+					if math.IsInf(dh[v], 1) {
+						sr.disconnected++
+						continue
+					}
+					sr.ratios = append(sr.ratios, dh[v]/denom)
+				}
+				perSource[i] = sr
+			}
+		}()
+	}
+	for i := range sources {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	var res Result
+	var ratios []float64
+	for _, sr := range perSource {
+		ratios = append(ratios, sr.ratios...)
+		res.Disconnected += sr.disconnected
+	}
+	if res.Disconnected > 0 {
+		res.Max = math.Inf(1)
+	}
+	res.Pairs = len(ratios)
+	if len(ratios) == 0 {
+		return res
+	}
+	sum := stats.Summarize(ratios)
+	if !math.IsInf(res.Max, 1) {
+		res.Max = sum.Max
+	}
+	res.Mean, res.P95 = sum.Mean, sum.P95
+	return res
+}
+
+// EdgeCertificate measures the per-edge quantity of Theorem 2.2's
+// reduction: for every edge (u,v) of gstar, the ratio of H's least-cost
+// path between u and v to the direct cost of the edge (|uv|^κ for Energy,
+// |uv| for Distance). Theorem 2.2 states this ratio is O(1) for the energy
+// metric on ΘALG's topology. Returns the ratio distribution.
+func EdgeCertificate(h, gstar *graph.Graph, pts []geom.Point, m Metric, kappa float64) Result {
+	if kappa == 0 {
+		kappa = 2
+	}
+	var cost graph.CostFunc
+	if m == Energy {
+		cost = func(u, v int) float64 { return geom.EnergyCost(pts[u], pts[v], kappa) }
+	} else {
+		cost = func(u, v int) float64 { return geom.Dist(pts[u], pts[v]) }
+	}
+	// Group G* edges by source so each Dijkstra tree is reused.
+	bySource := make([][]int, len(pts))
+	for _, e := range gstar.Edges() {
+		bySource[e.U] = append(bySource[e.U], e.V)
+	}
+	var res Result
+	var ratios []float64
+	for u, targets := range bySource {
+		if len(targets) == 0 {
+			continue
+		}
+		dh, _ := h.Dijkstra(u, cost)
+		for _, v := range targets {
+			direct := cost(u, v)
+			if direct == 0 {
+				continue
+			}
+			if math.IsInf(dh[v], 1) {
+				res.Disconnected++
+				res.Max = math.Inf(1)
+				continue
+			}
+			ratios = append(ratios, dh[v]/direct)
+		}
+	}
+	res.Pairs = len(ratios)
+	if len(ratios) == 0 {
+		return res
+	}
+	sum := stats.Summarize(ratios)
+	if !math.IsInf(res.Max, 1) {
+		res.Max = sum.Max
+	}
+	res.Mean, res.P95 = sum.Mean, sum.P95
+	return res
+}

@@ -1,0 +1,228 @@
+// Package topology implements the paper's primary contribution: the
+// two-phase local topology-control algorithm ΘALG (Section 2.1, proposed by
+// Li et al. and analyzed by Jia/Rajaraman/Scheideler), together with the
+// plain Yao graph it prunes, a faithful distributed 3-round message-passing
+// implementation, and the θ-path replacement used by Lemma 2.9 and
+// Theorem 2.8.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+	"toporouting/internal/spatial"
+)
+
+// DefaultTheta is the default cone angle (π/6, i.e. 12 sectors). The
+// analysis requires θ ≤ π/3; smaller angles trade degree for stretch.
+const DefaultTheta = math.Pi / 6
+
+// Config parameterizes ΘALG.
+type Config struct {
+	// Theta is the cone angle; must be in (0, π/3]. Zero selects
+	// DefaultTheta.
+	Theta float64
+	// Range is the maximum transmission range D defining the transmission
+	// graph G*. Must be positive.
+	Range float64
+	// Orientations optionally anchors each node's sector partition at its
+	// own azimuth (radians). The paper's nodes each divide the 360° space
+	// around themselves, so no shared frame is assumed; nil uses azimuth
+	// 0 everywhere. Length must equal the point count when non-nil.
+	Orientations []float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Theta == 0 {
+		c.Theta = DefaultTheta
+	}
+	return c
+}
+
+// Topology is the output of ΘALG on a point set: the bounded-degree graph N,
+// the intermediate Yao graph N₁, and the per-sector selection tables that
+// the θ-path replacement and the distributed protocol are defined in terms
+// of.
+type Topology struct {
+	// Pts are the node positions; node i is Pts[i].
+	Pts []geom.Point
+	// Cfg echoes the configuration the topology was built with.
+	Cfg Config
+	// Sectors is the cone partition used by every node.
+	Sectors geom.Sectors
+	// N is the final topology: connected (when G* is), degree ≤ 4π/θ,
+	// O(1) energy-stretch (Theorem 2.2).
+	N *graph.Graph
+	// Yao is the phase-1 graph N₁ (the Yao/θ-graph): (u,v) present iff
+	// u ∈ N(v) or v ∈ N(u). It is a spanner but has unbounded in-degree.
+	Yao *graph.Graph
+	// NearestOut[u][s] is u's phase-1 selection in sector s: the nearest
+	// node of u within range whose direction falls in sector s, or -1.
+	// v = NearestOut[u][s] means v ∈ N(u).
+	NearestOut [][]int32
+	// AdmitIn[u][s] is the phase-2 admission: among all w with
+	// u ∈ N(w) lying in sector s of u, the nearest such w, or -1. Every
+	// admitted pair is an edge of N.
+	AdmitIn [][]int32
+}
+
+// closer reports whether a is strictly preferred to b as a neighbor of u,
+// breaking exact distance ties by node id. The paper assumes unique pairwise
+// distances; this deterministic tie-break realizes that assumption for
+// degenerate inputs such as exact grids.
+func closer(pts []geom.Point, u, a, b int) bool {
+	da, db := geom.Dist2(pts[u], pts[a]), geom.Dist2(pts[u], pts[b])
+	if da != db {
+		return da < db
+	}
+	return a < b
+}
+
+// BuildTheta runs ΘALG on pts and returns the resulting topology. It panics
+// on an invalid configuration. The transmission graph G* is implicit: nodes
+// within distance Cfg.Range are mutually reachable.
+func BuildTheta(pts []geom.Point, cfg Config) *Topology {
+	cfg = cfg.withDefaults()
+	if cfg.Range <= 0 {
+		panic(fmt.Sprintf("topology: non-positive range %v", cfg.Range))
+	}
+	checkDistinct(pts)
+	sectors := geom.NewSectors(cfg.Theta)
+	n := len(pts)
+	k := sectors.Count()
+	if cfg.Orientations != nil && len(cfg.Orientations) != n {
+		panic(fmt.Sprintf("topology: %d orientations for %d points", len(cfg.Orientations), n))
+	}
+	t := &Topology{
+		Pts:        pts,
+		Cfg:        cfg,
+		Sectors:    sectors,
+		NearestOut: newSectorTable(n, k),
+		AdmitIn:    newSectorTable(n, k),
+	}
+
+	// Phase 1: every node selects, in each of its sectors, the nearest
+	// node within transmission range. This is purely local given the
+	// positions of in-range nodes (round 1 of the distributed protocol).
+	idx := spatial.NewGrid(pts, cfg.Range)
+	for u := 0; u < n; u++ {
+		row := t.NearestOut[u]
+		idx.ForEachWithin(pts[u], cfg.Range, func(v int) {
+			if v == u {
+				return
+			}
+			s := t.SectorOf(u, v)
+			if row[s] < 0 || closer(pts, u, v, int(row[s])) {
+				row[s] = int32(v)
+			}
+		})
+	}
+
+	// Yao graph N₁: undirected closure of the phase-1 selections.
+	t.Yao = graph.New(n)
+	for u := 0; u < n; u++ {
+		for _, v := range t.NearestOut[u] {
+			if v >= 0 {
+				t.Yao.AddEdge(u, int(v))
+			}
+		}
+	}
+
+	// Phase 2: every node u admits, per sector, only the nearest node w
+	// that selected u (u ∈ N(w)). In the distributed protocol this is the
+	// neighborhood round (w tells u "I selected you") followed by the
+	// connection round (u answers its per-sector winners).
+	for w := 0; w < n; w++ {
+		for _, v := range t.NearestOut[w] {
+			if v < 0 {
+				continue
+			}
+			// w selected v, so w is an in-neighbor candidate of v in
+			// sector S(v, w).
+			s := t.SectorOf(int(v), w)
+			cur := t.AdmitIn[v][s]
+			if cur < 0 || closer(pts, int(v), w, int(cur)) {
+				t.AdmitIn[v][s] = int32(w)
+			}
+		}
+	}
+
+	// Final topology: an edge for every admission, in either direction.
+	t.N = graph.New(n)
+	for u := 0; u < n; u++ {
+		for _, w := range t.AdmitIn[u] {
+			if w >= 0 {
+				t.N.AddEdge(u, int(w))
+			}
+		}
+	}
+	return t
+}
+
+// checkDistinct enforces the paper's standing assumption of distinct node
+// positions (Section 2.1 assumes unique pairwise distances; our
+// deterministic tie-break relaxes uniqueness, but zero-distance pairs make
+// the sector geometry — and hence the θ-path recursion — ill-defined).
+func checkDistinct(pts []geom.Point) {
+	seen := make(map[geom.Point]int, len(pts))
+	for i, p := range pts {
+		if j, dup := seen[p]; dup {
+			panic(fmt.Sprintf("topology: nodes %d and %d share position (%v, %v); ΘALG requires distinct positions", j, i, p.X, p.Y))
+		}
+		seen[p] = i
+	}
+}
+
+// newSectorTable allocates an n×k table initialized to -1.
+func newSectorTable(n, k int) [][]int32 {
+	flat := make([]int32, n*k)
+	for i := range flat {
+		flat[i] = -1
+	}
+	tab := make([][]int32, n)
+	for i := range tab {
+		tab[i] = flat[i*k : (i+1)*k : (i+1)*k]
+	}
+	return tab
+}
+
+// SectorOf returns the index of node u's sector containing node v,
+// honoring u's orientation when per-node orientations are configured.
+func (t *Topology) SectorOf(u, v int) int {
+	if t.Cfg.Orientations != nil {
+		return t.Sectors.IndexOfOriented(t.Pts[u], t.Pts[v], t.Cfg.Orientations[u])
+	}
+	return t.Sectors.IndexOf(t.Pts[u], t.Pts[v])
+}
+
+// Selected reports whether v ∈ N(u), i.e. u selected v in phase 1.
+func (t *Topology) Selected(u, v int) bool {
+	return t.NearestOut[u][t.SectorOf(u, v)] == int32(v)
+}
+
+// DegreeBound returns the theoretical maximum degree 4π/θ of Lemma 2.1,
+// evaluated for the actual sector width in use.
+func (t *Topology) DegreeBound() int { return 2 * t.Sectors.Count() }
+
+// EnergyCost returns a graph.CostFunc assigning |uv|^κ to each edge, the
+// energy metric of Section 2.2.
+func (t *Topology) EnergyCost(kappa float64) graph.CostFunc {
+	pts := t.Pts
+	return func(u, v int) float64 { return geom.EnergyCost(pts[u], pts[v], kappa) }
+}
+
+// DistanceCost returns a graph.CostFunc assigning |uv| to each edge, the
+// metric of the distance-stretch analysis (Section 2.3).
+func (t *Topology) DistanceCost() graph.CostFunc {
+	pts := t.Pts
+	return func(u, v int) float64 { return geom.Dist(pts[u], pts[v]) }
+}
+
+// BuildYao builds only the phase-1 Yao (θ-) graph over pts, the classic
+// construction of Yao [44] that ΘALG prunes. Exposed as an experiment
+// baseline: it is a spanner but has worst-case degree Ω(n).
+func BuildYao(pts []geom.Point, cfg Config) *graph.Graph {
+	return BuildTheta(pts, cfg).Yao
+}

@@ -1,0 +1,98 @@
+package topology
+
+import (
+	"fmt"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+)
+
+// ThetaPath computes the recursive replacement path of Section 2.4: it maps
+// an edge (u, v) of the transmission graph G* (|uv| ≤ Range) to a path of
+// edges of N connecting u and v. Lemma 2.9 shows that in any set T of
+// pairwise non-interfering G* edges, each N edge appears in at most 6 such
+// θ-paths, which drives the schedule emulation of Theorem 2.8.
+//
+// The recursion follows the paper exactly:
+//   - if (u,v) ∈ N, the path is the edge itself;
+//   - if v is u's phase-1 selection in S(u,v) (but the edge was pruned),
+//     let w be v's admitted in-neighbor in S(v,u); recurse on (u,w) and
+//     append the N edge (w,v);
+//   - otherwise let w be u's phase-1 selection in S(u,v); recurse on (u,w)
+//     and (w,v).
+//
+// Every recursive call strictly decreases the pair distance (under the
+// deterministic distance tie-break), so the recursion terminates.
+// ThetaPath panics if |uv| > Range — only transmission-graph edges have
+// θ-paths.
+func (t *Topology) ThetaPath(u, v int) []graph.Edge {
+	if u == v {
+		return nil
+	}
+	if geom.Dist(t.Pts[u], t.Pts[v]) > t.Cfg.Range {
+		panic(fmt.Sprintf("topology: ThetaPath(%d,%d) outside transmission range", u, v))
+	}
+	var out []graph.Edge
+	// Observed θ-path lengths are tens of edges; the budget guards
+	// against non-termination on inputs that violate the distinct-points
+	// precondition (it fails with a clean panic well before exhausting
+	// the goroutine stack).
+	budget := 100000
+	out = t.thetaPathRec(u, v, out, &budget)
+	return out
+}
+
+func (t *Topology) thetaPathRec(u, v int, out []graph.Edge, budget *int) []graph.Edge {
+	*budget--
+	if *budget < 0 {
+		panic("topology: θ-path recursion failed to terminate")
+	}
+	if t.N.HasEdge(u, v) {
+		return append(out, graph.Canon(u, v))
+	}
+	su := t.SectorOf(u, v)
+	if t.NearestOut[u][su] == int32(v) {
+		// u selected v but v admitted a closer suitor w in u's sector.
+		sv := t.SectorOf(v, u)
+		w := t.AdmitIn[v][sv]
+		if w < 0 || w == int32(u) {
+			// u is a suitor of v in that sector, so an admission must
+			// exist; w == u would imply (u,v) ∈ N, handled above.
+			panic(fmt.Sprintf("topology: inconsistent admission for pruned edge (%d,%d)", u, v))
+		}
+		out = t.thetaPathRec(u, int(w), out, budget)
+		return append(out, graph.Canon(int(w), v))
+	}
+	// v is not u's selection: route via u's phase-1 selection w in S(u,v).
+	w := t.NearestOut[u][su]
+	if w < 0 {
+		panic(fmt.Sprintf("topology: node %d has no selection in sector of in-range node %d", u, v))
+	}
+	out = t.thetaPathRec(u, int(w), out, budget)
+	return t.thetaPathRec(int(w), v, out, budget)
+}
+
+// ThetaPathNodes returns the node sequence of the θ-path from u to v
+// (starting at u, ending at v). It reconstructs the walk from the edge list
+// returned by ThetaPath.
+func (t *Topology) ThetaPathNodes(u, v int) []int {
+	edges := t.ThetaPath(u, v)
+	nodes := make([]int, 0, len(edges)+1)
+	cur := u
+	nodes = append(nodes, cur)
+	for _, e := range edges {
+		switch cur {
+		case e.U:
+			cur = e.V
+		case e.V:
+			cur = e.U
+		default:
+			panic("topology: θ-path edges do not form a walk")
+		}
+		nodes = append(nodes, cur)
+	}
+	if cur != v {
+		panic("topology: θ-path does not end at destination")
+	}
+	return nodes
+}

@@ -1,0 +1,98 @@
+// Package unitdisk builds the transmission graph G* of Section 2 of the
+// paper: nodes can communicate directly iff their Euclidean distance is at
+// most the maximum transmission range D. It also computes the critical
+// range (the smallest D for which G* is connected), which experiments use to
+// pick a D that satisfies the paper's standing assumption that G* is
+// connected.
+package unitdisk
+
+import (
+	"math"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+	"toporouting/internal/spatial"
+)
+
+// Build returns the transmission graph over pts with maximum range d: an
+// undirected graph with an edge (u, v) iff |uv| ≤ d. It runs in
+// O(n · avg-neighbourhood) time using a spatial grid.
+func Build(pts []geom.Point, d float64) *graph.Graph {
+	g := graph.New(len(pts))
+	if d <= 0 || len(pts) < 2 {
+		return g
+	}
+	idx := spatial.NewGrid(pts, d)
+	for u := range pts {
+		idx.ForEachWithin(pts[u], d, func(v int) {
+			if v > u {
+				g.AddEdge(u, v)
+			}
+		})
+	}
+	return g
+}
+
+// CriticalRange returns the smallest maximum transmission range D for which
+// the transmission graph over pts is connected. This equals the longest edge
+// of the Euclidean minimum spanning tree. It returns 0 for fewer than two
+// points. O(n²) (dense Prim), intended for experiment setup, not hot paths.
+func CriticalRange(pts []geom.Point) float64 {
+	n := len(pts)
+	if n < 2 {
+		return 0
+	}
+	const unvisited = -1
+	inTree := make([]bool, n)
+	best := make([]float64, n) // squared distance to the tree
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		best[j] = geom.Dist2(pts[0], pts[j])
+	}
+	longest2 := 0.0
+	for it := 1; it < n; it++ {
+		pick := unvisited
+		pickD := math.Inf(1)
+		for j := 0; j < n; j++ {
+			if !inTree[j] && best[j] < pickD {
+				pick, pickD = j, best[j]
+			}
+		}
+		inTree[pick] = true
+		if pickD > longest2 {
+			longest2 = pickD
+		}
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if d2 := geom.Dist2(pts[pick], pts[j]); d2 < best[j] {
+					best[j] = d2
+				}
+			}
+		}
+	}
+	// Nudge up by a few ulps so that Build(pts, CriticalRange(pts)) always
+	// includes the critical MST edge despite sqrt/square rounding.
+	d := math.Sqrt(longest2)
+	for i := 0; i < 4; i++ {
+		d = math.Nextafter(d, math.Inf(1))
+	}
+	return d
+}
+
+// ConnectedBuild builds a connected transmission graph by using
+// slack × CriticalRange(pts) as the maximum range (slack ≥ 1; values
+// slightly above 1 leave headroom so the graph is not a bare tree). It
+// returns the graph and the range used.
+func ConnectedBuild(pts []geom.Point, slack float64) (*graph.Graph, float64) {
+	if slack < 1 {
+		slack = 1
+	}
+	d := CriticalRange(pts) * slack
+	if d == 0 {
+		d = 1
+	}
+	return Build(pts, d), d
+}

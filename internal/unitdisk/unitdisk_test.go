@@ -1,0 +1,106 @@
+package unitdisk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/pointset"
+)
+
+func TestBuildMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := pointset.Uniform(150, 1, rng)
+	const d = 0.15
+	g := Build(pts, d)
+	for u := 0; u < len(pts); u++ {
+		for v := u + 1; v < len(pts); v++ {
+			want := geom.Dist(pts[u], pts[v]) <= d
+			if g.HasEdge(u, v) != want {
+				t.Fatalf("edge (%d,%d): got %v, want %v", u, v, g.HasEdge(u, v), want)
+			}
+		}
+	}
+}
+
+func TestBuildDegenerate(t *testing.T) {
+	if g := Build(nil, 1); g.N() != 0 {
+		t.Error("empty points")
+	}
+	if g := Build([]geom.Point{geom.Pt(0, 0)}, 1); g.N() != 1 || g.NumEdges() != 0 {
+		t.Error("single point")
+	}
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	if g := Build(pts, 0); g.NumEdges() != 0 {
+		t.Error("zero range should have no edges")
+	}
+	if g := Build(pts, -1); g.NumEdges() != 0 {
+		t.Error("negative range should have no edges")
+	}
+	if g := Build(pts, 1); g.NumEdges() != 1 {
+		t.Error("exact-range edge should be included (closed ball)")
+	}
+}
+
+func TestCriticalRangeLine(t *testing.T) {
+	// Points at 0, 1, 3: the MST's longest edge is 2.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(3, 0)}
+	if d := CriticalRange(pts); math.Abs(d-2) > 1e-12 {
+		t.Errorf("CriticalRange = %v, want 2", d)
+	}
+	if CriticalRange(pts[:1]) != 0 || CriticalRange(nil) != 0 {
+		t.Error("degenerate critical range should be 0")
+	}
+}
+
+func TestCriticalRangeConnectsExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		pts := pointset.Uniform(80, 1, rng)
+		d := CriticalRange(pts)
+		if !Build(pts, d).Connected() {
+			t.Fatal("graph at critical range must be connected")
+		}
+		if Build(pts, d*(1-1e-9)-1e-12).Connected() {
+			t.Fatal("graph just below critical range must be disconnected")
+		}
+	}
+}
+
+func TestConnectedBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := pointset.Uniform(120, 1, rng)
+	g, d := ConnectedBuild(pts, 1.2)
+	if !g.Connected() {
+		t.Fatal("ConnectedBuild must produce a connected graph")
+	}
+	if d < CriticalRange(pts) {
+		t.Error("range below critical")
+	}
+	// Slack below 1 is coerced.
+	g2, _ := ConnectedBuild(pts, 0.5)
+	if !g2.Connected() {
+		t.Error("coerced slack must still connect")
+	}
+}
+
+func TestConnectedBuildSinglePoint(t *testing.T) {
+	g, d := ConnectedBuild([]geom.Point{geom.Pt(0, 0)}, 1.5)
+	if !g.Connected() || d <= 0 {
+		t.Error("single point should be trivially connected with positive range")
+	}
+}
+
+func TestExponentialChainConnectivity(t *testing.T) {
+	// The chain's critical range is its largest gap.
+	pts := pointset.ExponentialChain(10, 1, 2, nil)
+	d := CriticalRange(pts)
+	wantMax := math.Pow(2, 8) // last gap
+	if math.Abs(d-wantMax) > 1e-6 {
+		t.Errorf("critical range %v, want %v", d, wantMax)
+	}
+	if !Build(pts, d).Connected() {
+		t.Error("chain should connect at critical range")
+	}
+}

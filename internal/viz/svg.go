@@ -1,0 +1,153 @@
+// Package viz renders topologies as standalone SVG documents: nodes, the
+// edges of one or more graphs (layered with distinct strokes), and an
+// optional highlighted path. topoctl uses it for quick visual inspection of
+// ΘALG topologies against their transmission graphs.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+)
+
+// Layer is one edge set to draw.
+type Layer struct {
+	// G supplies the edges.
+	G *graph.Graph
+	// Stroke is the SVG stroke color (e.g. "#1f77b4").
+	Stroke string
+	// Width is the stroke width in user units.
+	Width float64
+	// Opacity in [0, 1]; 0 selects 1.
+	Opacity float64
+}
+
+// Options configures Render.
+type Options struct {
+	// Canvas is the output width/height in pixels (0 = 800).
+	Canvas float64
+	// NodeRadius in pixels (0 = 2.5).
+	NodeRadius float64
+	// NodeFill is the node color (empty = "#333").
+	NodeFill string
+	// Path optionally highlights a node walk in red.
+	Path []int
+	// Labels draws node indices when true (readable only for small n).
+	Labels bool
+}
+
+// Render writes a standalone SVG of the points with the given edge layers.
+// Coordinates are scaled to fit the canvas with a small margin; the Y axis
+// is flipped so the plane appears in standard orientation.
+func Render(w io.Writer, pts []geom.Point, layers []Layer, opt Options) error {
+	if opt.Canvas == 0 {
+		opt.Canvas = 800
+	}
+	if opt.NodeRadius == 0 {
+		opt.NodeRadius = 2.5
+	}
+	if opt.NodeFill == "" {
+		opt.NodeFill = "#333"
+	}
+	const margin = 0.04
+	minP, maxP := bounds(pts)
+	span := maxP.X - minP.X
+	if dy := maxP.Y - minP.Y; dy > span {
+		span = dy
+	}
+	if span == 0 {
+		span = 1
+	}
+	scale := opt.Canvas * (1 - 2*margin) / span
+	tx := func(p geom.Point) (float64, float64) {
+		x := opt.Canvas*margin + (p.X-minP.X)*scale
+		y := opt.Canvas - (opt.Canvas*margin + (p.Y-minP.Y)*scale)
+		return x, y
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		opt.Canvas, opt.Canvas, opt.Canvas, opt.Canvas)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	for _, l := range layers {
+		if l.G == nil {
+			continue
+		}
+		op := l.Opacity
+		if op == 0 {
+			op = 1
+		}
+		width := l.Width
+		if width == 0 {
+			width = 1
+		}
+		fmt.Fprintf(&b, `<g stroke="%s" stroke-width="%.2f" stroke-opacity="%.2f">`+"\n", l.Stroke, width, op)
+		for _, e := range l.G.Edges() {
+			x1, y1 := tx(pts[e.U])
+			x2, y2 := tx(pts[e.V])
+			fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f"/>`+"\n", x1, y1, x2, y2)
+		}
+		b.WriteString("</g>\n")
+	}
+
+	if len(opt.Path) > 1 {
+		b.WriteString(`<g stroke="#d62728" stroke-width="2.5" fill="none">` + "\n")
+		var pb strings.Builder
+		for i, v := range opt.Path {
+			x, y := tx(pts[v])
+			if i == 0 {
+				fmt.Fprintf(&pb, "M %.2f %.2f", x, y)
+			} else {
+				fmt.Fprintf(&pb, " L %.2f %.2f", x, y)
+			}
+		}
+		fmt.Fprintf(&b, `<path d="%s"/>`+"\n", pb.String())
+		b.WriteString("</g>\n")
+	}
+
+	fmt.Fprintf(&b, `<g fill="%s">`+"\n", opt.NodeFill)
+	for _, p := range pts {
+		x, y := tx(p)
+		fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="%.2f"/>`+"\n", x, y, opt.NodeRadius)
+	}
+	b.WriteString("</g>\n")
+
+	if opt.Labels {
+		b.WriteString(`<g font-size="9" fill="#555">` + "\n")
+		for i, p := range pts {
+			x, y := tx(p)
+			fmt.Fprintf(&b, `<text x="%.2f" y="%.2f">%d</text>`+"\n", x+3, y-3, i)
+		}
+		b.WriteString("</g>\n")
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func bounds(pts []geom.Point) (min, max geom.Point) {
+	if len(pts) == 0 {
+		return
+	}
+	min, max = pts[0], pts[0]
+	for _, p := range pts[1:] {
+		if p.X < min.X {
+			min.X = p.X
+		}
+		if p.Y < min.Y {
+			min.Y = p.Y
+		}
+		if p.X > max.X {
+			max.X = p.X
+		}
+		if p.Y > max.Y {
+			max.Y = p.Y
+		}
+	}
+	return
+}

@@ -1,0 +1,110 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+)
+
+func fixture() ([]geom.Point, *graph.Graph) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(0, 1)}
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	return pts, g
+}
+
+func TestRenderBasicStructure(t *testing.T) {
+	pts, g := fixture()
+	var sb strings.Builder
+	err := Render(&sb, pts, []Layer{{G: g, Stroke: "#1f77b4"}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if got := strings.Count(out, "<line"); got != 3 {
+		t.Errorf("lines = %d, want 3", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 4 {
+		t.Errorf("circles = %d, want 4", got)
+	}
+	if !strings.Contains(out, "#1f77b4") {
+		t.Error("stroke color missing")
+	}
+}
+
+func TestRenderPathAndLabels(t *testing.T) {
+	pts, g := fixture()
+	var sb strings.Builder
+	err := Render(&sb, pts, []Layer{{G: g, Stroke: "gray"}}, Options{
+		Path:   []int{0, 1, 2},
+		Labels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "<path d=\"M ") {
+		t.Error("highlighted path missing")
+	}
+	if got := strings.Count(out, "<text"); got != 4 {
+		t.Errorf("labels = %d, want 4", got)
+	}
+}
+
+func TestRenderMultipleLayers(t *testing.T) {
+	pts, g := fixture()
+	g2 := graph.New(4)
+	g2.AddEdge(0, 2)
+	var sb strings.Builder
+	err := Render(&sb, pts, []Layer{
+		{G: g, Stroke: "#aaa", Opacity: 0.4},
+		{G: g2, Stroke: "#000", Width: 2},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "<g stroke=") != 2 {
+		t.Error("expected two edge layers")
+	}
+	if !strings.Contains(out, `stroke-opacity="0.40"`) {
+		t.Error("opacity not applied")
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	var sb strings.Builder
+	// Empty points, nil layer graphs: must not panic.
+	if err := Render(&sb, nil, []Layer{{G: nil, Stroke: "red"}}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Single point.
+	sb.Reset()
+	if err := Render(&sb, []geom.Point{geom.Pt(5, 5)}, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<circle") {
+		t.Error("single point not drawn")
+	}
+}
+
+func TestRenderCoordinatesWithinCanvas(t *testing.T) {
+	pts := []geom.Point{geom.Pt(-10, -10), geom.Pt(25, 40)}
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	var sb strings.Builder
+	if err := Render(&sb, pts, []Layer{{G: g, Stroke: "blue"}}, Options{Canvas: 400}); err != nil {
+		t.Fatal(err)
+	}
+	// Canvas declared as 400.
+	if !strings.Contains(sb.String(), `width="400"`) {
+		t.Error("canvas size not honored")
+	}
+}

@@ -1,0 +1,119 @@
+package toporouting
+
+import (
+	"errors"
+
+	"toporouting/internal/routing"
+)
+
+// Link is an edge offered to the router for one step, with its current
+// transmission cost. Links are full-duplex: one packet may cross in each
+// direction per step.
+type Link = routing.ActiveEdge
+
+// Packets injects Count packets at Node destined for Dest at the end of a
+// step.
+type Packets = routing.Injection
+
+// RouterOptions configures the (T,γ)-balancing algorithm (Section 3.2).
+type RouterOptions struct {
+	// T is the balancing threshold: a packet crosses an edge only when
+	// the height difference minus γ·cost exceeds T. Theorem 3.1 uses
+	// T ≥ B + 2(δ−1) for OPT buffer size B and δ frequencies.
+	T float64
+	// Gamma is the cost sensitivity γ.
+	Gamma float64
+	// BufferSize is the per-(node, destination) buffer capacity; newly
+	// injected packets that would overflow are dropped (admission
+	// control). Must be positive.
+	BufferSize int
+}
+
+// Router runs the (T,γ)-balancing algorithm of the paper: a purely local
+// rule that, per active edge and direction, moves one packet of the
+// destination with the largest height difference when it beats T + γ·cost.
+// Theorem 3.1: for any adversarial sequence of edge activations and
+// injections it delivers a (1−ε) fraction of what any offline schedule
+// delivers, with buffers larger by O(L̄/ε) and average cost within O(1/ε).
+type Router struct {
+	b *routing.Balancer
+}
+
+// NewRouter creates a router over n nodes.
+func NewRouter(n int, opts RouterOptions) (*Router, error) {
+	if n <= 0 {
+		return nil, errors.New("toporouting: router needs n > 0")
+	}
+	if opts.BufferSize <= 0 {
+		return nil, errors.New("toporouting: router needs a positive buffer size")
+	}
+	if opts.Gamma < 0 {
+		return nil, errors.New("toporouting: negative gamma")
+	}
+	return &Router{b: routing.New(n, routing.Params{
+		T: opts.T, Gamma: opts.Gamma, BufferSize: opts.BufferSize,
+	})}, nil
+}
+
+// StepReport summarizes one router step.
+type StepReport = routing.StepReport
+
+// Step advances one synchronous step: balancing decisions over the active
+// links, absorption at destinations, then injection with admission
+// control.
+func (r *Router) Step(active []Link, inject []Packets) StepReport {
+	return r.b.Step(active, inject)
+}
+
+// Height returns the current height of buffer Q(v, d).
+func (r *Router) Height(v, d int) int { return r.b.Height(v, d) }
+
+// Queued returns the total number of packets currently buffered.
+func (r *Router) Queued() int { return r.b.TotalQueued() }
+
+// Delivered returns the cumulative number of packets absorbed at their
+// destinations.
+func (r *Router) Delivered() int64 { return r.b.Delivered() }
+
+// Accepted returns the cumulative number of injected packets admitted.
+func (r *Router) Accepted() int64 { return r.b.Accepted() }
+
+// Dropped returns the cumulative number of injected packets rejected by
+// admission control.
+func (r *Router) Dropped() int64 { return r.b.Dropped() }
+
+// TotalCost returns the cumulative transmission cost spent.
+func (r *Router) TotalCost() float64 { return r.b.TotalCost() }
+
+// AvgCostPerDelivery returns TotalCost divided by Delivered (0 before the
+// first delivery).
+func (r *Router) AvgCostPerDelivery() float64 { return r.b.AvgCostPerDelivery() }
+
+// EnableLatencyTracking turns on per-packet latency recording (FIFO
+// service within each buffer). Must be called before the first Step.
+func (r *Router) EnableLatencyTracking() { r.b.EnableLatencyTracking() }
+
+// LatencyStats summarizes delivered-packet latencies in steps.
+type LatencyStats = routing.LatencyStats
+
+// Latencies returns the latency summary; meaningful only after
+// EnableLatencyTracking.
+func (r *Router) Latencies() LatencyStats { return r.b.Latencies() }
+
+// InjectAnycast admits count packets at node that are satisfied by
+// delivery to any member of the group (the anycast generalization the
+// paper's balancing lineage supports). Returns (accepted, dropped) under
+// the same admission control as unicast injections.
+func (r *Router) InjectAnycast(node int, members []int, count int) (accepted, dropped int) {
+	return r.b.InjectAnycast(node, members, count)
+}
+
+// SuggestedT returns the Theorem 3.1 threshold T = B + 2(δ−1) for an OPT
+// buffer size B and δ concurrently usable frequencies.
+func SuggestedT(optBuffer, delta int) float64 { return routing.SuggestedT(optBuffer, delta) }
+
+// SuggestedGamma returns the Theorem 3.1 cost sensitivity
+// γ = (T+B+δ)·L̄/C̄.
+func SuggestedGamma(t float64, optBuffer, delta int, avgPathLen, avgCost float64) float64 {
+	return routing.SuggestedGamma(t, optBuffer, delta, avgPathLen, avgCost)
+}

@@ -1,0 +1,163 @@
+package toporouting
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"toporouting/internal/experiments"
+	"toporouting/internal/routing"
+	"toporouting/internal/sim"
+)
+
+// MAC selects the medium-access layer of a simulation.
+type MAC int
+
+// Available MAC layers.
+const (
+	// MACGiven offers every topology edge each step — the Section 3.2
+	// scenario in which a perfect MAC underlies the routing layer.
+	MACGiven MAC = iota
+	// MACRandom is the randomized symmetry-breaking MAC of Section 3.3
+	// (each edge active with probability 1/(2·I_e)).
+	MACRandom
+	// MACHoneycomb is the fixed-transmission-strength honeycomb
+	// algorithm of Section 3.4.
+	MACHoneycomb
+)
+
+// Traffic generates the injection stream of a simulation step.
+type Traffic func(step int, rng *rand.Rand) []Packets
+
+// SinksTraffic injects rate packets per step from uniform random sources
+// to uniformly chosen sinks, for the first horizon steps.
+func SinksTraffic(n int, sinks []int, rate, horizon int) Traffic {
+	inj := sim.SinksInjector(n, sinks, rate, horizon)
+	return func(step int, rng *rand.Rand) []Packets { return inj(step, rng) }
+}
+
+// SimulationOptions configures Simulate.
+type SimulationOptions struct {
+	// Points are the node positions (≥ 2).
+	Points []Point
+	// Theta, Range, Kappa, Delta follow Options semantics (zero =
+	// default). MACHoneycomb ignores Theta/Range and uses unit range.
+	Theta, Range, Kappa, Delta float64
+	// MAC selects the medium-access layer.
+	MAC MAC
+	// Router parameterizes the (T,γ)-balancing algorithm.
+	Router RouterOptions
+	// Traffic produces injections; nil injects nothing.
+	Traffic Traffic
+	// Steps is the horizon (> 0).
+	Steps int
+	// MobilityEvery > 0 perturbs node positions (by ±MobilityStep per
+	// coordinate) and rebuilds the topology every that many steps.
+	MobilityEvery int
+	MobilityStep  float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// SimulationResult reports a completed simulation.
+type SimulationResult struct {
+	Delivered, Accepted, Dropped, Moves int64
+	TotalCost, AvgCost                  float64
+	Queued                              int
+	// I is the interference bound of the random MAC (0 otherwise).
+	I int
+	// MaxDegree is the topology's maximum degree at the last rebuild.
+	MaxDegree int
+	// Rebuilds counts mobility-induced topology rebuilds.
+	Rebuilds int
+}
+
+// Simulate composes point set → ΘALG topology → MAC → (T,γ)-balancing
+// router and runs it for the configured horizon.
+func Simulate(opts SimulationOptions) (SimulationResult, error) {
+	if len(opts.Points) < 2 {
+		return SimulationResult{}, errors.New("toporouting: simulation needs ≥ 2 points")
+	}
+	if opts.Steps <= 0 {
+		return SimulationResult{}, errors.New("toporouting: simulation needs steps > 0")
+	}
+	if opts.Router.BufferSize <= 0 {
+		return SimulationResult{}, errors.New("toporouting: simulation needs a positive buffer size")
+	}
+	var kind sim.MACKind
+	switch opts.MAC {
+	case MACGiven:
+		kind = sim.MACGiven
+	case MACRandom:
+		kind = sim.MACRandom
+	case MACHoneycomb:
+		kind = sim.MACHoneycomb
+	default:
+		return SimulationResult{}, fmt.Errorf("toporouting: unknown MAC %d", int(opts.MAC))
+	}
+	var injector sim.Injector
+	if opts.Traffic != nil {
+		injector = func(step int, rng *rand.Rand) []routing.Injection { return opts.Traffic(step, rng) }
+	}
+	r := sim.Run(sim.Config{
+		Points: opts.Points,
+		Theta:  opts.Theta,
+		Range:  opts.Range,
+		Delta:  opts.Delta,
+		Kappa:  opts.Kappa,
+		MAC:    kind,
+		Router: routing.Params{
+			T: opts.Router.T, Gamma: opts.Router.Gamma, BufferSize: opts.Router.BufferSize,
+		},
+		Inject:   injector,
+		Steps:    opts.Steps,
+		Mobility: sim.Mobility{Every: opts.MobilityEvery, StepSize: opts.MobilityStep},
+		Seed:     opts.Seed,
+	})
+	return SimulationResult{
+		Delivered: r.Delivered,
+		Accepted:  r.Accepted,
+		Dropped:   r.Dropped,
+		Moves:     r.Moves,
+		TotalCost: r.TotalCost,
+		AvgCost:   r.AvgCost,
+		Queued:    r.Queued,
+		I:         r.I,
+		MaxDegree: r.MaxDegree,
+		Rebuilds:  r.Rebuilds,
+	}, nil
+}
+
+// RunExperiment executes one of the paper-reproduction experiments
+// ("E1".."E12", "E7b", or "all") and returns the rendered table(s). full
+// selects the paper-scale sweep; false runs the quick scale.
+func RunExperiment(id string, full bool) (string, error) {
+	scale := experiments.Small()
+	if full {
+		scale = experiments.Full()
+	}
+	var out strings.Builder
+	found := false
+	for _, r := range experiments.All() {
+		if id == "all" || strings.EqualFold(id, r.ID) {
+			found = true
+			out.WriteString(r.Run(scale).String())
+			out.WriteByte('\n')
+		}
+	}
+	if !found {
+		return "", fmt.Errorf("toporouting: unknown experiment %q", id)
+	}
+	return out.String(), nil
+}
+
+// ExperimentIDs lists the available experiment identifiers in report
+// order.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, r := range experiments.All() {
+		ids = append(ids, r.ID)
+	}
+	return ids
+}

@@ -1,0 +1,300 @@
+// Package toporouting is a library for local topology control and
+// competitive routing in ad hoc wireless networks, reproducing "On Local
+// Algorithms for Topology Control and Routing in Ad Hoc Networks" (Jia,
+// Rajaraman, Scheideler; SPAA 2003).
+//
+// The package exposes three layers:
+//
+//   - Topology control: BuildNetwork runs the two-phase local algorithm
+//     ΘALG over a planar point set, producing a connected, constant-degree
+//     topology with O(1) energy-stretch (Theorem 2.2 of the paper).
+//     BuildNetworkDistributed runs the same algorithm as a faithful
+//     3-round message-passing protocol.
+//
+//   - Medium access: the randomized symmetry-breaking MAC (Section 3.3)
+//     and the honeycomb algorithm for fixed transmission strength
+//     (Section 3.4), both reachable through Simulate.
+//
+//   - Routing: NewRouter exposes the (T,γ)-balancing algorithm
+//     (Section 3.2), a local height-balancing rule with edge costs that is
+//     constant-competitive in throughput and average cost against any
+//     offline schedule (Theorem 3.1).
+//
+// The experiment harness behind EXPERIMENTS.md is reachable through
+// RunExperiment and the benchmarks in bench_test.go.
+package toporouting
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+	"toporouting/internal/interference"
+	"toporouting/internal/pointset"
+	"toporouting/internal/stretch"
+	"toporouting/internal/topology"
+	"toporouting/internal/unitdisk"
+)
+
+// Point is a node position in the 2-D Euclidean plane.
+type Point = geom.Point
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Options configures BuildNetwork.
+type Options struct {
+	// Theta is the ΘALG cone angle in (0, π/3]; 0 selects π/6.
+	Theta float64
+	// Range is the maximum transmission range D. 0 selects
+	// 1.3 × the critical connectivity range of the point set.
+	Range float64
+	// Kappa is the path-loss exponent for energy costs (κ ≥ 2 per the
+	// power-attenuation model); 0 selects 2.
+	Kappa float64
+	// Delta is the interference guard zone Δ > 0; 0 selects 0.5.
+	Delta float64
+}
+
+func (o Options) withDefaults(pts []Point) (Options, error) {
+	if o.Theta == 0 {
+		o.Theta = topology.DefaultTheta
+	}
+	if o.Theta <= 0 || o.Theta > math.Pi/3+1e-12 {
+		return o, fmt.Errorf("toporouting: theta %v outside (0, π/3]", o.Theta)
+	}
+	if o.Kappa == 0 {
+		o.Kappa = 2
+	}
+	if o.Kappa < 2 {
+		return o, fmt.Errorf("toporouting: kappa %v below 2", o.Kappa)
+	}
+	if o.Delta == 0 {
+		o.Delta = interference.DefaultDelta
+	}
+	if o.Delta <= 0 {
+		return o, fmt.Errorf("toporouting: delta %v must be positive", o.Delta)
+	}
+	if o.Range == 0 {
+		o.Range = unitdisk.CriticalRange(pts) * 1.3
+	}
+	if o.Range <= 0 {
+		return o, fmt.Errorf("toporouting: range %v must be positive", o.Range)
+	}
+	return o, nil
+}
+
+// Network is a built topology: the bounded-degree graph N of ΘALG over a
+// point set, together with the transmission graph G* it was carved from.
+type Network struct {
+	opts  Options
+	top   *topology.Topology
+	gstar *graph.Graph
+}
+
+// BuildNetwork runs ΘALG over the given points. It returns an error for
+// invalid options or fewer than two points; it does not require G* to be
+// connected, but stretch evaluation reports disconnected pairs.
+func BuildNetwork(points []Point, opts Options) (*Network, error) {
+	if len(points) < 2 {
+		return nil, errors.New("toporouting: need at least two points")
+	}
+	o, err := opts.withDefaults(points)
+	if err != nil {
+		return nil, err
+	}
+	top := topology.BuildTheta(points, topology.Config{Theta: o.Theta, Range: o.Range})
+	return &Network{
+		opts:  o,
+		top:   top,
+		gstar: unitdisk.Build(points, o.Range),
+	}, nil
+}
+
+// ProtocolStats reports the message traffic of the distributed protocol.
+type ProtocolStats = topology.ProtocolStats
+
+// BuildNetworkDistributed builds the same topology via the faithful
+// 3-round message-passing protocol (Position / Neighborhood / Connection
+// broadcasts), returning the per-round message statistics alongside.
+func BuildNetworkDistributed(points []Point, opts Options) (*Network, ProtocolStats, error) {
+	if len(points) < 2 {
+		return nil, ProtocolStats{}, errors.New("toporouting: need at least two points")
+	}
+	o, err := opts.withDefaults(points)
+	if err != nil {
+		return nil, ProtocolStats{}, err
+	}
+	top, st := topology.BuildThetaDistributed(points, topology.Config{Theta: o.Theta, Range: o.Range})
+	return &Network{
+		opts:  o,
+		top:   top,
+		gstar: unitdisk.Build(points, o.Range),
+	}, st, nil
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return nw.top.N.N() }
+
+// Points returns the node positions. Callers must not mutate the slice.
+func (nw *Network) Points() []Point { return nw.top.Pts }
+
+// Options returns the effective options the network was built with
+// (defaults resolved).
+func (nw *Network) Options() Options { return nw.opts }
+
+// Edges returns the undirected edges of the topology N as [u, v] pairs
+// with u < v, sorted.
+func (nw *Network) Edges() [][2]int {
+	es := nw.top.N.Edges()
+	out := make([][2]int, len(es))
+	for i, e := range es {
+		out[i] = [2]int{e.U, e.V}
+	}
+	return out
+}
+
+// NumEdges returns the number of edges of N.
+func (nw *Network) NumEdges() int { return nw.top.N.NumEdges() }
+
+// TransmissionEdges returns the edges of the underlying transmission graph
+// G* (all pairs within range) as [u, v] pairs with u < v, sorted. G* is
+// typically far denser than N.
+func (nw *Network) TransmissionEdges() [][2]int {
+	es := nw.gstar.Edges()
+	out := make([][2]int, len(es))
+	for i, e := range es {
+		out[i] = [2]int{e.U, e.V}
+	}
+	return out
+}
+
+// Degree returns the degree of node v in N.
+func (nw *Network) Degree(v int) int { return nw.top.N.Degree(v) }
+
+// MaxDegree returns the maximum degree of N; Lemma 2.1 bounds it by
+// DegreeBound.
+func (nw *Network) MaxDegree() int { return nw.top.N.MaxDegree() }
+
+// DegreeBound returns the 4π/θ degree bound of Lemma 2.1.
+func (nw *Network) DegreeBound() int { return nw.top.DegreeBound() }
+
+// Connected reports whether N is connected.
+func (nw *Network) Connected() bool { return nw.top.N.Connected() }
+
+// TransmissionGraphConnected reports whether the underlying G* is
+// connected (the paper's standing assumption).
+func (nw *Network) TransmissionGraphConnected() bool { return nw.gstar.Connected() }
+
+// StretchSummary reports a stretch evaluation.
+type StretchSummary struct {
+	// Max is the stretch (maximum ratio); +Inf if any pair reachable in
+	// G* is unreachable in N.
+	Max float64
+	// Mean and P95 summarize the ratio distribution.
+	Mean, P95 float64
+	// Pairs is the number of measured pairs.
+	Pairs int
+}
+
+// EnergyStretch measures the energy-stretch of N relative to G* under the
+// network's κ (Theorem 2.2 claims O(1)). maxSources bounds the number of
+// shortest-path trees (0 = exact, all sources).
+func (nw *Network) EnergyStretch(maxSources int) StretchSummary {
+	r := stretch.Evaluate(nw.top.N, nw.gstar, nw.top.Pts, stretch.Energy, stretch.Options{
+		Kappa:   nw.opts.Kappa,
+		Sources: headSources(nw.N(), maxSources),
+	})
+	return StretchSummary{Max: r.Max, Mean: r.Mean, P95: r.P95, Pairs: r.Pairs}
+}
+
+// DistanceStretch measures the distance-stretch of N relative to G*
+// (Theorem 2.7 claims O(1) for civilized point sets).
+func (nw *Network) DistanceStretch(maxSources int) StretchSummary {
+	r := stretch.Evaluate(nw.top.N, nw.gstar, nw.top.Pts, stretch.Distance, stretch.Options{
+		Sources: headSources(nw.N(), maxSources),
+	})
+	return StretchSummary{Max: r.Max, Mean: r.Mean, P95: r.P95, Pairs: r.Pairs}
+}
+
+func headSources(n, max int) []int {
+	if max <= 0 || max >= n {
+		return nil
+	}
+	out := make([]int, max)
+	for i := range out {
+		out[i] = i * n / max
+	}
+	return out
+}
+
+// InterferenceNumber computes the interference number I of N under the
+// network's guard zone Δ (Lemma 2.10: O(log n) whp for uniform random
+// nodes).
+func (nw *Network) InterferenceNumber() int {
+	m := interference.NewModel(nw.opts.Delta)
+	return m.Number(nw.top.Pts, nw.top.N.Edges())
+}
+
+// TransmissionInterferenceNumber computes the interference number of the
+// full transmission graph G*. Comparing it against InterferenceNumber shows
+// why topology control matters: the dense graph's links interfere far more,
+// so a MAC layer can use only a tiny fraction of them concurrently. For
+// graphs beyond 2000 edges the value is computed over a 500-edge sample
+// (a lower bound on the true maximum).
+func (nw *Network) TransmissionInterferenceNumber() int {
+	m := interference.NewModel(nw.opts.Delta)
+	edges := nw.gstar.Edges()
+	if len(edges) > 2000 {
+		return m.NumberSampled(nw.top.Pts, edges, 500)
+	}
+	return m.Number(nw.top.Pts, edges)
+}
+
+// MinEnergyRoute returns the node sequence of the least-energy path from u
+// to v in N, or nil if v is unreachable.
+func (nw *Network) MinEnergyRoute(u, v int) []int {
+	_, parent := nw.top.N.Dijkstra(u, nw.top.EnergyCost(nw.opts.Kappa))
+	return graph.PathFromParents(parent, u, v)
+}
+
+// ThetaPath returns the θ-path replacement (Section 2.4) for a G* edge
+// (u, v): a walk in N from u to v. It returns an error if |uv| exceeds the
+// transmission range.
+func (nw *Network) ThetaPath(u, v int) ([]int, error) {
+	if geom.Dist(nw.top.Pts[u], nw.top.Pts[v]) > nw.opts.Range {
+		return nil, fmt.Errorf("toporouting: (%d,%d) is not a transmission-graph edge", u, v)
+	}
+	return nw.top.ThetaPathNodes(u, v), nil
+}
+
+// EnergyCost returns the energy |uv|^κ of a direct transmission between
+// nodes u and v.
+func (nw *Network) EnergyCost(u, v int) float64 {
+	return geom.EnergyCost(nw.top.Pts[u], nw.top.Pts[v], nw.opts.Kappa)
+}
+
+// GeneratePoints produces one of the built-in node distributions:
+// "uniform", "civilized", "clustered", "grid", "expchain", "ring",
+// "bridge". Results are deterministic in (kind, n, seed).
+func GeneratePoints(kind string, n int, seed int64) ([]Point, error) {
+	kinds := map[string]pointset.Kind{
+		"uniform":   pointset.KindUniform,
+		"civilized": pointset.KindCivilized,
+		"clustered": pointset.KindClustered,
+		"grid":      pointset.KindGrid,
+		"expchain":  pointset.KindExponential,
+		"ring":      pointset.KindRing,
+		"bridge":    pointset.KindBridge,
+	}
+	k, ok := kinds[kind]
+	if !ok {
+		return nil, fmt.Errorf("toporouting: unknown distribution %q", kind)
+	}
+	if n < 2 {
+		return nil, errors.New("toporouting: need n ≥ 2")
+	}
+	return pointset.Generate(k, n, seed), nil
+}
