@@ -24,6 +24,7 @@ import (
 	"toporouting/internal/proximity"
 	"toporouting/internal/routing"
 	"toporouting/internal/sim"
+	"toporouting/internal/telemetry"
 	"toporouting/internal/topology"
 	"toporouting/internal/unitdisk"
 )
@@ -198,6 +199,63 @@ func BenchmarkBalancerStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bal.Step(active, nil)
+	}
+}
+
+// BenchmarkSimulate is the telemetry-overhead reference: a full
+// random-MAC simulation with telemetry disabled. The observability layer's
+// contract is that this benchmark shows no added allocations and no
+// measurable ns/op regression versus an uninstrumented build; compare with
+// BenchmarkSimulateTelemetry for the cost of live counters and with
+// BenchmarkSimulateTraced for full step tracing.
+func BenchmarkSimulate(b *testing.B) {
+	cfg := sim.Config{
+		Points: benchPoints(200),
+		MAC:    sim.MACRandom,
+		Router: routing.Params{T: 0, Gamma: 0, BufferSize: 40},
+		Inject: sim.SinksInjector(200, []int{11, 97}, 1, 1<<30),
+		Steps:  500,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		sim.Run(cfg)
+	}
+}
+
+// BenchmarkSimulateTelemetry measures the same run with metrics recording
+// enabled (counters, gauges, phase timers; no trace sink).
+func BenchmarkSimulateTelemetry(b *testing.B) {
+	cfg := sim.Config{
+		Points:    benchPoints(200),
+		MAC:       sim.MACRandom,
+		Router:    routing.Params{T: 0, Gamma: 0, BufferSize: 40},
+		Inject:    sim.SinksInjector(200, []int{11, 97}, 1, 1<<30),
+		Steps:     500,
+		Telemetry: telemetry.New(nil),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		sim.Run(cfg)
+	}
+}
+
+// BenchmarkSimulateTraced measures the fully traced run: every router and
+// MAC step emits an event into an in-memory sink.
+func BenchmarkSimulateTraced(b *testing.B) {
+	cfg := sim.Config{
+		Points: benchPoints(200),
+		MAC:    sim.MACRandom,
+		Router: routing.Params{T: 0, Gamma: 0, BufferSize: 40},
+		Inject: sim.SinksInjector(200, []int{11, 97}, 1, 1<<30),
+		Steps:  500,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		cfg.Telemetry = telemetry.New(&telemetry.MemorySink{})
+		sim.Run(cfg)
 	}
 }
 

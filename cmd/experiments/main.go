@@ -4,10 +4,17 @@
 //
 // Usage:
 //
-//	experiments [-run all] [-full]
+//	experiments [-run all] [-full] [-metrics] [-trace run.jsonl]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out] [-pprof-addr :6060]
 //
 // -run selects a single experiment id (e.g. E4); -full uses the
 // paper-scale sweep (several minutes) instead of the quick scale.
+//
+// Observability: -trace streams JSONL events from the simulation-backed
+// experiments; -metrics prints the aggregate telemetry snapshot after the
+// suite; -cpuprofile/-memprofile write runtime/pprof profiles of the whole
+// sweep; -pprof-addr serves net/http/pprof and expvar live (useful for the
+// multi-minute -full runs).
 package main
 
 import (
@@ -22,20 +29,59 @@ func main() {
 	var (
 		run  = flag.String("run", "all", "experiment id (E1..E12, E7b) or 'all'")
 		full = flag.Bool("full", false, "paper-scale sweep (slow)")
+
+		metricsOut = flag.Bool("metrics", false, "print the aggregate telemetry snapshot after the suite")
+		tracePath  = flag.String("trace", "", "write a JSONL trace of instrumented experiments to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	stopProf, err := toporouting.StartProfiling(*cpuProf, *memProf, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: profiling:", err)
+		}
+	}()
+
+	var tel *toporouting.Telemetry
+	if *tracePath != "" {
+		sink, serr := toporouting.CreateJSONLTrace(*tracePath)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", serr)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace:", err)
+			}
+		}()
+		tel = toporouting.NewTracedTelemetry(sink)
+	} else if *metricsOut || *pprofAddr != "" {
+		tel = toporouting.NewTelemetry()
+	}
+	toporouting.PublishExpvar("telemetry", tel)
 
 	ids := []string{*run}
 	if *run == "all" {
 		ids = toporouting.ExperimentIDs()
 	}
 	for _, id := range ids {
-		out, err := toporouting.RunExperiment(id, *full)
+		out, err := toporouting.RunExperimentTraced(id, *full, tel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			fmt.Fprintln(os.Stderr, "available:", toporouting.ExperimentIDs())
 			os.Exit(1)
 		}
 		fmt.Print(out) // stream per experiment: long sweeps show progress
+	}
+	if *metricsOut && tel != nil {
+		fmt.Println()
+		fmt.Print(tel.Snapshot().String())
 	}
 }

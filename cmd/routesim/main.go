@@ -7,9 +7,20 @@
 //	routesim [-dist uniform] [-n 200] [-seed 1] [-mac given|random|honeycomb]
 //	         [-steps 4000] [-rate 2] [-sinks 3] [-buffer 60] [-T 0] [-gamma 0]
 //	         [-mobility 0] [-mobstep 0.01]
+//	         [-json] [-metrics] [-trace run.jsonl]
+//	         [-cpuprofile cpu.out] [-memprofile mem.out] [-pprof-addr :6060]
+//
+// Observability: -trace streams one JSON event per line (router steps, MAC
+// rounds, topology builds, rebuilds) into the given file; -metrics prints
+// the telemetry snapshot after the run; -json emits the SimulationResult
+// (including the metrics snapshot when telemetry is active) as a single
+// JSON object on stdout for scripting; -cpuprofile/-memprofile write
+// runtime/pprof profiles; -pprof-addr serves net/http/pprof and expvar
+// (the live snapshot is published under "telemetry").
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,13 +42,46 @@ func main() {
 		gamma    = flag.Float64("gamma", 0, "cost sensitivity γ")
 		mobility = flag.Int("mobility", 0, "rebuild topology every k steps (0 = static)")
 		mobstep  = flag.Float64("mobstep", 0.01, "mobility displacement per move")
+
+		jsonOut    = flag.Bool("json", false, "emit the result as a single JSON object")
+		metricsOut = flag.Bool("metrics", false, "print the telemetry snapshot after the run")
+		tracePath  = flag.String("trace", "", "write a JSONL step-level trace to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
+	stopProf, err := toporouting.StartProfiling(*cpuProf, *memProf, *pprofAddr)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "routesim: profiling:", err)
+		}
+	}()
+
+	var tel *toporouting.Telemetry
+	if *tracePath != "" {
+		sink, err := toporouting.CreateJSONLTrace(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "routesim: trace:", err)
+			}
+		}()
+		tel = toporouting.NewTracedTelemetry(sink)
+	} else if *metricsOut || *jsonOut || *pprofAddr != "" {
+		tel = toporouting.NewTelemetry()
+	}
+	toporouting.PublishExpvar("telemetry", tel)
+
 	pts, err := toporouting.GeneratePoints(*dist, *n, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "routesim:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	var mac toporouting.MAC
 	switch *macName {
@@ -48,8 +92,7 @@ func main() {
 	case "honeycomb":
 		mac = toporouting.MACHoneycomb
 	default:
-		fmt.Fprintf(os.Stderr, "routesim: unknown MAC %q\n", *macName)
-		os.Exit(1)
+		fail(fmt.Errorf("unknown MAC %q", *macName))
 	}
 	sinkIDs := make([]int, *sinks)
 	for i := range sinkIDs {
@@ -64,10 +107,19 @@ func main() {
 		MobilityEvery: *mobility,
 		MobilityStep:  *mobstep,
 		Seed:          *seed,
+		Telemetry:     tel,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "routesim:", err)
-		os.Exit(1)
+		fail(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	fmt.Printf("mac            %s\n", *macName)
@@ -87,6 +139,15 @@ func main() {
 	if res.MaxDegree > 0 {
 		fmt.Printf("max degree     %d\n", res.MaxDegree)
 	}
+	if *metricsOut && res.Metrics != nil {
+		fmt.Println()
+		fmt.Print(res.Metrics.String())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "routesim:", err)
+	os.Exit(1)
 }
 
 func pct(a, b int64) float64 {

@@ -6,6 +6,13 @@
 //
 //	topoctl [-dist uniform] [-n 400] [-seed 1] [-theta 0.5236]
 //	        [-kappa 2] [-delta 0.5] [-sources 40] [-distributed] [-edges]
+//	        [-metrics] [-trace build.jsonl]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out] [-pprof-addr :6060]
+//
+// Observability: -trace streams the ΘALG build events (phase timings,
+// distributed protocol rounds) as JSONL; -metrics prints the telemetry
+// snapshot after the build; -cpuprofile/-memprofile write runtime/pprof
+// profiles; -pprof-addr serves net/http/pprof and expvar.
 package main
 
 import (
@@ -31,11 +38,45 @@ func main() {
 		svgPath     = flag.String("svg", "", "write an SVG rendering (G* faint, N bold) to this file")
 		pointsIn    = flag.String("points", "", "read node positions from this file instead of generating")
 		pointsOut   = flag.String("savepoints", "", "write the node positions to this file")
+
+		metricsOut = flag.Bool("metrics", false, "print the telemetry snapshot after the build")
+		tracePath  = flag.String("trace", "", "write a JSONL build trace to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
+	stopProf, err := toporouting.StartProfiling(*cpuProf, *memProf, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topoctl:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "topoctl: profiling:", err)
+		}
+	}()
+
+	var tel *toporouting.Telemetry
+	if *tracePath != "" {
+		sink, serr := toporouting.CreateJSONLTrace(*tracePath)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "topoctl:", serr)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "topoctl: trace:", err)
+			}
+		}()
+		tel = toporouting.NewTracedTelemetry(sink)
+	} else if *metricsOut || *pprofAddr != "" {
+		tel = toporouting.NewTelemetry()
+	}
+	toporouting.PublishExpvar("telemetry", tel)
+
 	var pts []toporouting.Point
-	var err error
 	if *pointsIn != "" {
 		f, ferr := os.Open(*pointsIn)
 		if ferr != nil {
@@ -63,7 +104,7 @@ func main() {
 		}
 		f.Close()
 	}
-	opts := toporouting.Options{Theta: *theta, Kappa: *kappa, Delta: *delta}
+	opts := toporouting.Options{Theta: *theta, Kappa: *kappa, Delta: *delta, Telemetry: tel}
 
 	var nw *toporouting.Network
 	if *distributed {
@@ -112,5 +153,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("svg            %s\n", *svgPath)
+	}
+	if *metricsOut && tel != nil {
+		fmt.Println()
+		fmt.Print(tel.Snapshot().String())
 	}
 }

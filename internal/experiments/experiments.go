@@ -8,6 +8,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"toporouting/internal/telemetry"
 )
 
 // Table is a rendered experiment result.
@@ -87,6 +89,10 @@ type Scale struct {
 	Seeds int
 	// Steps scales simulation horizons.
 	Steps int
+	// Telemetry, when non-nil, instruments the simulation-backed
+	// experiments (cmd/experiments threads its -trace/-metrics scope
+	// through here). nil disables instrumentation.
+	Telemetry *telemetry.Telemetry
 }
 
 // Small returns the quick scale used by tests.

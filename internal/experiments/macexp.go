@@ -78,11 +78,12 @@ func E9TopologyRouting(sc Scale) *Table {
 			pts := pointset.Generate(pointset.KindUniform, n, int64(s))
 			steps := sc.Steps * 4
 			base := sim.Config{
-				Points: pts,
-				Router: routing.Params{T: 0, Gamma: 0, BufferSize: 60},
-				Inject: macWorkload(n, steps),
-				Steps:  steps,
-				Seed:   int64(s),
+				Points:    pts,
+				Router:    routing.Params{T: 0, Gamma: 0, BufferSize: 60},
+				Inject:    macWorkload(n, steps),
+				Steps:     steps,
+				Seed:      int64(s),
+				Telemetry: sc.Telemetry,
 			}
 			given := base
 			given.MAC = sim.MACGiven
@@ -124,11 +125,12 @@ func E10RandomThroughput(sc Scale) *Table {
 			pts := pointset.Generate(pointset.KindUniform, n, 100+int64(s))
 			steps := sc.Steps * 4
 			base := sim.Config{
-				Points: pts,
-				Router: routing.Params{T: 0, Gamma: 0, BufferSize: 60},
-				Inject: macWorkload(n, steps),
-				Steps:  steps,
-				Seed:   int64(s),
+				Points:    pts,
+				Router:    routing.Params{T: 0, Gamma: 0, BufferSize: 60},
+				Inject:    macWorkload(n, steps),
+				Steps:     steps,
+				Seed:      int64(s),
+				Telemetry: sc.Telemetry,
 			}
 			given := base
 			given.MAC = sim.MACGiven
@@ -191,7 +193,7 @@ func E11Honeycomb(sc Scale) *Table {
 
 			// Honeycomb run with instrumented success counting.
 			delta := 0.25
-			h := mac.NewHoneycomb(pts, mac.HoneycombConfig{Delta: delta, T: 1, Rng: rng})
+			h := mac.NewHoneycomb(pts, mac.HoneycombConfig{Delta: delta, T: 1, Rng: rng, Telemetry: sc.Telemetry})
 			b := routing.New(n, routing.Params{T: 0, Gamma: 0, BufferSize: 60})
 			injRng := rand.New(rand.NewSource(int64(s)))
 			transmitted, succeeded := 0, 0

@@ -5,6 +5,7 @@ import (
 
 	"toporouting/internal/geom"
 	"toporouting/internal/routing"
+	"toporouting/internal/telemetry"
 )
 
 // Honeycomb implements the fixed-transmission-strength algorithm of
@@ -29,6 +30,12 @@ type Honeycomb struct {
 	pt         float64
 	gamma      float64
 	rng        *rand.Rand
+	// telemetry (nil-safe handles)
+	tel           *telemetry.Telemetry
+	cContestants  *telemetry.Counter
+	cTransmitting *telemetry.Counter
+	cSuccessful   *telemetry.Counter
+	steps         int
 }
 
 // HoneycombConfig configures NewHoneycomb.
@@ -46,6 +53,9 @@ type HoneycombConfig struct {
 	Gamma float64
 	// Rng drives the random transmission decisions; required.
 	Rng *rand.Rand
+	// Telemetry, when non-nil, maintains the mac.honeycomb.* counters and
+	// (when tracing) per-step contention events.
+	Telemetry *telemetry.Telemetry
 }
 
 // HoneycombStats reports one honeycomb step.
@@ -85,7 +95,11 @@ func NewHoneycomb(pts []geom.Point, cfg HoneycombConfig) *Honeycomb {
 		pt:         cfg.PT,
 		gamma:      cfg.Gamma,
 		rng:        cfg.Rng,
+		tel:        cfg.Telemetry,
 	}
+	h.cContestants = h.tel.Counter("mac.honeycomb.contestants")
+	h.cTransmitting = h.tel.Counter("mac.honeycomb.transmitting")
+	h.cSuccessful = h.tel.Counter("mac.honeycomb.successful")
 	for s := range pts {
 		cell := h.grid.CellOf(pts[s])
 		for t := range pts {
@@ -182,6 +196,18 @@ func (h *Honeycomb) Step(b *routing.Balancer) ([]routing.ActiveEdge, HoneycombSt
 			st.Successful++
 		}
 	}
+	h.cContestants.Add(int64(st.Contestants))
+	h.cTransmitting.Add(int64(st.Transmitting))
+	h.cSuccessful.Add(int64(st.Successful))
+	if h.tel.Tracing() {
+		h.tel.Emit(telemetry.Event{Layer: "mac", Kind: "step", Name: "honeycomb", Step: h.steps, Fields: map[string]float64{
+			"contestants":  float64(st.Contestants),
+			"transmitting": float64(st.Transmitting),
+			"successful":   float64(st.Successful),
+			"benefit_sum":  st.BenefitSum,
+		}})
+	}
+	h.steps++
 	return out, st
 }
 

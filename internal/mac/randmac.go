@@ -14,6 +14,7 @@ import (
 	"toporouting/internal/graph"
 	"toporouting/internal/interference"
 	"toporouting/internal/routing"
+	"toporouting/internal/telemetry"
 )
 
 // RandomMAC activates each edge independently with probability 1/(2·I_e),
@@ -30,6 +31,12 @@ type RandomMAC struct {
 	ie    []int
 	rng   *rand.Rand
 	maxI  int
+	// telemetry (nil-safe handles; see SetTelemetry)
+	tel         *telemetry.Telemetry
+	cActivated  *telemetry.Counter
+	cCollided   *telemetry.Counter
+	cSuccessful *telemetry.Counter
+	steps       int
 }
 
 // StepStats reports one MAC step.
@@ -84,6 +91,18 @@ func NewRandomMAC(pts []geom.Point, edges []graph.Edge, model interference.Model
 	return m
 }
 
+// SetTelemetry installs a telemetry scope: Step then maintains the
+// mac.random.{activated,collided,successful} counters and, when tracing,
+// emits one {layer: "mac", kind: "step"} event per round. A nil scope
+// leaves the MAC uninstrumented at zero cost.
+func (m *RandomMAC) SetTelemetry(t *telemetry.Telemetry) {
+	m.tel = t
+	m.cActivated = t.Counter("mac.random.activated")
+	m.cCollided = t.Counter("mac.random.collided")
+	m.cSuccessful = t.Counter("mac.random.successful")
+	t.Gauge("mac.random.interference_bound").Set(float64(m.maxI))
+}
+
 // I returns the global bound I = max_e I_e of Theorem 3.3.
 func (m *RandomMAC) I() int { return m.maxI }
 
@@ -125,6 +144,17 @@ func (m *RandomMAC) Step() ([]routing.ActiveEdge, StepStats) {
 			st.Collided++
 		}
 	}
+	m.cActivated.Add(int64(st.Activated))
+	m.cCollided.Add(int64(st.Collided))
+	m.cSuccessful.Add(int64(st.Successful))
+	if m.tel.Tracing() {
+		m.tel.Emit(telemetry.Event{Layer: "mac", Kind: "step", Name: "random", Step: m.steps, Fields: map[string]float64{
+			"activated":  float64(st.Activated),
+			"collided":   float64(st.Collided),
+			"successful": float64(st.Successful),
+		}})
+	}
+	m.steps++
 	return out, st
 }
 

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"toporouting/internal/telemetry"
 )
 
 // Params configures a Balancer.
@@ -114,6 +116,14 @@ type Balancer struct {
 	accepts      int64
 	moves        int64
 	cost         float64
+	// telemetry (nil-safe handles; see SetTelemetry)
+	tel        *telemetry.Telemetry
+	cDelivered *telemetry.Counter
+	cAccepted  *telemetry.Counter
+	cDropped   *telemetry.Counter
+	cMoved     *telemetry.Counter
+	gCost      *telemetry.Gauge
+	gQueued    *telemetry.Gauge
 }
 
 type move struct {
@@ -153,6 +163,39 @@ func (g destGroup) contains(v int) bool {
 		}
 	}
 	return false
+}
+
+// SetTelemetry installs a telemetry scope: every Step then maintains the
+// cumulative router.{delivered,accepted,dropped,moved} counters and
+// router.{cost,queued} gauges and, when the scope traces, emits one
+// {layer: "router", kind: "step"} event per step carrying the step's
+// moved/delivered/accepted/dropped/cost together with the live queue total
+// and maximum buffer height — the per-step series Theorems 3.1/3.3 are
+// stated over. A nil scope (the default) leaves the hot path free of
+// telemetry work beyond nil checks.
+func (b *Balancer) SetTelemetry(t *telemetry.Telemetry) {
+	b.tel = t
+	b.cDelivered = t.Counter("router.delivered")
+	b.cAccepted = t.Counter("router.accepted")
+	b.cDropped = t.Counter("router.dropped")
+	b.cMoved = t.Counter("router.moved")
+	b.gCost = t.Gauge("router.cost")
+	b.gQueued = t.Gauge("router.queued")
+}
+
+// queueStats scans the height tables once, returning the total queued
+// packet count and the maximum single-buffer height. Only called on traced
+// steps: it is O(destinations × nodes).
+func (b *Balancer) queueStats() (total, maxHeight int) {
+	for _, row := range b.heights {
+		for _, h := range row {
+			total += int(h)
+			if int(h) > maxHeight {
+				maxHeight = int(h)
+			}
+		}
+	}
+	return total, maxHeight
 }
 
 // N returns the number of nodes.
@@ -387,12 +430,32 @@ func (b *Balancer) Step(active []ActiveEdge, injections []Injection) StepReport 
 		}
 	}
 
+	step := b.steps
 	b.steps++
 	b.delivers += int64(rep.Delivered)
 	b.drops += int64(rep.Dropped)
 	b.accepts += int64(rep.Accepted)
 	b.moves += int64(rep.Moved)
 	b.cost += rep.Cost
+
+	b.cDelivered.Add(int64(rep.Delivered))
+	b.cAccepted.Add(int64(rep.Accepted))
+	b.cDropped.Add(int64(rep.Dropped))
+	b.cMoved.Add(int64(rep.Moved))
+	b.gCost.Set(b.cost)
+	if b.tel.Tracing() {
+		queued, maxHeight := b.queueStats()
+		b.gQueued.Set(float64(queued))
+		b.tel.Emit(telemetry.Event{Layer: "router", Kind: "step", Step: int(step), Fields: map[string]float64{
+			"moved":      float64(rep.Moved),
+			"delivered":  float64(rep.Delivered),
+			"accepted":   float64(rep.Accepted),
+			"dropped":    float64(rep.Dropped),
+			"cost":       rep.Cost,
+			"queued":     float64(queued),
+			"max_height": float64(maxHeight),
+		}})
+	}
 	return rep
 }
 

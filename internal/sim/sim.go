@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"toporouting/internal/geom"
 	"toporouting/internal/interference"
@@ -18,6 +19,7 @@ import (
 	"toporouting/internal/mobility"
 	"toporouting/internal/pointset"
 	"toporouting/internal/routing"
+	"toporouting/internal/telemetry"
 	"toporouting/internal/topology"
 	"toporouting/internal/unitdisk"
 )
@@ -122,6 +124,12 @@ type Config struct {
 	Mobility Mobility
 	// Seed drives all randomness of the run.
 	Seed int64
+	// Telemetry, when non-nil, records step-level metrics across every
+	// layer of the run (topology build phases, MAC contention, router
+	// series, rebuild timings) and — when the scope has a trace sink —
+	// emits JSONL-able events. nil (the default) leaves the hot path
+	// uninstrumented; telemetry never affects simulation results.
+	Telemetry *telemetry.Telemetry
 }
 
 // Result summarizes one simulation run.
@@ -164,6 +172,9 @@ func Run(cfg Config) Result {
 	n := len(pts)
 	router := routing.New(n, cfg.Router)
 	model := interference.NewModel(cfg.Delta)
+	tel := cfg.Telemetry
+	router.SetTelemetry(tel)
+	stopRun := tel.StartPhase("sim.run")
 
 	var res Result
 	res.Seed = cfg.Seed
@@ -175,13 +186,15 @@ func Run(cfg Config) Result {
 		rebuild func()
 	)
 	rebuild = func() {
+		stopRebuild := tel.StartPhase("sim.rebuild")
+		defer stopRebuild()
 		switch cfg.MAC {
 		case MACGiven, MACRandom:
 			d := cfg.Range
 			if d <= 0 {
 				d = unitdisk.CriticalRange(pts) * cfg.RangeSlack
 			}
-			top := topology.BuildTheta(pts, topology.Config{Theta: cfg.Theta, Range: d})
+			top := topology.BuildTheta(pts, topology.Config{Theta: cfg.Theta, Range: d, Telemetry: tel})
 			res.MaxDegree = top.N.MaxDegree()
 			cost := top.EnergyCost(cfg.Kappa)
 			if cfg.MAC == MACGiven {
@@ -191,13 +204,15 @@ func Run(cfg Config) Result {
 				}
 			} else {
 				rmac = mac.NewRandomMAC(pts, top.N.Edges(), model, cost, rng)
+				rmac.SetTelemetry(tel)
 				res.I = rmac.I()
 			}
 		case MACHoneycomb:
 			honey = mac.NewHoneycomb(pts, mac.HoneycombConfig{
-				Delta: cfg.Delta,
-				T:     cfg.Router.T,
-				Rng:   rng,
+				Delta:     cfg.Delta,
+				T:         cfg.Router.T,
+				Rng:       rng,
+				Telemetry: tel,
 			})
 			res.MaxDegree = 0
 		default:
@@ -206,6 +221,9 @@ func Run(cfg Config) Result {
 	}
 	rebuild()
 
+	// Nil-safe handle: a disabled scope makes this a no-op pointer, so the
+	// step loop pays one nil check per step.
+	offeredC := tel.Counter("sim.offered_edges")
 	for step := 0; step < cfg.Steps; step++ {
 		if cfg.Mobility.Every > 0 && step > 0 && step%cfg.Mobility.Every == 0 {
 			if cfg.Mobility.Model != nil {
@@ -220,6 +238,14 @@ func Run(cfg Config) Result {
 			}
 			rebuild()
 			res.Rebuilds++
+			tel.Counter("sim.rebuilds").Inc()
+			if tel.Tracing() {
+				tel.Emit(telemetry.Event{Layer: "sim", Kind: "rebuild", Step: step, Seed: cfg.Seed, Fields: map[string]float64{
+					"rebuilds":   float64(res.Rebuilds),
+					"max_degree": float64(res.MaxDegree),
+					"i":          float64(res.I),
+				}})
+			}
 		}
 		var offered []routing.ActiveEdge
 		switch cfg.MAC {
@@ -234,6 +260,7 @@ func Run(cfg Config) Result {
 		if cfg.Inject != nil {
 			inj = cfg.Inject(step, rng)
 		}
+		offeredC.Add(int64(len(offered)))
 		router.Step(offered, inj)
 	}
 
@@ -244,12 +271,39 @@ func Run(cfg Config) Result {
 	res.TotalCost = router.TotalCost()
 	res.AvgCost = router.AvgCostPerDelivery()
 	res.Queued = router.TotalQueued()
+	stopRun()
+	if tel.Enabled() {
+		tel.Counter("sim.runs").Inc()
+		tel.Counter("sim.steps").Add(int64(cfg.Steps))
+		tel.Gauge("sim.queued").Set(float64(res.Queued))
+	}
+	if tel.Tracing() {
+		tel.Emit(telemetry.Event{Layer: "sim", Kind: "run", Seed: cfg.Seed, Fields: map[string]float64{
+			"steps":      float64(cfg.Steps),
+			"delivered":  float64(res.Delivered),
+			"accepted":   float64(res.Accepted),
+			"dropped":    float64(res.Dropped),
+			"moves":      float64(res.Moves),
+			"total_cost": res.TotalCost,
+			"queued":     float64(res.Queued),
+			"rebuilds":   float64(res.Rebuilds),
+		}})
+	}
 	return res
 }
 
 // MonteCarlo runs the configuration once per seed, fanned out over a worker
 // pool, and returns results in seed order. parallelism ≤ 0 uses
-// GOMAXPROCS workers.
+// GOMAXPROCS workers. Results are a pure function of (cfg, seeds) — the
+// worker count only changes the schedule, never the outcome.
+//
+// When cfg.Telemetry is set, workers share its instruments (counters and
+// histograms aggregate across runs) but per-step trace emission is
+// suppressed inside workers (Telemetry.WithoutTrace) so concurrent runs do
+// not interleave step events; instead the runner records each run's wall
+// time into the "sim.mc.run_ms" histogram and, when tracing, emits one
+// {layer: "sim", kind: "mc_run"} event per seed — in seed order — carrying
+// the worker index and duration.
 func MonteCarlo(cfg Config, seeds []int64, parallelism int) []Result {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -257,24 +311,58 @@ func MonteCarlo(cfg Config, seeds []int64, parallelism int) []Result {
 	if parallelism > len(seeds) {
 		parallelism = len(seeds)
 	}
+	tel := cfg.Telemetry
+	stopMC := tel.StartPhase("sim.montecarlo")
+	workerCfg := cfg
+	workerCfg.Telemetry = tel.WithoutTrace()
 	results := make([]Result, len(seeds))
+	type runMeta struct {
+		worker int
+		ms     float64
+	}
+	var metas []runMeta
+	if tel.Enabled() {
+		metas = make([]runMeta, len(seeds))
+	}
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range work {
-				c := cfg
+				c := workerCfg
 				c.Seed = seeds[i]
+				if metas == nil {
+					results[i] = Run(c)
+					continue
+				}
+				t0 := time.Now()
 				results[i] = Run(c)
+				metas[i] = runMeta{worker: worker, ms: float64(time.Since(t0)) / float64(time.Millisecond)}
 			}
-		}()
+		}(w)
 	}
 	for i := range seeds {
 		work <- i
 	}
 	close(work)
 	wg.Wait()
+	stopMC()
+	if metas != nil {
+		h := tel.Histogram("sim.mc.run_ms")
+		for i, m := range metas {
+			h.Observe(m.ms)
+			if !tel.Tracing() {
+				continue
+			}
+			tel.Emit(telemetry.Event{Layer: "sim", Kind: "mc_run", Seed: seeds[i], Worker: m.worker, DurMS: m.ms, Fields: map[string]float64{
+				"delivered": float64(results[i].Delivered),
+				"accepted":  float64(results[i].Accepted),
+				"dropped":   float64(results[i].Dropped),
+				"queued":    float64(results[i].Queued),
+			}})
+		}
+	}
 	return results
 }

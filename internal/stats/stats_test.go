@@ -30,6 +30,83 @@ func TestSummarizeEmptyAndSingle(t *testing.T) {
 	}
 }
 
+// TestSummarizeEmptyIsZero pins the empty-sample contract: every field of
+// the Summary, percentiles included, stays zero (no NaN, no panic).
+func TestSummarizeEmptyIsZero(t *testing.T) {
+	s := Summarize([]float64{})
+	if s != (Summary{}) {
+		t.Errorf("empty summary = %+v, want zero value", s)
+	}
+}
+
+// TestSummarizeSingle pins N=1: every statistic collapses to the sample
+// and Std is 0 (no division by N−1 = 0).
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{-2.5})
+	if s.N != 1 || s.Min != -2.5 || s.Max != -2.5 || s.Mean != -2.5 {
+		t.Errorf("single = %+v", s)
+	}
+	if s.Std != 0 {
+		t.Errorf("single-sample std = %v, want 0", s.Std)
+	}
+	for _, p := range []float64{s.P50, s.P90, s.P95, s.P99} {
+		if p != -2.5 {
+			t.Errorf("single-sample percentile = %v, want -2.5", p)
+		}
+	}
+}
+
+// TestSummarizeTwo pins N=2: percentiles interpolate linearly between the
+// two order statistics and Std is the sample standard deviation
+// |b−a|/√2 · √2 = |b−a|/√(N−1).
+func TestSummarizeTwo(t *testing.T) {
+	s := Summarize([]float64{1, 3})
+	if s.N != 2 || s.Min != 1 || s.Max != 3 || s.Mean != 2 {
+		t.Errorf("two = %+v", s)
+	}
+	// ss = (1−2)² + (3−2)² = 2, Std = √(2/(2−1)) = √2.
+	if math.Abs(s.Std-math.Sqrt2) > 1e-12 {
+		t.Errorf("two-sample std = %v, want √2", s.Std)
+	}
+	wants := []struct {
+		got, want float64
+		name      string
+	}{
+		{s.P50, 2, "P50"},
+		{s.P90, 1 + 0.9*2, "P90"},
+		{s.P95, 1 + 0.95*2, "P95"},
+		{s.P99, 1 + 0.99*2, "P99"},
+	}
+	for _, w := range wants {
+		if math.Abs(w.got-w.want) > 1e-12 {
+			t.Errorf("two-sample %s = %v, want %v", w.name, w.got, w.want)
+		}
+	}
+}
+
+// TestSummarizeAllEqual pins constant samples: zero spread, every
+// percentile equal to the value, regardless of sample size.
+func TestSummarizeAllEqual(t *testing.T) {
+	for _, n := range []int{2, 3, 10} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 4.25
+		}
+		s := Summarize(xs)
+		if s.N != n || s.Min != 4.25 || s.Max != 4.25 || s.Mean != 4.25 {
+			t.Errorf("n=%d all-equal = %+v", n, s)
+		}
+		if s.Std != 0 {
+			t.Errorf("n=%d all-equal std = %v, want 0", n, s.Std)
+		}
+		for _, p := range []float64{s.P50, s.P90, s.P95, s.P99} {
+			if p != 4.25 {
+				t.Errorf("n=%d all-equal percentile = %v, want 4.25", n, p)
+			}
+		}
+	}
+}
+
 func TestSummarizeDoesNotMutate(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Summarize(xs)

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// Event is one trace record. Every field except Kind is optional; the
+// JSONL schema is the JSON encoding of this struct, one event per line,
+// and events written by the JSONL sink decode back into Event losslessly.
+type Event struct {
+	// TMS is the emission time in milliseconds since the Telemetry scope
+	// was created (stamped by Emit when left zero).
+	TMS float64 `json:"t_ms"`
+	// Layer names the emitting subsystem ("topology", "mac", "router",
+	// "sim").
+	Layer string `json:"layer,omitempty"`
+	// Kind is the event type within the layer ("step", "build", "phase",
+	// "rebuild", "run", "mc_run", ...).
+	Kind string `json:"kind"`
+	// Name qualifies the kind (phase name, MAC name, protocol round, ...).
+	Name string `json:"name,omitempty"`
+	// Step is the simulation step the event describes, when step-scoped.
+	Step int `json:"step,omitempty"`
+	// Seed identifies the run in Monte-Carlo fan-outs.
+	Seed int64 `json:"seed,omitempty"`
+	// Worker is the worker-pool index of Monte-Carlo run events.
+	Worker int `json:"worker,omitempty"`
+	// DurMS carries the duration of timed events in milliseconds.
+	DurMS float64 `json:"dur_ms,omitempty"`
+	// Fields holds the event's numeric payload (queue depths, counts,
+	// costs, ...), keyed by metric name.
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+// Sink receives trace events. Implementations must be safe for concurrent
+// Emit calls.
+type Sink interface {
+	Emit(Event)
+	// Close flushes and releases the sink; no Emit may follow.
+	Close() error
+}
+
+// JSONL is a buffered Sink writing one JSON-encoded event per line.
+type JSONL struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+	n   int64
+}
+
+// NewJSONL returns a JSONL sink over w. If w is an io.Closer, Close
+// closes it after flushing.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	s := &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// CreateJSONL creates (truncating) the file at path and returns a JSONL
+// sink writing to it.
+func CreateJSONL(path string) (*JSONL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewJSONL(f), nil
+}
+
+// Emit writes one event line. Encoding errors are silently dropped —
+// tracing must never fail the simulation.
+func (s *JSONL) Emit(ev Event) {
+	s.mu.Lock()
+	if err := s.enc.Encode(ev); err == nil {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// Events returns the number of events written so far.
+func (s *JSONL) Events() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Close flushes the buffer and closes the underlying writer when it is
+// closable.
+func (s *JSONL) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.bw.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// MemorySink retains every event in memory; intended for tests and for
+// programmatic consumers that post-process a run's trace.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (s *MemorySink) Emit(ev Event) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Close is a no-op.
+func (s *MemorySink) Close() error { return nil }
+
+// ReadJSONL decodes a JSONL trace stream back into events — the inverse of
+// the JSONL sink, provided so tools (and tests) can round-trip traces.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"toporouting/internal/stats"
+)
+
+// Metrics is a point-in-time snapshot of every instrument in a Telemetry
+// scope. It marshals cleanly to JSON (the -json / -metrics CLI surfaces)
+// and formats as a sorted table via String.
+type Metrics struct {
+	Counters   map[string]int64         `json:"counters,omitempty"`
+	Gauges     map[string]float64       `json:"gauges,omitempty"`
+	Histograms map[string]stats.Summary `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every instrument. A nil scope
+// yields a zero Metrics.
+func (t *Telemetry) Snapshot() Metrics {
+	var m Metrics
+	if t == nil {
+		return m
+	}
+	r := t.reg
+	r.mu.Lock()
+	counters := make([]struct {
+		name string
+		c    *Counter
+	}, 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, struct {
+			name string
+			c    *Counter
+		}{name, c})
+	}
+	gauges := make([]struct {
+		name string
+		g    *Gauge
+	}, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges = append(gauges, struct {
+			name string
+			g    *Gauge
+		}{name, g})
+	}
+	hists := make([]struct {
+		name string
+		h    *Histogram
+	}, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists = append(hists, struct {
+			name string
+			h    *Histogram
+		}{name, h})
+	}
+	r.mu.Unlock()
+
+	// Read instrument values outside the registry lock: histograms take
+	// their own mutex in Summary.
+	if len(counters) > 0 {
+		m.Counters = make(map[string]int64, len(counters))
+		for _, e := range counters {
+			m.Counters[e.name] = e.c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		m.Gauges = make(map[string]float64, len(gauges))
+		for _, e := range gauges {
+			m.Gauges[e.name] = e.g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		m.Histograms = make(map[string]stats.Summary, len(hists))
+		for _, e := range hists {
+			m.Histograms[e.name] = e.h.Summary()
+		}
+	}
+	return m
+}
+
+// String renders the snapshot as a name-sorted text table.
+func (m Metrics) String() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(m.Counters) {
+		fmt.Fprintf(&b, "counter    %-36s %d\n", name, m.Counters[name])
+	}
+	for _, name := range sortedKeys(m.Gauges) {
+		fmt.Fprintf(&b, "gauge      %-36s %g\n", name, m.Gauges[name])
+	}
+	for _, name := range sortedKeys(m.Histograms) {
+		s := m.Histograms[name]
+		fmt.Fprintf(&b, "histogram  %-36s n=%d min=%.3f p50=%.3f p95=%.3f max=%.3f mean=%.3f\n",
+			name, s.N, s.Min, s.P50, s.P95, s.Max, s.Mean)
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles wires the standard Go profiling surfaces behind one call,
+// shared by the cmd/ binaries:
+//
+//   - cpuProfile != "": starts a runtime/pprof CPU profile into that file;
+//   - memProfile != "": writes a heap profile there when stop is called;
+//   - pprofAddr != "": serves net/http/pprof and expvar on that address
+//     for the life of the process.
+//
+// The returned stop function finalizes the file-based profiles; it is safe
+// to call when all three inputs were empty.
+func StartProfiles(cpuProfile, memProfile, pprofAddr string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuProfile != "" {
+		cpuFile, err = os.Create(cpuProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("telemetry: start cpu profile: %w", err)
+		}
+	}
+	if pprofAddr != "" {
+		ln := pprofAddr
+		go func() {
+			// The server runs for the life of the process; a bind failure
+			// must not kill the run it is observing.
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "telemetry: pprof server:", err)
+			}
+		}()
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		if memProfile != "" {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				runtime.GC() // materialize up-to-date heap statistics
+				if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err := f.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// PublishExpvar exposes the scope's live Snapshot under the given expvar
+// name (visible at /debug/vars when a pprof server runs). Re-publishing an
+// existing name is a no-op: expvar forbids duplicates.
+func PublishExpvar(name string, t *Telemetry) {
+	if t == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return t.Snapshot() }))
+}

@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestNilTelemetryIsInert exercises the zero-cost contract: every method
+// on a nil *Telemetry and on nil instrument handles must no-op.
+func TestNilTelemetryIsInert(t *testing.T) {
+	var tel *Telemetry
+	if tel.Enabled() {
+		t.Fatal("nil telemetry reports Enabled")
+	}
+	if tel.Tracing() {
+		t.Fatal("nil telemetry reports Tracing")
+	}
+	if tel.Sink() != nil {
+		t.Fatal("nil telemetry has a sink")
+	}
+	if tel.WithoutTrace() != nil {
+		t.Fatal("WithoutTrace of nil is non-nil")
+	}
+	c := tel.Counter("x")
+	if c != nil {
+		t.Fatal("nil telemetry returned a live counter")
+	}
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	g := tel.Gauge("x")
+	g.Set(1)
+	g.Add(2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	h := tel.Histogram("x")
+	h.Observe(1)
+	if h.N() != 0 || h.Summary().N != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+	tel.Emit(Event{Kind: "step"})
+	tel.StartPhase("p")() // must not panic
+	if m := tel.Snapshot(); m.Counters != nil || m.Gauges != nil || m.Histograms != nil {
+		t.Fatal("nil telemetry snapshot is non-empty")
+	}
+}
+
+func TestStartPhaseNilAllocFree(t *testing.T) {
+	var tel *Telemetry
+	allocs := testing.AllocsPerRun(100, func() {
+		tel.StartPhase("hot")()
+		tel.Counter("c").Add(1)
+		tel.Emit(Event{Kind: "k"})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry allocates %v per op", allocs)
+	}
+}
+
+func TestInstrumentsAndSnapshot(t *testing.T) {
+	tel := New(nil)
+	tel.Counter("a").Add(3)
+	tel.Counter("a").Inc()
+	tel.Counter("b").Inc()
+	tel.Gauge("g").Set(2.5)
+	tel.Gauge("g2").Add(1)
+	tel.Gauge("g2").Add(0.5)
+	for i := 0; i < 10; i++ {
+		tel.Histogram("h").Observe(float64(i))
+	}
+
+	if got := tel.Counter("a").Value(); got != 4 {
+		t.Fatalf("counter a = %d, want 4", got)
+	}
+	if got := tel.Gauge("g2").Value(); got != 1.5 {
+		t.Fatalf("gauge g2 = %v, want 1.5", got)
+	}
+	m := tel.Snapshot()
+	if m.Counters["a"] != 4 || m.Counters["b"] != 1 {
+		t.Fatalf("snapshot counters = %v", m.Counters)
+	}
+	if m.Gauges["g"] != 2.5 {
+		t.Fatalf("snapshot gauges = %v", m.Gauges)
+	}
+	hs := m.Histograms["h"]
+	if hs.N != 10 || hs.Min != 0 || hs.Max != 9 || math.Abs(hs.Mean-4.5) > 1e-12 {
+		t.Fatalf("histogram summary = %+v", hs)
+	}
+	out := m.String()
+	for _, want := range []string{"counter", "gauge", "histogram", "a", "g2", "h"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("Metrics.String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPhaseTimerRecords(t *testing.T) {
+	sink := &MemorySink{}
+	tel := New(sink)
+	stop := tel.StartPhase("unit")
+	stop()
+	if n := tel.Histogram("phase.unit.ms").N(); n != 1 {
+		t.Fatalf("phase histogram has %d samples, want 1", n)
+	}
+	evs := sink.Events()
+	if len(evs) != 1 || evs[0].Kind != "phase" || evs[0].Name != "unit" {
+		t.Fatalf("phase events = %+v", evs)
+	}
+	if evs[0].DurMS < 0 {
+		t.Fatalf("negative phase duration %v", evs[0].DurMS)
+	}
+	if evs[0].TMS <= 0 {
+		t.Fatalf("event not timestamped: %+v", evs[0])
+	}
+}
+
+func TestWithoutTraceSharesInstruments(t *testing.T) {
+	sink := &MemorySink{}
+	tel := New(sink)
+	quiet := tel.WithoutTrace()
+	if quiet.Tracing() {
+		t.Fatal("WithoutTrace still traces")
+	}
+	if !quiet.Enabled() {
+		t.Fatal("WithoutTrace disabled instruments")
+	}
+	quiet.Counter("shared").Add(7)
+	if got := tel.Counter("shared").Value(); got != 7 {
+		t.Fatalf("shared counter = %d, want 7", got)
+	}
+	quiet.Emit(Event{Kind: "step"})
+	if len(sink.Events()) != 0 {
+		t.Fatal("quiet view leaked events to the sink")
+	}
+	// The original still traces.
+	tel.Emit(Event{Kind: "step"})
+	if len(sink.Events()) != 1 {
+		t.Fatal("original view lost its sink")
+	}
+	// A scope with no sink returns itself.
+	bare := New(nil)
+	if bare.WithoutTrace() != bare {
+		t.Fatal("WithoutTrace of a sinkless scope is not the scope itself")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	sink, err := CreateJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []Event{
+		{TMS: 1.5, Layer: "router", Kind: "step", Step: 3, Fields: map[string]float64{"queued": 12, "moved": 4}},
+		{TMS: 2.5, Layer: "sim", Kind: "mc_run", Seed: 42, Worker: 2, DurMS: 10.25},
+		{TMS: 3.5, Kind: "phase", Name: "topology.phase1", DurMS: 0.125},
+	}
+	for _, ev := range in {
+		sink.Emit(ev)
+	}
+	if sink.Events() != int64(len(in)) {
+		t.Fatalf("sink counted %d events, want %d", sink.Events(), len(in))
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out, err := ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestEmitStampsTime(t *testing.T) {
+	sink := &MemorySink{}
+	tel := New(sink)
+	tel.Emit(Event{Kind: "k"})
+	tel.Emit(Event{Kind: "k", TMS: 99})
+	evs := sink.Events()
+	if evs[0].TMS <= 0 {
+		t.Fatalf("unstamped event: %+v", evs[0])
+	}
+	if evs[1].TMS != 99 {
+		t.Fatalf("caller timestamp overwritten: %+v", evs[1])
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tel := New(&MemorySink{})
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := tel.Counter("c")
+			g := tel.Gauge("g")
+			h := tel.Histogram("h")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i))
+				tel.Emit(Event{Kind: "step", Step: i, Worker: w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tel.Counter("c").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := tel.Gauge("g").Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := tel.Histogram("h").N(); got != workers*perWorker {
+		t.Fatalf("histogram n = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestHistogramOverflowCap(t *testing.T) {
+	h := &Histogram{}
+	h.samples = make([]float64, maxHistogramSamples)
+	h.Observe(1)
+	if len(h.samples) != maxHistogramSamples || h.overflow != 1 {
+		t.Fatalf("overflow not applied: len=%d overflow=%d", len(h.samples), h.overflow)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	PublishExpvar("tel_test", nil) // nil scope: no-op, no panic
+	tel := New(nil)
+	tel.Counter("x").Inc()
+	PublishExpvar("tel_test", tel)
+	PublishExpvar("tel_test", tel) // duplicate publish must not panic
+}
+
+func TestStartProfilesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := StartProfiles(cpu, mem, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples.
+	x := 0.0
+	for i := 0; i < 1e6; i++ {
+		x += math.Sqrt(float64(i))
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// All-empty inputs: stop must be callable and error-free.
+	stop2, err := StartProfiles("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop2(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"toporouting/internal/geom"
 	"toporouting/internal/graph"
 	"toporouting/internal/spatial"
+	"toporouting/internal/telemetry"
 )
 
 // This file contains the faithful distributed implementation of ΘALG as
@@ -107,6 +108,8 @@ func BuildThetaDistributed(pts []geom.Point, cfg Config) (*Topology, ProtocolSta
 		return sectors.IndexOf(from, to)
 	}
 	var stats ProtocolStats
+	tel := cfg.Telemetry
+	stopBuild := tel.StartPhase("topology.dist.build")
 
 	nodes := make([]distNode, n)
 	for i := range nodes {
@@ -118,6 +121,7 @@ func BuildThetaDistributed(pts []geom.Point, cfg Config) (*Topology, ProtocolSta
 
 	// Round 1 — Position: every node broadcasts its GPS position at
 	// maximum power; every node within range D hears it.
+	stopRound1 := tel.StartPhase("topology.dist.position")
 	medium := spatial.NewGrid(pts, cfg.Range)
 	for u := range nodes {
 		stats.PositionMsgs++
@@ -153,8 +157,11 @@ func BuildThetaDistributed(pts []geom.Point, cfg Config) (*Topology, ProtocolSta
 		}
 	}
 
+	stopRound1()
+
 	// Round 2 — Neighborhood: each node u unicasts N(u) to every member
 	// of N(u), informing them they were selected.
+	stopRound2 := tel.StartPhase("topology.dist.neighborhood")
 	inbox2 := make([][]Message, n)
 	for u := range nodes {
 		nd := &nodes[u]
@@ -191,9 +198,12 @@ func BuildThetaDistributed(pts []geom.Point, cfg Config) (*Topology, ProtocolSta
 		}
 	}
 
+	stopRound2()
+
 	// Round 3 — Connection: each node v answers, per sector, its nearest
 	// suitor with a Connection message; every Connection message creates
 	// an edge of N.
+	stopRound3 := tel.StartPhase("topology.dist.connection")
 	admitIn := newSectorTable(n, k)
 	nGraph := graph.New(n)
 	for v := range nodes {
@@ -220,6 +230,8 @@ func BuildThetaDistributed(pts []geom.Point, cfg Config) (*Topology, ProtocolSta
 		}
 	}
 
+	stopRound3()
+
 	// Assemble the same artifact BuildTheta returns. The Yao graph is the
 	// undirected closure of the local selections.
 	yao := graph.New(n)
@@ -240,6 +252,24 @@ func BuildThetaDistributed(pts []geom.Point, cfg Config) (*Topology, ProtocolSta
 		Yao:        yao,
 		NearestOut: nearestOut,
 		AdmitIn:    admitIn,
+	}
+	stopBuild()
+	if tel.Enabled() {
+		tel.Counter("topology.dist.builds").Inc()
+		tel.Counter("topology.dist.position_msgs").Add(int64(stats.PositionMsgs))
+		tel.Counter("topology.dist.neighborhood_msgs").Add(int64(stats.NeighborhoodMsgs))
+		tel.Counter("topology.dist.connection_msgs").Add(int64(stats.ConnectionMsgs))
+		tel.Counter("topology.dist.deliveries").Add(int64(stats.Deliveries))
+	}
+	if tel.Tracing() {
+		tel.Emit(telemetry.Event{Layer: "topology", Kind: "dist_build", Fields: map[string]float64{
+			"n":                 float64(n),
+			"edges":             float64(nGraph.NumEdges()),
+			"position_msgs":     float64(stats.PositionMsgs),
+			"neighborhood_msgs": float64(stats.NeighborhoodMsgs),
+			"connection_msgs":   float64(stats.ConnectionMsgs),
+			"deliveries":        float64(stats.Deliveries),
+		}})
 	}
 	return t, stats
 }

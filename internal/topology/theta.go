@@ -13,6 +13,7 @@ import (
 	"toporouting/internal/geom"
 	"toporouting/internal/graph"
 	"toporouting/internal/spatial"
+	"toporouting/internal/telemetry"
 )
 
 // DefaultTheta is the default cone angle (π/6, i.e. 12 sectors). The
@@ -32,6 +33,10 @@ type Config struct {
 	// around themselves, so no shared frame is assumed; nil uses azimuth
 	// 0 everywhere. Length must equal the point count when non-nil.
 	Orientations []float64
+	// Telemetry, when non-nil, records build-phase timings, counters, and
+	// (when tracing) a per-build event. nil disables instrumentation at
+	// zero cost.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c Config) withDefaults() Config {
@@ -102,10 +107,13 @@ func BuildTheta(pts []geom.Point, cfg Config) *Topology {
 		NearestOut: newSectorTable(n, k),
 		AdmitIn:    newSectorTable(n, k),
 	}
+	tel := cfg.Telemetry
+	stopBuild := tel.StartPhase("topology.build")
 
 	// Phase 1: every node selects, in each of its sectors, the nearest
 	// node within transmission range. This is purely local given the
 	// positions of in-range nodes (round 1 of the distributed protocol).
+	stopPhase1 := tel.StartPhase("topology.phase1")
 	idx := spatial.NewGrid(pts, cfg.Range)
 	for u := 0; u < n; u++ {
 		row := t.NearestOut[u]
@@ -129,6 +137,8 @@ func BuildTheta(pts []geom.Point, cfg Config) *Topology {
 			}
 		}
 	}
+	stopPhase1()
+	stopPhase2 := tel.StartPhase("topology.phase2")
 
 	// Phase 2: every node u admits, per sector, only the nearest node w
 	// that selected u (u ∈ N(w)). In the distributed protocol this is the
@@ -157,6 +167,22 @@ func BuildTheta(pts []geom.Point, cfg Config) *Topology {
 				t.N.AddEdge(u, int(w))
 			}
 		}
+	}
+	stopPhase2()
+	stopBuild()
+	if tel.Enabled() {
+		tel.Counter("topology.builds").Inc()
+		tel.Gauge("topology.edges").Set(float64(t.N.NumEdges()))
+		tel.Gauge("topology.yao_edges").Set(float64(t.Yao.NumEdges()))
+		tel.Gauge("topology.max_degree").Set(float64(t.N.MaxDegree()))
+	}
+	if tel.Tracing() {
+		tel.Emit(telemetry.Event{Layer: "topology", Kind: "build", Fields: map[string]float64{
+			"n":          float64(n),
+			"edges":      float64(t.N.NumEdges()),
+			"yao_edges":  float64(t.Yao.NumEdges()),
+			"max_degree": float64(t.N.MaxDegree()),
+		}})
 	}
 	return t
 }

@@ -65,6 +65,12 @@ func (r *Router) Step(active []Link, inject []Packets) StepReport {
 	return r.b.Step(active, inject)
 }
 
+// SetTelemetry installs a telemetry scope: every Step then maintains the
+// cumulative router.* counters and gauges and, when the scope traces,
+// emits one per-step event carrying the height/queue/drop/delivery series.
+// A nil scope (the default) leaves the router uninstrumented.
+func (r *Router) SetTelemetry(t *Telemetry) { r.b.SetTelemetry(t) }
+
 // Height returns the current height of buffer Q(v, d).
 func (r *Router) Height(v, d int) int { return r.b.Height(v, d) }
 

@@ -58,19 +58,34 @@ type SimulationOptions struct {
 	MobilityStep  float64
 	// Seed drives all randomness.
 	Seed int64
+	// Telemetry, when non-nil, records step-level metrics across every
+	// layer (topology build phases, MAC contention, router height/queue
+	// series, rebuild timings) and — when constructed with a trace sink —
+	// streams JSONL-able events. The snapshot of its instruments is
+	// returned in SimulationResult.Metrics. nil disables instrumentation
+	// at zero cost; telemetry never changes simulation results.
+	Telemetry *Telemetry
 }
 
-// SimulationResult reports a completed simulation.
+// SimulationResult reports a completed simulation. It marshals to JSON
+// (the routesim -json surface) with lower_snake_case keys.
 type SimulationResult struct {
-	Delivered, Accepted, Dropped, Moves int64
-	TotalCost, AvgCost                  float64
-	Queued                              int
+	Delivered int64   `json:"delivered"`
+	Accepted  int64   `json:"accepted"`
+	Dropped   int64   `json:"dropped"`
+	Moves     int64   `json:"moves"`
+	TotalCost float64 `json:"total_cost"`
+	AvgCost   float64 `json:"avg_cost"`
+	Queued    int     `json:"queued"`
 	// I is the interference bound of the random MAC (0 otherwise).
-	I int
+	I int `json:"interference_bound,omitempty"`
 	// MaxDegree is the topology's maximum degree at the last rebuild.
-	MaxDegree int
+	MaxDegree int `json:"max_degree,omitempty"`
 	// Rebuilds counts mobility-induced topology rebuilds.
-	Rebuilds int
+	Rebuilds int `json:"rebuilds,omitempty"`
+	// Metrics is the final snapshot of SimulationOptions.Telemetry; nil
+	// when the run was not instrumented.
+	Metrics *Metrics `json:"metrics,omitempty"`
 }
 
 // Simulate composes point set → ΘALG topology → MAC → (T,γ)-balancing
@@ -110,11 +125,17 @@ func Simulate(opts SimulationOptions) (SimulationResult, error) {
 		Router: routing.Params{
 			T: opts.Router.T, Gamma: opts.Router.Gamma, BufferSize: opts.Router.BufferSize,
 		},
-		Inject:   injector,
-		Steps:    opts.Steps,
-		Mobility: sim.Mobility{Every: opts.MobilityEvery, StepSize: opts.MobilityStep},
-		Seed:     opts.Seed,
+		Inject:    injector,
+		Steps:     opts.Steps,
+		Mobility:  sim.Mobility{Every: opts.MobilityEvery, StepSize: opts.MobilityStep},
+		Seed:      opts.Seed,
+		Telemetry: opts.Telemetry,
 	})
+	var metrics *Metrics
+	if opts.Telemetry.Enabled() {
+		m := opts.Telemetry.Snapshot()
+		metrics = &m
+	}
 	return SimulationResult{
 		Delivered: r.Delivered,
 		Accepted:  r.Accepted,
@@ -126,6 +147,7 @@ func Simulate(opts SimulationOptions) (SimulationResult, error) {
 		I:         r.I,
 		MaxDegree: r.MaxDegree,
 		Rebuilds:  r.Rebuilds,
+		Metrics:   metrics,
 	}, nil
 }
 
@@ -133,10 +155,18 @@ func Simulate(opts SimulationOptions) (SimulationResult, error) {
 // ("E1".."E12", "E7b", or "all") and returns the rendered table(s). full
 // selects the paper-scale sweep; false runs the quick scale.
 func RunExperiment(id string, full bool) (string, error) {
+	return RunExperimentTraced(id, full, nil)
+}
+
+// RunExperimentTraced is RunExperiment with a telemetry scope threaded into
+// the experiment harness: the simulation-backed experiments record their
+// runs into it (and trace them when the scope has a sink). tel may be nil.
+func RunExperimentTraced(id string, full bool, tel *Telemetry) (string, error) {
 	scale := experiments.Small()
 	if full {
 		scale = experiments.Full()
 	}
+	scale.Telemetry = tel
 	var out strings.Builder
 	found := false
 	for _, r := range experiments.All() {

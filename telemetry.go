@@ -1,0 +1,61 @@
+package toporouting
+
+import (
+	"io"
+
+	"toporouting/internal/telemetry"
+)
+
+// Telemetry is the observability scope of the stack: counters, gauges,
+// histograms, named phase timers, and an optional trace sink. Pass one via
+// SimulationOptions.Telemetry (or Options.Telemetry for bare topology
+// builds) and every layer — ΘALG build phases, MAC contention, the
+// (T,γ)-balancing router's per-step series, and the simulation loop —
+// records into it. A nil *Telemetry disables all instrumentation at zero
+// cost, and telemetry never changes simulation results.
+type Telemetry = telemetry.Telemetry
+
+// Metrics is a point-in-time snapshot of every telemetry instrument; see
+// SimulationResult.Metrics and Telemetry.Snapshot.
+type Metrics = telemetry.Metrics
+
+// TraceEvent is one step-level trace record; the JSONL trace format is one
+// JSON-encoded TraceEvent per line.
+type TraceEvent = telemetry.Event
+
+// TraceSink receives trace events; implementations must tolerate
+// concurrent Emit calls.
+type TraceSink = telemetry.Sink
+
+// NewTelemetry returns a metrics-only telemetry scope (counters, gauges,
+// histograms, phase timers; no trace events).
+func NewTelemetry() *Telemetry { return telemetry.New(nil) }
+
+// NewTracedTelemetry returns a telemetry scope that additionally streams
+// step-level trace events into sink.
+func NewTracedTelemetry(sink TraceSink) *Telemetry { return telemetry.New(sink) }
+
+// NewJSONLTrace returns a buffered TraceSink writing one JSON event per
+// line to w; Close flushes it (and closes w when w is an io.Closer).
+func NewJSONLTrace(w io.Writer) TraceSink { return telemetry.NewJSONL(w) }
+
+// CreateJSONLTrace creates (truncating) the file at path and returns a
+// JSONL trace sink writing to it.
+func CreateJSONLTrace(path string) (TraceSink, error) { return telemetry.CreateJSONL(path) }
+
+// ReadJSONLTrace decodes a JSONL trace stream back into events — the
+// inverse of NewJSONLTrace, for tools post-processing a run's trace.
+func ReadJSONLTrace(r io.Reader) ([]TraceEvent, error) { return telemetry.ReadJSONL(r) }
+
+// StartProfiling wires the standard Go profiling surfaces: a CPU profile
+// into cpuProfile (when non-empty), a heap profile into memProfile written
+// by the returned stop function, and a net/http/pprof + expvar server on
+// pprofAddr for the life of the process. The cmd/ binaries expose these as
+// -cpuprofile, -memprofile, and -pprof-addr.
+func StartProfiling(cpuProfile, memProfile, pprofAddr string) (stop func() error, err error) {
+	return telemetry.StartProfiles(cpuProfile, memProfile, pprofAddr)
+}
+
+// PublishExpvar exposes the scope's live metrics snapshot under the given
+// expvar name, visible at /debug/vars when a pprof server is running.
+func PublishExpvar(name string, t *Telemetry) { telemetry.PublishExpvar(name, t) }

@@ -56,6 +56,10 @@ type Options struct {
 	Kappa float64
 	// Delta is the interference guard zone Δ > 0; 0 selects 0.5.
 	Delta float64
+	// Telemetry, when non-nil, records ΘALG build-phase timings and
+	// counters (and trace events when the scope has a sink). nil disables
+	// instrumentation at zero cost.
+	Telemetry *Telemetry
 }
 
 func (o Options) withDefaults(pts []Point) (Options, error) {
@@ -105,7 +109,7 @@ func BuildNetwork(points []Point, opts Options) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	top := topology.BuildTheta(points, topology.Config{Theta: o.Theta, Range: o.Range})
+	top := topology.BuildTheta(points, topology.Config{Theta: o.Theta, Range: o.Range, Telemetry: o.Telemetry})
 	return &Network{
 		opts:  o,
 		top:   top,
@@ -127,7 +131,7 @@ func BuildNetworkDistributed(points []Point, opts Options) (*Network, ProtocolSt
 	if err != nil {
 		return nil, ProtocolStats{}, err
 	}
-	top, st := topology.BuildThetaDistributed(points, topology.Config{Theta: o.Theta, Range: o.Range})
+	top, st := topology.BuildThetaDistributed(points, topology.Config{Theta: o.Theta, Range: o.Range, Telemetry: o.Telemetry})
 	return &Network{
 		opts:  o,
 		top:   top,
