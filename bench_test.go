@@ -12,6 +12,7 @@ package toporouting
 // Run:  go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -273,6 +274,90 @@ func BenchmarkSimulationStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
 		sim.Run(cfg)
+	}
+}
+
+// BenchmarkIncrementalVsRebuild is the headline number of the dynamic
+// maintenance subsystem: on a 2000-node uniform instance, repairing the
+// topology after a single churn event (topology.Dynamic) versus rebuilding
+// it from scratch (BuildTheta). The incremental path must touch only the
+// 2D-ball around the event — a few percent of the nodes, reported as
+// "touched/op" — and come out well over an order of magnitude faster.
+func BenchmarkIncrementalVsRebuild(b *testing.B) {
+	const n = 2000
+	pts := benchPoints(n)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	cfg := topology.Config{Theta: math.Pi / 6, Range: d}
+
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			topology.BuildTheta(pts, cfg)
+		}
+		b.ReportMetric(float64(n), "touched/op")
+	})
+
+	b.Run("incremental-move", func(b *testing.B) {
+		dyn := topology.NewDynamic(pts, cfg)
+		rng := rand.New(rand.NewSource(7))
+		var touched int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v := rng.Intn(dyn.N())
+			to := dyn.Points()[v]
+			to.X += (rng.Float64() - 0.5) * 0.02
+			to.Y += (rng.Float64() - 0.5) * 0.02
+			if dyn.HasNodeAt(to) {
+				continue
+			}
+			st := dyn.Apply(topology.Event{Kind: topology.Move, Node: v, Pos: to})
+			touched += int64(st.Touched)
+		}
+		b.ReportMetric(float64(touched)/float64(b.N), "touched/op")
+	})
+
+	b.Run("incremental-leave-join", func(b *testing.B) {
+		dyn := topology.NewDynamic(pts, cfg)
+		rng := rand.New(rand.NewSource(11))
+		var touched int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v := rng.Intn(dyn.N())
+			p := dyn.Points()[v]
+			st := dyn.Apply(topology.Event{Kind: topology.Leave, Node: v})
+			touched += int64(st.Touched)
+			p.X += (rng.Float64() - 0.5) * 0.01
+			p.Y += (rng.Float64() - 0.5) * 0.01
+			if dyn.HasNodeAt(p) {
+				continue
+			}
+			st = dyn.Apply(topology.Event{Kind: topology.Join, Pos: p})
+			touched += int64(st.Touched)
+		}
+		b.ReportMetric(float64(touched)/float64(2*b.N), "touched/op")
+	})
+}
+
+// BenchmarkBuildThetaParallel measures the worker-pool from-scratch build
+// across worker counts (the output is bit-identical for all of them; see
+// TestBuildThetaParallelDeterminism).
+func BenchmarkBuildThetaParallel(b *testing.B) {
+	pts := benchPoints(2000)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	cfg := topology.Config{Theta: math.Pi / 6, Range: d}
+	for _, workers := range []int{1, 2, 4, 0} { // 0 = GOMAXPROCS
+		name := fmt.Sprintf("workers%d", workers)
+		if workers == 0 {
+			name = "workersMax"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				topology.BuildThetaParallel(pts, cfg, workers)
+			}
+		})
 	}
 }
 

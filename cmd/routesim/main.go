@@ -7,8 +7,15 @@
 //	routesim [-dist uniform] [-n 200] [-seed 1] [-mac given|random|honeycomb]
 //	         [-steps 4000] [-rate 2] [-sinks 3] [-buffer 60] [-T 0] [-gamma 0]
 //	         [-mobility 0] [-mobstep 0.01]
+//	         [-churn 0] [-churn-every 50] [-churn-step 0.02]
 //	         [-json] [-metrics] [-trace run.jsonl]
 //	         [-cpuprofile cpu.out] [-memprofile mem.out] [-pprof-addr :6060]
+//
+// Churn: -churn k displaces k random nodes every -churn-every steps and
+// repairs the live topology incrementally (topology.Dynamic) instead of
+// rebuilding it, while the router keeps its queues; the summary reports
+// repairs and mean nodes touched per repair. Mutually exclusive with
+// -mobility.
 //
 // Observability: -trace streams one JSON event per line (router steps, MAC
 // rounds, topology builds, rebuilds) into the given file; -metrics prints
@@ -42,6 +49,10 @@ func main() {
 		gamma    = flag.Float64("gamma", 0, "cost sensitivity γ")
 		mobility = flag.Int("mobility", 0, "rebuild topology every k steps (0 = static)")
 		mobstep  = flag.Float64("mobstep", 0.01, "mobility displacement per move")
+
+		churn      = flag.Int("churn", 0, "incremental churn: displace this many nodes per epoch, repairing the topology locally (0 = off)")
+		churnEvery = flag.Int("churn-every", 50, "steps between churn epochs")
+		churnStep  = flag.Float64("churn-step", 0.02, "max per-coordinate churn displacement")
 
 		jsonOut    = flag.Bool("json", false, "emit the result as a single JSON object")
 		metricsOut = flag.Bool("metrics", false, "print the telemetry snapshot after the run")
@@ -106,6 +117,9 @@ func main() {
 		Steps:         *steps,
 		MobilityEvery: *mobility,
 		MobilityStep:  *mobstep,
+		ChurnEvery:    churnEveryOrZero(*churn, *churnEvery),
+		ChurnMoves:    *churn,
+		ChurnStep:     *churnStep,
 		Seed:          *seed,
 		Telemetry:     tel,
 	})
@@ -136,6 +150,10 @@ func main() {
 	if res.Rebuilds > 0 {
 		fmt.Printf("mobility       %d topology rebuilds\n", res.Rebuilds)
 	}
+	if res.ChurnEvents > 0 {
+		fmt.Printf("churn          %d incremental repairs, %.1f nodes touched/repair\n",
+			res.ChurnEvents, float64(res.TouchedNodes)/float64(res.ChurnEvents))
+	}
 	if res.MaxDegree > 0 {
 		fmt.Printf("max degree     %d\n", res.MaxDegree)
 	}
@@ -143,6 +161,15 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.Metrics.String())
 	}
+}
+
+// churnEveryOrZero disables churn entirely (ChurnEvery = 0) when no moves
+// are requested, so plain runs never enter the incremental path.
+func churnEveryOrZero(moves, every int) int {
+	if moves <= 0 {
+		return 0
+	}
+	return every
 }
 
 func fail(err error) {

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestE16GoldenTable pins the full rendered output of the E16 resilience
+// ablation on a fixed scale. E16 is deterministic given Scale (point sets,
+// failure patterns, and trial rng all derive from the seed index; rows are
+// emitted in the order of the names slice), so any diff here means the
+// topology constructions, the failure model, or the table renderer changed
+// behaviour. Refresh intentionally with: go test ./internal/experiments
+// -run E16Golden -update
+func TestE16GoldenTable(t *testing.T) {
+	got := E16Resilience(Scale{Sizes: []int{120}, Seeds: 3, Steps: 100}).String()
+	path := filepath.Join("testdata", "e16_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("E16 table drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,101 @@
+package fileio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadPoints throws arbitrary bytes at the point-set parser. The
+// contract under fuzzing: never panic, never return both a nil error and
+// malformed state, and for every successfully parsed input the
+// WritePoints → ReadPoints round trip must reproduce the points bitwise
+// (the writer uses 'g'/-1 formatting precisely so that this holds).
+func FuzzReadPoints(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("# comment only\n"))
+	f.Add([]byte("0.5 0.25\n1 2\n"))
+	f.Add([]byte("  \t 1e-300\t-2.5e+17  \n"))
+	f.Add([]byte("0.1 0.2 0.3\n"))      // 3 fields: must error
+	f.Add([]byte("a b\n"))              // non-numeric: must error
+	f.Add([]byte("NaN Inf\n"))          // parse fine; round trip exercises ±Inf/NaN
+	f.Add([]byte("5e-324 1.797e308\n")) // denormal + near-max
+	f.Add([]byte("0x1p-3 010\n"))       // ParseFloat hex-float and leading zero
+	f.Add([]byte("1 2\r\n3 4\r\n"))     // CRLF
+	f.Add([]byte("#\n\n\n9 9"))         // no trailing newline
+	f.Add([]byte("\xff\xfe 1 2\n"))     // invalid UTF-8
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, err := ReadPoints(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WritePoints(&buf, pts); err != nil {
+			t.Fatalf("WritePoints after successful parse: %v", err)
+		}
+		again, err := ReadPoints(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(again) != len(pts) {
+			t.Fatalf("round trip length %d, want %d", len(again), len(pts))
+		}
+		for i := range pts {
+			if math.Float64bits(again[i].X) != math.Float64bits(pts[i].X) ||
+				math.Float64bits(again[i].Y) != math.Float64bits(pts[i].Y) {
+				t.Fatalf("point %d not bitwise round-tripped: %v vs %v", i, pts[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzReadEdges checks that the edge-list parser never panics and that a
+// nil error implies a structurally valid graph: every reported edge in
+// range and the graph symmetric (AddEdge inserts both directions).
+func FuzzReadEdges(f *testing.F) {
+	f.Add([]byte(""), 5)
+	f.Add([]byte("0 1\n1 2\n"), 3)
+	f.Add([]byte("0 0\n"), 2)                    // self-loop line
+	f.Add([]byte("0 1\n0 1\n"), 2)               // duplicate edge
+	f.Add([]byte("4 1\n"), 3)                    // out of range: must error
+	f.Add([]byte("-1 0\n"), 4)                   // negative id: must error
+	f.Add([]byte("1 2 3\n"), 9)                  // 3 fields: must error
+	f.Add([]byte("# m=1\n07 1\n"), 8)            // leading zeros
+	f.Add([]byte("99999999999999999999 0\n"), 4) // Atoi overflow: must error
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 1<<12 {
+			t.Skip()
+		}
+		g, err := ReadEdges(bytes.NewReader(data), n)
+		if err != nil {
+			if g != nil {
+				t.Fatal("non-nil graph alongside an error")
+			}
+			return
+		}
+		if g.N() != n {
+			t.Fatalf("graph over %d nodes, want %d", g.N(), n)
+		}
+		for _, e := range g.Edges() {
+			if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+				t.Fatalf("edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+			}
+			if !g.HasEdge(e.U, e.V) || !g.HasEdge(e.V, e.U) {
+				t.Fatalf("edge (%d,%d) not symmetric", e.U, e.V)
+			}
+		}
+		// A parsed edge list must itself round-trip.
+		var buf bytes.Buffer
+		if err := WriteEdges(&buf, g); err != nil {
+			t.Fatalf("WriteEdges: %v", err)
+		}
+		again, err := ReadEdges(strings.NewReader(buf.String()), n)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if again.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip edges %d, want %d", again.NumEdges(), g.NumEdges())
+		}
+	})
+}

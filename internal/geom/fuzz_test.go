@@ -1,0 +1,117 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzNormalizeAngle pins the wraparound contract: for every finite input,
+// the result lies in the half-open interval [0, 2π) — never exactly 2π,
+// which is the rounding hazard the function's defensive clamp exists for
+// (math.Mod of values just below a multiple of 2π, plus the negative-
+// branch addition, can land exactly on 2π).
+func FuzzNormalizeAngle(f *testing.F) {
+	for _, seed := range []float64{
+		0, 1, -1, math.Pi, -math.Pi, TwoPi, -TwoPi, 7 * math.Pi,
+		math.Nextafter(TwoPi, 0), math.Nextafter(TwoPi, 4), -math.Nextafter(0, -1),
+		-1e-300, 1e300, -1e300, math.MaxFloat64, -math.MaxFloat64, 5e-324,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, a float64) {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			t.Skip()
+		}
+		got := NormalizeAngle(a)
+		if !(got >= 0 && got < TwoPi) {
+			t.Fatalf("NormalizeAngle(%v) = %v outside [0, 2π)", a, got)
+		}
+		// Idempotence: an already-normalized angle is a fixed point.
+		if again := NormalizeAngle(got); again != got {
+			t.Fatalf("NormalizeAngle not idempotent: %v → %v → %v", a, got, again)
+		}
+	})
+}
+
+// FuzzAzimuth pins Azimuth's range contract and its agreement with the
+// sector machinery's half-open indexing.
+func FuzzAzimuth(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 0.0)
+	f.Add(0.0, 0.0, -1.0, -1e-18) // just below the 2π wraparound
+	f.Add(0.5, 0.5, 0.5, 0.5)     // u == v convention
+	f.Add(1e308, 1e308, -1e308, -1e308)
+	f.Fuzz(func(t *testing.T, ux, uy, vx, vy float64) {
+		u, v := Pt(ux, uy), Pt(vx, vy)
+		if anyNonFinite(ux, uy, vx, vy) {
+			t.Skip()
+		}
+		az := Azimuth(u, v)
+		if !(az >= 0 && az < TwoPi) {
+			t.Fatalf("Azimuth(%v, %v) = %v outside [0, 2π)", u, v, az)
+		}
+		if u == v && az != 0 {
+			t.Fatalf("Azimuth(p, p) = %v, want 0", az)
+		}
+		if d := AngularDiff(az, az); d != 0 {
+			t.Fatalf("AngularDiff(a, a) = %v", d)
+		}
+	})
+}
+
+// FuzzSectorIndex pins the ΘALG cone partition against its two failure
+// modes: an index escaping [0, k) at the 2π wraparound, and the half-open
+// boundary [i·w, (i+1)·w) being violated by more than one float of
+// rounding. It also requires the oriented variant with offset 0 to agree
+// exactly with the unoriented one (BuildTheta switches between the two
+// code paths based on Config.Orientations).
+func FuzzSectorIndex(f *testing.F) {
+	f.Add(math.Pi/6, 0.0, 0.0, 1.0, 0.0, 0.0)
+	f.Add(math.Pi/6, 0.0, 0.0, 1.0, -1e-18, 1.0) // direction just below 2π
+	f.Add(math.Pi/3, 0.5, 0.5, 0.5, 1.5, -math.Pi)
+	f.Add(0.1, -3.0, 4.0, 12.0, -7.0, 100.0)
+	f.Add(1e-3, 0.0, 0.0, -1.0, 0.0, 0.0) // many sectors, angle π
+	f.Fuzz(func(t *testing.T, theta, ux, uy, vx, vy, offset float64) {
+		if !(theta > 1e-6 && theta <= math.Pi/3) || anyNonFinite(ux, uy, vx, vy, offset) {
+			t.Skip()
+		}
+		u, v := Pt(ux, uy), Pt(vx, vy)
+		if u == v {
+			t.Skip()
+		}
+		s := NewSectors(theta)
+		k := s.Count()
+		if w := s.Width(); w > theta+1e-12 {
+			t.Fatalf("sector width %v exceeds θ=%v", w, theta)
+		}
+		i := s.IndexOf(u, v)
+		if i < 0 || i >= k {
+			t.Fatalf("IndexOf = %d outside [0, %d)", i, k)
+		}
+		if !s.Contains(i, u, v) {
+			t.Fatalf("sector %d does not contain its own direction", i)
+		}
+		if oi := s.IndexOfOriented(u, v, 0); oi != i {
+			t.Fatalf("IndexOfOriented(offset=0) = %d, IndexOf = %d", oi, i)
+		}
+		// Half-open boundaries, modulo one float of division rounding:
+		// the azimuth must not be more than one ulp-scaled step outside
+		// [Lo(i), Hi(i)).
+		az := Azimuth(u, v)
+		const slack = 1e-9
+		if az < s.Lo(i)-slack*s.Width() || az >= s.Hi(i)+slack*s.Width() {
+			t.Fatalf("azimuth %v outside sector %d = [%v, %v)", az, i, s.Lo(i), s.Hi(i))
+		}
+		if oi := s.IndexOfOriented(u, v, offset); oi < 0 || oi >= k {
+			t.Fatalf("IndexOfOriented(offset=%v) = %d outside [0, %d)", offset, oi, k)
+		}
+	})
+}
+
+func anyNonFinite(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}

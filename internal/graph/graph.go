@@ -45,6 +45,64 @@ func (g *Graph) AddEdge(u, v int) {
 	g.adj[v] = append(g.adj[v], int32(u))
 }
 
+// AddNode appends an isolated node and returns its id.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	g.n++
+	return g.n - 1
+}
+
+// RemoveEdge deletes the undirected edge (u, v) if present. Adjacency-list
+// order is not preserved (swap deletion); Edges() sorts, so observable edge
+// sets are unaffected.
+func (g *Graph) RemoveEdge(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return
+	}
+	g.adj[u] = removeAdj(g.adj[u], int32(v))
+	g.adj[v] = removeAdj(g.adj[v], int32(u))
+}
+
+// removeAdj deletes the first occurrence of x from l by swap deletion.
+func removeAdj(l []int32, x int32) []int32 {
+	for i, w := range l {
+		if w == x {
+			l[i] = l[len(l)-1]
+			return l[:len(l)-1]
+		}
+	}
+	return l
+}
+
+// RemoveNodeSwap deletes node v and its incident edges, renumbers the last
+// node to v, and shrinks the graph by one node. The swap semantics mirror
+// slice swap-removal, so callers keeping per-node data in parallel slices
+// apply the same move. It panics if v is out of range.
+func (g *Graph) RemoveNodeSwap(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: RemoveNodeSwap(%d) out of range [0,%d)", v, g.n))
+	}
+	for _, w := range g.adj[v] {
+		g.adj[w] = removeAdj(g.adj[w], int32(v))
+	}
+	z := g.n - 1
+	if v != z {
+		g.adj[v] = g.adj[z]
+		for _, w := range g.adj[v] {
+			l := g.adj[w]
+			for i := range l {
+				if l[i] == int32(z) {
+					l[i] = int32(v)
+					break
+				}
+			}
+		}
+	}
+	g.adj[z] = nil
+	g.adj = g.adj[:z]
+	g.n = z
+}
+
 // HasEdge reports whether the undirected edge (u, v) is present.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {

@@ -338,3 +338,65 @@ func TestComponentsMatchUnionFind(t *testing.T) {
 		}
 	}
 }
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.RemoveEdge(1, 2)
+	if g.HasEdge(1, 2) || g.NumEdges() != 2 {
+		t.Fatalf("RemoveEdge left %d edges, HasEdge(1,2)=%v", g.NumEdges(), g.HasEdge(1, 2))
+	}
+	g.RemoveEdge(1, 2) // absent: no-op
+	g.RemoveEdge(0, 0) // self: no-op
+	if g.NumEdges() != 2 {
+		t.Fatalf("no-op removals changed edge count to %d", g.NumEdges())
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	id := g.AddNode()
+	if id != 2 || g.N() != 3 || g.Degree(2) != 0 {
+		t.Fatalf("AddNode: id=%d n=%d deg=%d", id, g.N(), g.Degree(2))
+	}
+	g.AddEdge(1, 2)
+	if !g.HasEdge(1, 2) {
+		t.Fatal("edge to appended node missing")
+	}
+}
+
+func TestRemoveNodeSwap(t *testing.T) {
+	// 0-1, 1-2, 2-3, 3-0, 1-3: remove 1; node 3 becomes node 1.
+	g := New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}} {
+		g.AddEdge(e[0], e[1])
+	}
+	g.RemoveNodeSwap(1)
+	if g.N() != 3 {
+		t.Fatalf("n=%d after RemoveNodeSwap", g.N())
+	}
+	// Old node 3 (now 1) kept its edges to 2 and 0.
+	want := map[[2]int]bool{{0, 1}: true, {1, 2}: true}
+	for _, e := range g.Edges() {
+		if !want[[2]int{e.U, e.V}] {
+			t.Fatalf("unexpected edge %v", e)
+		}
+		delete(want, [2]int{e.U, e.V})
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing edges %v", want)
+	}
+}
+
+func TestRemoveNodeSwapLast(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.RemoveNodeSwap(2)
+	if g.N() != 2 || g.NumEdges() != 0 {
+		t.Fatalf("removing last node: n=%d m=%d", g.N(), g.NumEdges())
+	}
+}

@@ -1,7 +1,8 @@
 // Package sim composes the layers of the paper into a runnable system:
 // point set → ΘALG topology → MAC (given / randomized / honeycomb) →
 // (T,γ)-balancing router, driven by an injection process over a discrete
-// time axis, with optional node mobility (topology rebuilds). A parallel
+// time axis, with optional node mobility (topology rebuilds) or churn
+// (incremental local topology repair through topology.Dynamic). A parallel
 // Monte-Carlo runner fans simulations out over a worker pool with
 // deterministic, seed-ordered results.
 package sim
@@ -94,6 +95,23 @@ type Mobility struct {
 	Model mobility.Model
 }
 
+// Churn configures incremental topology maintenance during a run: every
+// Every steps, Moves random nodes are displaced and the topology is
+// repaired locally through topology.Dynamic instead of rebuilt from
+// scratch — the live-update workload the paper's 3-round locality makes
+// cheap. Churn fixes the transmission range at its initial value (local
+// repair cannot re-derive a global critical range) and is mutually
+// exclusive with Mobility, whose models displace every node at once.
+type Churn struct {
+	// Every is the number of steps between churn epochs (0 disables).
+	Every int
+	// Moves is the number of distinct nodes displaced per epoch
+	// (defaults to 1).
+	Moves int
+	// StepSize is the maximum per-coordinate displacement per move.
+	StepSize float64
+}
+
 // Config assembles one simulation.
 type Config struct {
 	// Points are the node positions (mutated only under Mobility; the
@@ -122,6 +140,10 @@ type Config struct {
 	Steps int
 	// Mobility optionally perturbs the node set.
 	Mobility Mobility
+	// Churn optionally drives incremental topology maintenance instead of
+	// full rebuilds. Mutually exclusive with Mobility; ignored by
+	// MACHoneycomb, which does not run ΘALG.
+	Churn Churn
 	// Seed drives all randomness of the run.
 	Seed int64
 	// Telemetry, when non-nil, records step-level metrics across every
@@ -148,6 +170,11 @@ type Result struct {
 	MaxDegree int
 	// Rebuilds counts topology rebuilds due to mobility.
 	Rebuilds int
+	// ChurnEvents counts incremental topology repairs (one per moved
+	// node); TouchedNodes sums the nodes each repair recomputed, so
+	// TouchedNodes/ChurnEvents is the mean repair locality.
+	ChurnEvents  int64
+	TouchedNodes int64
 }
 
 // Run executes one simulation.
@@ -179,12 +206,41 @@ func Run(cfg Config) Result {
 	var res Result
 	res.Seed = cfg.Seed
 
+	churn := cfg.Churn.Every > 0
+	if churn {
+		if cfg.Mobility.Every > 0 {
+			panic("sim: Churn and Mobility are mutually exclusive")
+		}
+		if cfg.MAC == MACHoneycomb {
+			panic("sim: Churn requires a ΘALG-based MAC (given or random)")
+		}
+		if cfg.Churn.Moves <= 0 {
+			cfg.Churn.Moves = 1
+		}
+	}
+
 	var (
 		active  []routing.ActiveEdge // MACGiven: reused every step
 		rmac    *mac.RandomMAC
 		honey   *mac.Honeycomb
+		dyn     *topology.Dynamic
 		rebuild func()
 	)
+	// install points the MAC layer at a (re)built or repaired topology.
+	install := func(cur []geom.Point, top *topology.Topology) {
+		res.MaxDegree = top.N.MaxDegree()
+		cost := top.EnergyCost(cfg.Kappa)
+		if cfg.MAC == MACGiven {
+			active = active[:0]
+			for _, e := range top.N.Edges() {
+				active = append(active, routing.ActiveEdge{U: e.U, V: e.V, Cost: cost(e.U, e.V)})
+			}
+		} else {
+			rmac = mac.NewRandomMAC(cur, top.N.Edges(), model, cost, rng)
+			rmac.SetTelemetry(tel)
+			res.I = rmac.I()
+		}
+	}
 	rebuild = func() {
 		stopRebuild := tel.StartPhase("sim.rebuild")
 		defer stopRebuild()
@@ -194,19 +250,13 @@ func Run(cfg Config) Result {
 			if d <= 0 {
 				d = unitdisk.CriticalRange(pts) * cfg.RangeSlack
 			}
-			top := topology.BuildTheta(pts, topology.Config{Theta: cfg.Theta, Range: d, Telemetry: tel})
-			res.MaxDegree = top.N.MaxDegree()
-			cost := top.EnergyCost(cfg.Kappa)
-			if cfg.MAC == MACGiven {
-				active = active[:0]
-				for _, e := range top.N.Edges() {
-					active = append(active, routing.ActiveEdge{U: e.U, V: e.V, Cost: cost(e.U, e.V)})
-				}
-			} else {
-				rmac = mac.NewRandomMAC(pts, top.N.Edges(), model, cost, rng)
-				rmac.SetTelemetry(tel)
-				res.I = rmac.I()
+			if churn {
+				dyn = topology.NewDynamic(pts, topology.Config{Theta: cfg.Theta, Range: d, Telemetry: tel})
+				install(dyn.Points(), dyn.Topology())
+				return
 			}
+			top := topology.BuildTheta(pts, topology.Config{Theta: cfg.Theta, Range: d, Telemetry: tel})
+			install(pts, top)
 		case MACHoneycomb:
 			honey = mac.NewHoneycomb(pts, mac.HoneycombConfig{
 				Delta:     cfg.Delta,
@@ -225,6 +275,36 @@ func Run(cfg Config) Result {
 	// step loop pays one nil check per step.
 	offeredC := tel.Counter("sim.offered_edges")
 	for step := 0; step < cfg.Steps; step++ {
+		if churn && step > 0 && step%cfg.Churn.Every == 0 {
+			// Churn epoch: displace random nodes one at a time, repairing
+			// the live topology locally after each move. The router keeps
+			// its queues and heights — the topology changes under it.
+			var touched int64
+			for i := 0; i < cfg.Churn.Moves; i++ {
+				x := rng.Intn(dyn.N())
+				q := dyn.Points()[x]
+				to := geom.Pt(
+					q.X+(rng.Float64()*2-1)*cfg.Churn.StepSize,
+					q.Y+(rng.Float64()*2-1)*cfg.Churn.StepSize,
+				)
+				if dyn.HasNodeAt(to) {
+					continue // vanishing-probability collision: skip the move
+				}
+				st := dyn.Apply(topology.Event{Kind: topology.Move, Node: x, Pos: to})
+				res.ChurnEvents++
+				touched += int64(st.Touched)
+			}
+			res.TouchedNodes += touched
+			install(dyn.Points(), dyn.Topology())
+			tel.Counter("sim.churn_epochs").Inc()
+			if tel.Tracing() {
+				tel.Emit(telemetry.Event{Layer: "sim", Kind: "churn", Step: step, Seed: cfg.Seed, Fields: map[string]float64{
+					"moves":      float64(cfg.Churn.Moves),
+					"touched":    float64(touched),
+					"max_degree": float64(res.MaxDegree),
+				}})
+			}
+		}
 		if cfg.Mobility.Every > 0 && step > 0 && step%cfg.Mobility.Every == 0 {
 			if cfg.Mobility.Model != nil {
 				cfg.Mobility.Model.Step(pts, 1)

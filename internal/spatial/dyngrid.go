@@ -1,0 +1,150 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+
+	"toporouting/internal/geom"
+)
+
+// DynGrid is a mutable uniform-grid index over a dense point set: points
+// carry integer ids 0..Len()-1 and the grid supports insertion at the end,
+// swap-removal (the last point takes the vacated id), and in-place moves.
+// Those are exactly the mutations the incremental ΘALG maintenance applies
+// to its point slice, so a DynGrid can mirror the topology's node set under
+// churn. Buckets are keyed by quantized cell coordinates in a hash map, so
+// the arena is unbounded and nodes may wander outside the initial bounding
+// box. Query visit order is deterministic: cells row-major over the query
+// rectangle, points in bucket order (insertion order perturbed by swap
+// deletions) — the ΘALG selection rules are order-independent, so this
+// never affects results.
+type DynGrid struct {
+	cell    float64
+	pts     []geom.Point
+	buckets map[cellKey][]int32
+}
+
+type cellKey struct{ cx, cy int32 }
+
+// NewDynGrid indexes a copy of pts with the given cell size (typically the
+// transmission range, so a radius-r query touches a 3×3 cell block). It
+// panics on a non-positive cell size.
+func NewDynGrid(pts []geom.Point, cellSize float64) *DynGrid {
+	if cellSize <= 0 {
+		panic(fmt.Sprintf("spatial: non-positive DynGrid cell size %v", cellSize))
+	}
+	g := &DynGrid{
+		cell:    cellSize,
+		pts:     append([]geom.Point(nil), pts...),
+		buckets: make(map[cellKey][]int32, len(pts)),
+	}
+	for i, p := range g.pts {
+		k := g.key(p)
+		g.buckets[k] = append(g.buckets[k], int32(i))
+	}
+	return g
+}
+
+// Len returns the number of indexed points.
+func (g *DynGrid) Len() int { return len(g.pts) }
+
+// Point returns the position of point i.
+func (g *DynGrid) Point(i int) geom.Point { return g.pts[i] }
+
+// CellSize returns the side length of the grid cells.
+func (g *DynGrid) CellSize() float64 { return g.cell }
+
+func (g *DynGrid) key(p geom.Point) cellKey {
+	return cellKey{cx: int32(math.Floor(p.X / g.cell)), cy: int32(math.Floor(p.Y / g.cell))}
+}
+
+// Insert appends p and returns its id (the previous Len()).
+func (g *DynGrid) Insert(p geom.Point) int {
+	id := len(g.pts)
+	g.pts = append(g.pts, p)
+	k := g.key(p)
+	g.buckets[k] = append(g.buckets[k], int32(id))
+	return id
+}
+
+// RemoveSwap deletes point i; the last point (id Len()-1) takes id i, and
+// the set shrinks by one. Callers mirroring the index in parallel slices
+// must apply the same swap.
+func (g *DynGrid) RemoveSwap(i int) {
+	z := len(g.pts) - 1
+	if i < 0 || i > z {
+		panic(fmt.Sprintf("spatial: RemoveSwap(%d) out of range [0,%d]", i, z))
+	}
+	g.dropFromBucket(int32(i), g.key(g.pts[i]))
+	if i != z {
+		// Relabel z → i in its bucket; move its position down.
+		k := g.key(g.pts[z])
+		b := g.buckets[k]
+		for j, id := range b {
+			if id == int32(z) {
+				b[j] = int32(i)
+				break
+			}
+		}
+		g.pts[i] = g.pts[z]
+	}
+	g.pts = g.pts[:z]
+}
+
+// MoveTo relocates point i to p.
+func (g *DynGrid) MoveTo(i int, p geom.Point) {
+	old := g.key(g.pts[i])
+	now := g.key(p)
+	if old != now {
+		g.dropFromBucket(int32(i), old)
+		g.buckets[now] = append(g.buckets[now], int32(i))
+	}
+	g.pts[i] = p
+}
+
+func (g *DynGrid) dropFromBucket(id int32, k cellKey) {
+	b := g.buckets[k]
+	for j, v := range b {
+		if v == id {
+			b[j] = b[len(b)-1]
+			b = b[:len(b)-1]
+			if len(b) == 0 {
+				delete(g.buckets, k)
+			} else {
+				g.buckets[k] = b
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("spatial: point %d not in its bucket", id))
+}
+
+// ForEachWithin calls fn(j) for every point j with |p, pts[j]| ≤ r, in
+// deterministic (cell row-major, bucket order) order.
+func (g *DynGrid) ForEachWithin(p geom.Point, r float64, fn func(j int)) {
+	if r < 0 || len(g.pts) == 0 {
+		return
+	}
+	r2 := r * r
+	c0 := int32(math.Floor((p.X - r) / g.cell))
+	c1 := int32(math.Floor((p.X + r) / g.cell))
+	r0 := int32(math.Floor((p.Y - r) / g.cell))
+	r1 := int32(math.Floor((p.Y + r) / g.cell))
+	for cy := r0; cy <= r1; cy++ {
+		for cx := c0; cx <= c1; cx++ {
+			for _, j := range g.buckets[cellKey{cx: cx, cy: cy}] {
+				if geom.Dist2(p, g.pts[j]) <= r2 {
+					fn(int(j))
+				}
+			}
+		}
+	}
+}
+
+// Within returns the ids of all points within distance r of p, in
+// deterministic order.
+func (g *DynGrid) Within(p geom.Point, r float64) []int {
+	var out []int
+	g.ForEachWithin(p, r, func(j int) { out = append(out, j) })
+	return out
+}

@@ -1,0 +1,107 @@
+package spatial
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"toporouting/internal/geom"
+)
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+func TestDynGridMatchesBruteForceUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var pts []geom.Point
+	for i := 0; i < 50; i++ {
+		pts = append(pts, geom.Pt(rng.Float64(), rng.Float64()))
+	}
+	g := NewDynGrid(pts, 0.1)
+	check := func() {
+		t.Helper()
+		if g.Len() != len(pts) {
+			t.Fatalf("Len: grid %d, mirror %d", g.Len(), len(pts))
+		}
+		for trial := 0; trial < 10; trial++ {
+			p := geom.Pt(rng.Float64()*1.4-0.2, rng.Float64()*1.4-0.2)
+			r := rng.Float64() * 0.3
+			got := sortedCopy(g.Within(p, r))
+			want := sortedCopy(bruteWithin(pts, p, r))
+			if len(got) != len(want) {
+				t.Fatalf("Within(%v, %v): got %v, want %v", p, r, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Within(%v, %v): got %v, want %v", p, r, got, want)
+				}
+			}
+		}
+	}
+	check()
+	for step := 0; step < 300; step++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(pts) < 5:
+			p := geom.Pt(rng.Float64()*2-0.5, rng.Float64()*2-0.5)
+			id := g.Insert(p)
+			if id != len(pts) {
+				t.Fatalf("Insert returned id %d, want %d", id, len(pts))
+			}
+			pts = append(pts, p)
+		case op == 1:
+			i := rng.Intn(len(pts))
+			g.RemoveSwap(i)
+			pts[i] = pts[len(pts)-1]
+			pts = pts[:len(pts)-1]
+		default:
+			i := rng.Intn(len(pts))
+			p := geom.Pt(rng.Float64()*2-0.5, rng.Float64()*2-0.5)
+			g.MoveTo(i, p)
+			pts[i] = p
+		}
+		if step%25 == 0 {
+			check()
+		}
+	}
+	check()
+}
+
+func TestDynGridDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var pts []geom.Point
+	for i := 0; i < 80; i++ {
+		pts = append(pts, geom.Pt(rng.Float64(), rng.Float64()))
+	}
+	a := NewDynGrid(pts, 0.15)
+	b := NewDynGrid(pts, 0.15)
+	for trial := 0; trial < 20; trial++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		va, vb := a.Within(p, 0.25), b.Within(p, 0.25)
+		if len(va) != len(vb) {
+			t.Fatalf("order diverged: %v vs %v", va, vb)
+		}
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("order diverged: %v vs %v", va, vb)
+			}
+		}
+	}
+}
+
+func TestDynGridRemoveLast(t *testing.T) {
+	g := NewDynGrid([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}, 1)
+	g.RemoveSwap(1)
+	if g.Len() != 1 || g.Point(0) != geom.Pt(0, 0) {
+		t.Fatalf("RemoveSwap(last) corrupted grid: len=%d", g.Len())
+	}
+	g.RemoveSwap(0)
+	if g.Len() != 0 {
+		t.Fatalf("empty grid has len %d", g.Len())
+	}
+	if got := g.Within(geom.Pt(0, 0), 10); len(got) != 0 {
+		t.Fatalf("query on empty grid returned %v", got)
+	}
+}

@@ -1,0 +1,88 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/pointset"
+	"toporouting/internal/unitdisk"
+)
+
+// TestDynamicEquivalenceProperty is the property-based harness for the
+// incremental maintenance: across 100+ seeded random churn sequences of
+// joins, leaves, and moves over three generator families, the maintained
+// topology must be edge-for-edge identical (tables included) to a
+// from-scratch BuildTheta on the final point set. A quarter of the
+// sequences additionally verify after every single event, catching
+// transient corruption that a final-state check would miss.
+func TestDynamicEquivalenceProperty(t *testing.T) {
+	const (
+		seqPerKind = 36 // 3 kinds × 36 = 108 sequences
+		events     = 25
+	)
+	kinds := []pointset.Kind{pointset.KindUniform, pointset.KindCivilized, pointset.KindClustered}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			for seq := 0; seq < seqPerKind; seq++ {
+				seed := int64(1000*int(kind) + seq)
+				rng := rand.New(rand.NewSource(seed))
+				n0 := 40 + rng.Intn(80)
+				pts := pointset.Generate(kind, n0, seed)
+				dRange := unitdisk.CriticalRange(pts) * 1.3
+				cfg := Config{Theta: math.Pi / 6, Range: dRange}
+				d := NewDynamic(pts, cfg)
+				checkEvery := seq%4 == 0
+				for e := 0; e < events; e++ {
+					ev := randomEvent(rng, d)
+					d.Apply(ev)
+					if checkEvery {
+						checkEquivalence(t, d, cfg, kind, seed, e, ev)
+					}
+				}
+				if !checkEvery {
+					checkEquivalence(t, d, cfg, kind, seed, events-1, Event{})
+				}
+			}
+		})
+	}
+}
+
+// randomEvent draws a join (fresh uniform position near the arena), a
+// leave of a random node, or a bounded random move, keeping the node count
+// in a workable band.
+func randomEvent(rng *rand.Rand, d *Dynamic) Event {
+	n := d.N()
+	switch op := rng.Intn(3); {
+	case op == 0 && n < 200, n <= 5:
+		return Event{Kind: Join, Pos: geom.Pt(rng.Float64()*1.2-0.1, rng.Float64()*1.2-0.1)}
+	case op == 1:
+		return Event{Kind: Leave, Node: rng.Intn(n)}
+	default:
+		x := rng.Intn(n)
+		p := d.Points()[x]
+		step := d.Topology().Cfg.Range * (rng.Float64()*4 - 2)
+		return Event{Kind: Move, Node: x, Pos: geom.Pt(p.X+step, p.Y+step*(rng.Float64()*2-1))}
+	}
+}
+
+func checkEquivalence(t *testing.T, d *Dynamic, cfg Config, kind pointset.Kind, seed int64, event int, ev Event) {
+	t.Helper()
+	fresh := BuildTheta(append([]geom.Point(nil), d.Points()...), Config{Theta: cfg.Theta, Range: cfg.Range})
+	if !reflect.DeepEqual(d.Topology().NearestOut, fresh.NearestOut) {
+		t.Fatalf("%v seed %d event %d (%v): NearestOut diverged", kind, seed, event, ev)
+	}
+	if !reflect.DeepEqual(d.Topology().AdmitIn, fresh.AdmitIn) {
+		t.Fatalf("%v seed %d event %d (%v): AdmitIn diverged", kind, seed, event, ev)
+	}
+	if !reflect.DeepEqual(d.Topology().Yao.Edges(), fresh.Yao.Edges()) {
+		t.Fatalf("%v seed %d event %d (%v): Yao edges diverged", kind, seed, event, ev)
+	}
+	if !reflect.DeepEqual(d.Topology().N.Edges(), fresh.N.Edges()) {
+		t.Fatalf("%v seed %d event %d (%v): N edges diverged", kind, seed, event, ev)
+	}
+}

@@ -1,0 +1,27 @@
+package topology
+
+import (
+	"runtime"
+
+	"toporouting/internal/geom"
+)
+
+// BuildThetaParallel runs ΘALG with the per-node phase-1 sector selection
+// fanned out over a worker pool. workers ≤ 0 selects GOMAXPROCS. The
+// adjacency produced is identical for every worker count: workers own
+// disjoint node ranges, each phase-1 row depends only on the immutable
+// point positions, and the sequential phase-2 admission and edge
+// materialization consume the merged tables deterministically. Phase 1
+// dominates the build (one spatial-grid scan plus sector trigonometry per
+// in-range pair), so the speedup is near-linear until the grid's memory
+// bandwidth saturates.
+func BuildThetaParallel(pts []geom.Point, cfg Config, workers int) *Topology {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t := buildTheta(pts, cfg, workers)
+	if tel := cfg.Telemetry; tel.Enabled() {
+		tel.Gauge("topology.build_workers").Set(float64(workers))
+	}
+	return t
+}

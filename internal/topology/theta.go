@@ -9,6 +9,7 @@ package topology
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"toporouting/internal/geom"
 	"toporouting/internal/graph"
@@ -85,10 +86,69 @@ func closer(pts []geom.Point, u, a, b int) bool {
 	return a < b
 }
 
+// withinIndex is the spatial-query capability the builders and the
+// incremental maintenance need: both *spatial.Grid (immutable, batch
+// builds) and *spatial.DynGrid (mutable, churn maintenance) provide it.
+type withinIndex interface {
+	ForEachWithin(p geom.Point, r float64, fn func(j int))
+}
+
+// phase1Row recomputes node u's phase-1 selections in place: per sector,
+// the nearest node within transmission range. The result is a pure
+// function of the positions (and ids, for exact-tie breaks) of u's in-range
+// nodes — visit order never matters because closer is a strict total order.
+func (t *Topology) phase1Row(u int, idx withinIndex) {
+	row := t.NearestOut[u]
+	for i := range row {
+		row[i] = -1
+	}
+	idx.ForEachWithin(t.Pts[u], t.Cfg.Range, func(v int) {
+		if v == u {
+			return
+		}
+		s := t.SectorOf(u, v)
+		if row[s] < 0 || closer(t.Pts, u, v, int(row[s])) {
+			row[s] = int32(v)
+		}
+	})
+}
+
+// admitRow recomputes node u's phase-2 admissions in place by gathering:
+// per sector of u, the nearest in-range w that selected u in phase 1. This
+// is the per-node (gather) formulation of the scatter loop in buildTheta —
+// both compute the maximum of the same candidate set under the same strict
+// order, so they agree exactly.
+func (t *Topology) admitRow(u int, idx withinIndex) {
+	row := t.AdmitIn[u]
+	for i := range row {
+		row[i] = -1
+	}
+	idx.ForEachWithin(t.Pts[u], t.Cfg.Range, func(w int) {
+		if w == u {
+			return
+		}
+		if t.NearestOut[w][t.SectorOf(w, u)] != int32(u) {
+			return
+		}
+		s := t.SectorOf(u, w)
+		if row[s] < 0 || closer(t.Pts, u, w, int(row[s])) {
+			row[s] = int32(w)
+		}
+	})
+}
+
 // BuildTheta runs ΘALG on pts and returns the resulting topology. It panics
 // on an invalid configuration. The transmission graph G* is implicit: nodes
 // within distance Cfg.Range are mutually reachable.
 func BuildTheta(pts []geom.Point, cfg Config) *Topology {
+	return buildTheta(pts, cfg, 1)
+}
+
+// buildTheta is the shared builder: workers > 1 fans the per-node phase-1
+// sector selection out over a worker pool. Results are identical for every
+// worker count — workers own disjoint node ranges and phase 1 is
+// embarrassingly parallel (each row reads only immutable positions).
+func buildTheta(pts []geom.Point, cfg Config, workers int) *Topology {
 	cfg = cfg.withDefaults()
 	if cfg.Range <= 0 {
 		panic(fmt.Sprintf("topology: non-positive range %v", cfg.Range))
@@ -115,17 +175,26 @@ func BuildTheta(pts []geom.Point, cfg Config) *Topology {
 	// positions of in-range nodes (round 1 of the distributed protocol).
 	stopPhase1 := tel.StartPhase("topology.phase1")
 	idx := spatial.NewGrid(pts, cfg.Range)
-	for u := 0; u < n; u++ {
-		row := t.NearestOut[u]
-		idx.ForEachWithin(pts[u], cfg.Range, func(v int) {
-			if v == u {
-				return
-			}
-			s := t.SectorOf(u, v)
-			if row[s] < 0 || closer(pts, u, v, int(row[s])) {
-				row[s] = int32(v)
-			}
-		})
+	if workers > n {
+		workers = n
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*n/workers, (w+1)*n/workers
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for u := lo; u < hi; u++ {
+					t.phase1Row(u, idx)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for u := 0; u < n; u++ {
+			t.phase1Row(u, idx)
+		}
 	}
 
 	// Yao graph N₁: undirected closure of the phase-1 selections.

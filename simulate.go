@@ -56,6 +56,14 @@ type SimulationOptions struct {
 	// coordinate) and rebuilds the topology every that many steps.
 	MobilityEvery int
 	MobilityStep  float64
+	// ChurnEvery > 0 switches to incremental topology maintenance:
+	// every that many steps, ChurnMoves random nodes are displaced by up
+	// to ±ChurnStep per coordinate and the live topology is repaired
+	// locally (no full rebuild) while the router keeps running. Mutually
+	// exclusive with MobilityEvery; requires MACGiven or MACRandom.
+	ChurnEvery int
+	ChurnMoves int
+	ChurnStep  float64
 	// Seed drives all randomness.
 	Seed int64
 	// Telemetry, when non-nil, records step-level metrics across every
@@ -83,6 +91,11 @@ type SimulationResult struct {
 	MaxDegree int `json:"max_degree,omitempty"`
 	// Rebuilds counts mobility-induced topology rebuilds.
 	Rebuilds int `json:"rebuilds,omitempty"`
+	// ChurnEvents counts incremental topology repairs; TouchedNodes sums
+	// the nodes each repair recomputed (TouchedNodes/ChurnEvents is the
+	// mean repair locality).
+	ChurnEvents  int64 `json:"churn_events,omitempty"`
+	TouchedNodes int64 `json:"touched_nodes,omitempty"`
 	// Metrics is the final snapshot of SimulationOptions.Telemetry; nil
 	// when the run was not instrumented.
 	Metrics *Metrics `json:"metrics,omitempty"`
@@ -96,6 +109,14 @@ func Simulate(opts SimulationOptions) (SimulationResult, error) {
 	}
 	if opts.Steps <= 0 {
 		return SimulationResult{}, errors.New("toporouting: simulation needs steps > 0")
+	}
+	if opts.ChurnEvery > 0 {
+		if opts.MobilityEvery > 0 {
+			return SimulationResult{}, errors.New("toporouting: ChurnEvery and MobilityEvery are mutually exclusive")
+		}
+		if opts.MAC == MACHoneycomb {
+			return SimulationResult{}, errors.New("toporouting: churn requires a ΘALG-based MAC (given or random)")
+		}
 	}
 	if opts.Router.BufferSize <= 0 {
 		return SimulationResult{}, errors.New("toporouting: simulation needs a positive buffer size")
@@ -128,6 +149,7 @@ func Simulate(opts SimulationOptions) (SimulationResult, error) {
 		Inject:    injector,
 		Steps:     opts.Steps,
 		Mobility:  sim.Mobility{Every: opts.MobilityEvery, StepSize: opts.MobilityStep},
+		Churn:     sim.Churn{Every: opts.ChurnEvery, Moves: opts.ChurnMoves, StepSize: opts.ChurnStep},
 		Seed:      opts.Seed,
 		Telemetry: opts.Telemetry,
 	})
@@ -137,17 +159,19 @@ func Simulate(opts SimulationOptions) (SimulationResult, error) {
 		metrics = &m
 	}
 	return SimulationResult{
-		Delivered: r.Delivered,
-		Accepted:  r.Accepted,
-		Dropped:   r.Dropped,
-		Moves:     r.Moves,
-		TotalCost: r.TotalCost,
-		AvgCost:   r.AvgCost,
-		Queued:    r.Queued,
-		I:         r.I,
-		MaxDegree: r.MaxDegree,
-		Rebuilds:  r.Rebuilds,
-		Metrics:   metrics,
+		Delivered:    r.Delivered,
+		Accepted:     r.Accepted,
+		Dropped:      r.Dropped,
+		Moves:        r.Moves,
+		TotalCost:    r.TotalCost,
+		AvgCost:      r.AvgCost,
+		Queued:       r.Queued,
+		I:            r.I,
+		MaxDegree:    r.MaxDegree,
+		Rebuilds:     r.Rebuilds,
+		ChurnEvents:  r.ChurnEvents,
+		TouchedNodes: r.TouchedNodes,
+		Metrics:      metrics,
 	}, nil
 }
 

@@ -117,6 +117,180 @@ func BuildNetwork(points []Point, opts Options) (*Network, error) {
 	}, nil
 }
 
+// BuildNetworkParallel is BuildNetwork with the per-node phase-1 sector
+// selection fanned out over a worker pool (workers ≤ 0 selects
+// GOMAXPROCS). The resulting topology is identical to BuildNetwork's for
+// every worker count; only wall-clock time changes.
+func BuildNetworkParallel(points []Point, opts Options, workers int) (*Network, error) {
+	if len(points) < 2 {
+		return nil, errors.New("toporouting: need at least two points")
+	}
+	o, err := opts.withDefaults(points)
+	if err != nil {
+		return nil, err
+	}
+	top := topology.BuildThetaParallel(points, topology.Config{Theta: o.Theta, Range: o.Range, Telemetry: o.Telemetry}, workers)
+	return &Network{
+		opts:  o,
+		top:   top,
+		gstar: unitdisk.Build(points, o.Range),
+	}, nil
+}
+
+// ChurnEvent is one dynamic-topology event: a node joining, leaving, or
+// moving.
+type ChurnEvent = topology.Event
+
+// Churn event kinds.
+const (
+	// EventJoin adds a node at Event.Pos.
+	EventJoin = topology.Join
+	// EventLeave removes node Event.Node; the last node takes the vacated
+	// id, keeping ids dense.
+	EventLeave = topology.Leave
+	// EventMove relocates node Event.Node to Event.Pos.
+	EventMove = topology.Move
+)
+
+// UpdateStats reports the locality of one incremental repair.
+type UpdateStats = topology.UpdateStats
+
+// DynamicNetwork maintains a ΘALG topology under node churn. Where
+// BuildNetwork recomputes all n nodes, Apply repairs only the nodes within
+// the locality radius the paper's 3-round protocol implies — the ≤D ball
+// for phase-1 selections and the ≤2D ball for phase-2 admissions — so a
+// single join, leave, or move costs a small constant fraction of a
+// rebuild. The maintained topology is edge-for-edge identical to a
+// from-scratch build on the current point set (under the paper's standing
+// unique-pairwise-distance assumption). The transmission range is fixed at
+// construction; DynamicNetwork is not safe for concurrent use.
+type DynamicNetwork struct {
+	dyn  *topology.Dynamic
+	opts Options
+}
+
+// BuildDynamicNetwork builds the initial topology (over a copy of points)
+// and returns the churn-maintenance handle.
+func BuildDynamicNetwork(points []Point, opts Options) (*DynamicNetwork, error) {
+	if len(points) < 2 {
+		return nil, errors.New("toporouting: need at least two points")
+	}
+	o, err := opts.withDefaults(points)
+	if err != nil {
+		return nil, err
+	}
+	dyn := topology.NewDynamic(points, topology.Config{Theta: o.Theta, Range: o.Range, Telemetry: o.Telemetry})
+	return &DynamicNetwork{dyn: dyn, opts: o}, nil
+}
+
+// Apply executes one churn event and repairs the topology locally,
+// reporting how few nodes the repair touched. It returns an error for an
+// out-of-range node, an occupied position, or a Leave that would drop the
+// node count below two.
+func (dn *DynamicNetwork) Apply(ev ChurnEvent) (UpdateStats, error) {
+	switch ev.Kind {
+	case EventJoin:
+		if dn.dyn.HasNodeAt(ev.Pos) {
+			return UpdateStats{}, fmt.Errorf("toporouting: position (%v, %v) already occupied", ev.Pos.X, ev.Pos.Y)
+		}
+	case EventLeave:
+		if ev.Node < 0 || ev.Node >= dn.dyn.N() {
+			return UpdateStats{}, fmt.Errorf("toporouting: node %d out of range [0,%d)", ev.Node, dn.dyn.N())
+		}
+		if dn.dyn.N() <= 2 {
+			return UpdateStats{}, errors.New("toporouting: leave would drop below two nodes")
+		}
+	case EventMove:
+		if ev.Node < 0 || ev.Node >= dn.dyn.N() {
+			return UpdateStats{}, fmt.Errorf("toporouting: node %d out of range [0,%d)", ev.Node, dn.dyn.N())
+		}
+		if ev.Pos != dn.dyn.Points()[ev.Node] && dn.dyn.HasNodeAt(ev.Pos) {
+			return UpdateStats{}, fmt.Errorf("toporouting: position (%v, %v) already occupied", ev.Pos.X, ev.Pos.Y)
+		}
+	default:
+		return UpdateStats{}, fmt.Errorf("toporouting: unknown churn event kind %d", int(ev.Kind))
+	}
+	return dn.dyn.Apply(ev), nil
+}
+
+// Join adds a node at p and returns its id alongside the repair stats.
+func (dn *DynamicNetwork) Join(p Point) (int, UpdateStats, error) {
+	st, err := dn.Apply(ChurnEvent{Kind: EventJoin, Pos: p})
+	if err != nil {
+		return -1, st, err
+	}
+	return dn.dyn.N() - 1, st, nil
+}
+
+// Leave removes node v; the last node takes id v.
+func (dn *DynamicNetwork) Leave(v int) (UpdateStats, error) {
+	return dn.Apply(ChurnEvent{Kind: EventLeave, Node: v})
+}
+
+// MoveNode relocates node v to p.
+func (dn *DynamicNetwork) MoveNode(v int, p Point) (UpdateStats, error) {
+	return dn.Apply(ChurnEvent{Kind: EventMove, Node: v, Pos: p})
+}
+
+// N returns the current node count.
+func (dn *DynamicNetwork) N() int { return dn.dyn.N() }
+
+// Points returns the current node positions. Callers must not mutate the
+// slice; the next Apply invalidates it.
+func (dn *DynamicNetwork) Points() []Point { return dn.dyn.Points() }
+
+// Edges returns the current undirected topology edges as [u, v] pairs with
+// u < v, sorted.
+func (dn *DynamicNetwork) Edges() [][2]int {
+	es := dn.dyn.Topology().N.Edges()
+	out := make([][2]int, len(es))
+	for i, e := range es {
+		out[i] = [2]int{e.U, e.V}
+	}
+	return out
+}
+
+// NumEdges returns the current edge count.
+func (dn *DynamicNetwork) NumEdges() int { return dn.dyn.Topology().N.NumEdges() }
+
+// MaxDegree returns the current maximum degree (always ≤ the Lemma 2.1
+// bound, which churn maintenance preserves).
+func (dn *DynamicNetwork) MaxDegree() int { return dn.dyn.Topology().N.MaxDegree() }
+
+// Connected reports whether the current topology is connected.
+func (dn *DynamicNetwork) Connected() bool { return dn.dyn.Topology().N.Connected() }
+
+// Snapshot materializes the current state as an immutable Network (with a
+// freshly built transmission graph G*), for stretch and interference
+// evaluation. The snapshot copies the positions, so later churn does not
+// affect it; building G* is a global operation, so snapshot at evaluation
+// points rather than per event.
+func (dn *DynamicNetwork) Snapshot() *Network {
+	pts := append([]Point(nil), dn.dyn.Points()...)
+	top := dn.dyn.Topology()
+	return &Network{
+		opts: dn.opts,
+		top: &topology.Topology{
+			Pts:        pts,
+			Cfg:        top.Cfg,
+			Sectors:    top.Sectors,
+			N:          top.N.Clone(),
+			Yao:        top.Yao.Clone(),
+			NearestOut: cloneTable(top.NearestOut),
+			AdmitIn:    cloneTable(top.AdmitIn),
+		},
+		gstar: unitdisk.Build(pts, dn.opts.Range),
+	}
+}
+
+func cloneTable(t [][]int32) [][]int32 {
+	out := make([][]int32, len(t))
+	for i, row := range t {
+		out[i] = append([]int32(nil), row...)
+	}
+	return out
+}
+
 // ProtocolStats reports the message traffic of the distributed protocol.
 type ProtocolStats = topology.ProtocolStats
 
