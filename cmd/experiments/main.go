@@ -25,10 +25,19 @@ import (
 	"toporouting"
 )
 
+// main delegates to run so deferred cleanups (trace sink flush, profile
+// writers) execute even on error paths — os.Exit here would skip them.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		run  = flag.String("run", "all", "experiment id (E1..E12, E7b) or 'all'")
-		full = flag.Bool("full", false, "paper-scale sweep (slow)")
+		runID = flag.String("run", "all", "experiment id (E1..E12, E7b) or 'all'")
+		full  = flag.Bool("full", false, "paper-scale sweep (slow)")
 
 		metricsOut = flag.Bool("metrics", false, "print the aggregate telemetry snapshot after the suite")
 		tracePath  = flag.String("trace", "", "write a JSONL trace of instrumented experiments to this file")
@@ -40,8 +49,7 @@ func main() {
 
 	stopProf, err := toporouting.StartProfiling(*cpuProf, *memProf, *pprofAddr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		return err
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
@@ -53,8 +61,7 @@ func main() {
 	if *tracePath != "" {
 		sink, serr := toporouting.CreateJSONLTrace(*tracePath)
 		if serr != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", serr)
-			os.Exit(1)
+			return serr
 		}
 		defer func() {
 			if err := sink.Close(); err != nil {
@@ -67,16 +74,15 @@ func main() {
 	}
 	toporouting.PublishExpvar("telemetry", tel)
 
-	ids := []string{*run}
-	if *run == "all" {
+	ids := []string{*runID}
+	if *runID == "all" {
 		ids = toporouting.ExperimentIDs()
 	}
 	for _, id := range ids {
 		out, err := toporouting.RunExperimentTraced(id, *full, tel)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
 			fmt.Fprintln(os.Stderr, "available:", toporouting.ExperimentIDs())
-			os.Exit(1)
+			return err
 		}
 		fmt.Print(out) // stream per experiment: long sweeps show progress
 	}
@@ -84,4 +90,5 @@ func main() {
 		fmt.Println()
 		fmt.Print(tel.Snapshot().String())
 	}
+	return nil
 }

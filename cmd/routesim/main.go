@@ -8,6 +8,8 @@
 //	         [-steps 4000] [-rate 2] [-sinks 3] [-buffer 60] [-T 0] [-gamma 0]
 //	         [-mobility 0] [-mobstep 0.01]
 //	         [-churn 0] [-churn-every 50] [-churn-step 0.02]
+//	         [-distributed] [-drop 0] [-delay 0] [-crash 0]
+//	         [-workers 0]
 //	         [-json] [-metrics] [-trace run.jsonl]
 //	         [-cpuprofile cpu.out] [-memprofile mem.out] [-pprof-addr :6060]
 //
@@ -16,6 +18,17 @@
 // rebuilding it, while the router keeps its queues; the summary reports
 // repairs and mean nodes touched per repair. Mutually exclusive with
 // -mobility.
+//
+// Distributed mode: -distributed builds the topology with the asynchronous
+// message-passing protocol engine (every node an independent actor over a
+// faulty medium) instead of the centralized builder; -drop, -delay, and
+// -crash inject per-link Bernoulli loss, bounded random delivery delay, and
+// node crash/restart cycles. The summary reports the protocol traffic,
+// rounds-to-convergence, and whether the convergence certificate held.
+// Mutually exclusive with -churn; requires a ΘALG MAC (given or random).
+//
+// -workers caps the worker pool of centralized topology builds (0 = the
+// sequential builder).
 //
 // Observability: -trace streams one JSON event per line (router steps, MAC
 // rounds, topology builds, rebuilds) into the given file; -metrics prints
@@ -35,7 +48,16 @@ import (
 	"toporouting"
 )
 
+// main delegates to run so deferred cleanups (trace sink flush, profile
+// writers) execute even on error paths — os.Exit here would skip them.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "routesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		dist     = flag.String("dist", "uniform", "point distribution")
 		n        = flag.Int("n", 200, "number of nodes")
@@ -54,6 +76,14 @@ func main() {
 		churnEvery = flag.Int("churn-every", 50, "steps between churn epochs")
 		churnStep  = flag.Float64("churn-step", 0.02, "max per-coordinate churn displacement")
 
+		distributed = flag.Bool("distributed", false, "build the topology with the asynchronous message-passing protocol engine")
+		drop        = flag.Float64("drop", 0, "distributed mode: per-link message drop probability [0, 1)")
+		delay       = flag.Int("delay", 0, "distributed mode: max extra delivery delay (ticks)")
+		crash       = flag.Int("crash", 0, "distributed mode: number of node crash/restart cycles")
+
+		workers = flag.Int("workers", 0, "cap the topology-build and Monte-Carlo worker pools (0 = sequential build, GOMAXPROCS Monte-Carlo)")
+		runs    = flag.Int("runs", 1, "Monte-Carlo repetitions over seeds seed..seed+runs-1 (reports per-seed delivery)")
+
 		jsonOut    = flag.Bool("json", false, "emit the result as a single JSON object")
 		metricsOut = flag.Bool("metrics", false, "print the telemetry snapshot after the run")
 		tracePath  = flag.String("trace", "", "write a JSONL step-level trace to this file")
@@ -65,7 +95,7 @@ func main() {
 
 	stopProf, err := toporouting.StartProfiling(*cpuProf, *memProf, *pprofAddr)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
@@ -77,7 +107,7 @@ func main() {
 	if *tracePath != "" {
 		sink, err := toporouting.CreateJSONLTrace(*tracePath)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		defer func() {
 			if err := sink.Close(); err != nil {
@@ -92,7 +122,7 @@ func main() {
 
 	pts, err := toporouting.GeneratePoints(*dist, *n, *seed)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	var mac toporouting.MAC
 	switch *macName {
@@ -103,13 +133,19 @@ func main() {
 	case "honeycomb":
 		mac = toporouting.MACHoneycomb
 	default:
-		fail(fmt.Errorf("unknown MAC %q", *macName))
+		return fmt.Errorf("unknown MAC %q", *macName)
+	}
+	var faults *toporouting.FaultPlan
+	if *distributed {
+		faults = &toporouting.FaultPlan{Drop: *drop, MaxDelay: *delay, Crashes: *crash}
+	} else if *drop != 0 || *delay != 0 || *crash != 0 {
+		return fmt.Errorf("-drop/-delay/-crash require -distributed")
 	}
 	sinkIDs := make([]int, *sinks)
 	for i := range sinkIDs {
 		sinkIDs[i] = (i*len(pts))/(*sinks+1) + 1
 	}
-	res, err := toporouting.Simulate(toporouting.SimulationOptions{
+	simOpts := toporouting.SimulationOptions{
 		Points:        pts,
 		MAC:           mac,
 		Router:        toporouting.RouterOptions{T: *tParam, Gamma: *gamma, BufferSize: *buffer},
@@ -120,20 +156,47 @@ func main() {
 		ChurnEvery:    churnEveryOrZero(*churn, *churnEvery),
 		ChurnMoves:    *churn,
 		ChurnStep:     *churnStep,
+		DistFaults:    faults,
+		Workers:       *workers,
 		Seed:          *seed,
 		Telemetry:     tel,
-	})
+	}
+
+	if *runs > 1 {
+		seeds := make([]int64, *runs)
+		for i := range seeds {
+			seeds[i] = *seed + int64(i)
+		}
+		results, err := toporouting.SimulateMonteCarlo(simOpts, seeds, *workers)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(results)
+		}
+		fmt.Printf("monte carlo    %d runs, worker cap %d\n", *runs, *workers)
+		for i, r := range results {
+			fmt.Printf("seed %-8d delivered %d/%d (%.1f%%), dropped %d, cost/delivery %.4f\n",
+				seeds[i], r.Delivered, r.Accepted, pct(r.Delivered, r.Accepted), r.Dropped, r.AvgCost)
+		}
+		if *metricsOut && results[0].Metrics != nil {
+			fmt.Println()
+			fmt.Print(results[0].Metrics.String())
+		}
+		return nil
+	}
+
+	res, err := toporouting.Simulate(simOpts)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
-			fail(err)
-		}
-		return
+		return enc.Encode(res)
 	}
 
 	fmt.Printf("mac            %s\n", *macName)
@@ -154,6 +217,11 @@ func main() {
 		fmt.Printf("churn          %d incremental repairs, %.1f nodes touched/repair\n",
 			res.ChurnEvents, float64(res.TouchedNodes)/float64(res.ChurnEvents))
 	}
+	if *distributed {
+		fmt.Printf("protocol       %d msgs sent, %d lost (drop=%.2f delay≤%d crashes=%d)\n",
+			res.DistMsgs, res.DistDropped, *drop, *delay, *crash)
+		fmt.Printf("convergence    %d rounds, certificate held: %v\n", res.DistRounds, res.DistConverged)
+	}
 	if res.MaxDegree > 0 {
 		fmt.Printf("max degree     %d\n", res.MaxDegree)
 	}
@@ -161,6 +229,7 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.Metrics.String())
 	}
+	return nil
 }
 
 // churnEveryOrZero disables churn entirely (ChurnEvery = 0) when no moves
@@ -170,11 +239,6 @@ func churnEveryOrZero(moves, every int) int {
 		return 0
 	}
 	return every
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "routesim:", err)
-	os.Exit(1)
 }
 
 func pct(a, b int64) float64 {

@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+
+	"toporouting/internal/graph"
+	"toporouting/internal/topology"
+)
+
+// Certificate is the convergence certificate of a distributed build: the
+// quiescence and completeness of the protocol run, an edge-level diff
+// against the centralized reference, and the structural guarantees the
+// paper proves for ΘALG.
+type Certificate struct {
+	// Quiescent reports that the engine's event queue drained — no
+	// message was in flight and no timer could generate one.
+	Quiescent bool
+	// Complete reports that no reliable transfer exhausted its retries
+	// and every active admission is known to the admitted side (all
+	// edge-confirm acks settled).
+	Complete bool
+	// Identical reports an empty diff against topology.BuildTheta on the
+	// same inputs; MissingEdges/ExtraEdges count the discrepancies.
+	Identical    bool
+	MissingEdges int
+	ExtraEdges   int
+	// Connected reports connectivity of the built topology, and
+	// MaxDegree ≤ DegreeBound the Lemma 2.1 degree bound ⌈4π/θ⌉.
+	Connected   bool
+	MaxDegree   int
+	DegreeBound int
+	// Rounds is the virtual time (ticks ≈ hops) to convergence.
+	Rounds int64
+}
+
+// Certify checks the outcome: it rebuilds the reference topology with the
+// centralized BuildTheta — the one deliberately global step, existing only
+// to verify the message-passing run — and diffs edge sets. On a fault-free
+// run the diff must be empty; under faults the certificate still reports
+// connectivity and the degree bound.
+func (o *Outcome) Certify() Certificate {
+	ref := topology.BuildTheta(o.Pts, topology.Config{Theta: o.Cfg.Theta, Range: o.Cfg.Range})
+	missing, extra := diffEdges(ref.N, o.Top.N)
+	return Certificate{
+		Quiescent:    o.Stats.Quiesced,
+		Complete:     o.Stats.Expired == 0 && o.Stats.GrantsConfirmed == o.Stats.GrantsActive,
+		Identical:    missing == 0 && extra == 0,
+		MissingEdges: missing,
+		ExtraEdges:   extra,
+		Connected:    o.Top.N.Connected(),
+		MaxDegree:    o.Top.N.MaxDegree(),
+		DegreeBound:  o.Top.DegreeBound(),
+		Rounds:       o.Stats.VTime,
+	}
+}
+
+// Holds reports whether the certificate certifies a usable topology: a
+// quiescent run whose result is connected and degree-bounded.
+func (c Certificate) Holds() bool {
+	return c.Quiescent && c.Connected && c.MaxDegree <= c.DegreeBound
+}
+
+// String renders the certificate as a one-line summary.
+func (c Certificate) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "quiescent=%v complete=%v rounds=%d", c.Quiescent, c.Complete, c.Rounds)
+	if c.Identical {
+		b.WriteString(" edges=identical")
+	} else {
+		fmt.Fprintf(&b, " edges=diff(missing=%d, extra=%d)", c.MissingEdges, c.ExtraEdges)
+	}
+	fmt.Fprintf(&b, " connected=%v degree=%d/%d", c.Connected, c.MaxDegree, c.DegreeBound)
+	return b.String()
+}
+
+// diffEdges counts undirected edges of ref absent from got (missing) and
+// edges of got absent from ref (extra).
+func diffEdges(ref, got *graph.Graph) (missing, extra int) {
+	want := make(map[graph.Edge]bool, ref.NumEdges())
+	for _, e := range ref.Edges() {
+		want[e] = true
+	}
+	have := make(map[graph.Edge]bool, got.NumEdges())
+	for _, e := range got.Edges() {
+		have[e] = true
+		if !want[e] {
+			extra++
+		}
+	}
+	for e := range want {
+		if !have[e] {
+			missing++
+		}
+	}
+	return missing, extra
+}

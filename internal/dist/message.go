@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"fmt"
+
+	"toporouting/internal/geom"
+)
+
+// Kind labels the protocol message types.
+type Kind uint8
+
+// The message grammar (see the package documentation).
+const (
+	// KindHello is the broadcast neighbor-discovery beacon.
+	KindHello Kind = iota
+	// KindHelloReply is the reliable unicast position echo sent once per
+	// newly heard (node, incarnation).
+	KindHelloReply
+	// KindSelect is the phase-1 sector announcement: On reports whether
+	// the receiver currently is the sender's nearest node in the sender's
+	// sector containing it. It doubles as the phase-2 admission request.
+	KindSelect
+	// KindGrant is the phase-2 admission grant (On) or revocation (!On).
+	KindGrant
+	// KindAck acknowledges a reliable message; the ACK of a GRANT is the
+	// protocol's edge-confirm ack.
+	KindAck
+)
+
+// String returns the wire name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "HELLO"
+	case KindHelloReply:
+		return "HELLO-REPLY"
+	case KindSelect:
+		return "SELECT"
+	case KindGrant:
+		return "GRANT"
+	case KindAck:
+		return "ACK"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Msg is one protocol message. To is -1 for broadcasts. Inc is the
+// sender's incarnation (bumped on every restart); Ver is the state-transfer
+// version for reliable kinds and the echoed version in ACKs.
+type Msg struct {
+	Kind     Kind
+	From, To int32
+	Inc      uint32
+	Ver      uint32
+	// AckKind identifies the acknowledged channel in ACK messages, and
+	// AckInc the incarnation the acknowledged message was sent under (so
+	// acks of pre-crash transfers cannot settle post-restart ones).
+	AckKind Kind
+	AckInc  uint32
+	// On carries the boolean state of SELECT ("you are my selection") and
+	// GRANT ("the edge is admitted") transfers.
+	On bool
+	// Pos is the sender's position; every non-ACK message carries it so
+	// receivers can compute sectors and distances from received data only.
+	Pos geom.Point
+}
+
+// channel indexes the per-peer reliable state-transfer channels.
+type channel uint8
+
+const (
+	chSelect channel = iota
+	chGrant
+	chReply
+	numChannels
+)
+
+// kindOf maps a reliable channel to its wire kind.
+func (c channel) kindOf() Kind {
+	switch c {
+	case chSelect:
+		return KindSelect
+	case chGrant:
+		return KindGrant
+	default:
+		return KindHelloReply
+	}
+}
+
+// chanOf maps an acknowledged kind back to its channel.
+func chanOf(k Kind) (channel, bool) {
+	switch k {
+	case KindSelect:
+		return chSelect, true
+	case KindGrant:
+		return chGrant, true
+	case KindHelloReply:
+		return chReply, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,250 @@
+package dist
+
+import "toporouting/internal/geom"
+
+// knownInfo is what an actor has learned about a peer from messages.
+type knownInfo struct {
+	heard bool
+	inc   uint32
+	pos   geom.Point
+}
+
+// verPair tracks the last applied state-transfer version per peer and
+// channel, making duplicated and reordered deliveries idempotent.
+type verPair struct {
+	sel, grant uint32
+}
+
+// transfer is one outstanding reliable state transfer: the latest state of
+// a (peer, channel) pair under a monotone version, retried until acked.
+type transfer struct {
+	ver      uint32
+	on       bool
+	attempts int
+	rto      int64
+}
+
+// node is one protocol actor. Its slices are indexed by peer id purely as
+// storage — every entry is populated exclusively from received messages,
+// never from global state.
+type node struct {
+	id    int32
+	pos   geom.Point
+	alive bool
+	// inc is the incarnation, bumped on every restart; ver is the
+	// per-incarnation state-transfer version counter.
+	inc uint32
+	ver uint32
+	// known and lastVer hold per-peer received knowledge; repliedInc
+	// records the last incarnation a HELLO-REPLY was sent to (stored as
+	// inc+1 so 0 means "never").
+	known      []knownInfo
+	lastVer    []verPair
+	repliedInc []uint32
+	// nearest is the phase-1 selection per sector; selBy flags peers
+	// whose SELECT is currently on (the suitor set); admit is the phase-2
+	// admission per sector; grantedBy flags peers whose GRANT is on.
+	nearest   []int32
+	selBy     []bool
+	admit     []int32
+	grantedBy []bool
+	// chans are the outgoing reliable transfers, one live entry per
+	// (channel, peer).
+	chans [numChannels]map[int32]*transfer
+	// mailbox is the bounded FIFO inbox drained by wake events.
+	mailbox       []Msg
+	wakeScheduled bool
+}
+
+// init (re)initializes the actor to its birth state; crash reuses it to
+// model total state loss.
+func (nd *node) init(id int32, pos geom.Point, n, k int) {
+	nd.id, nd.pos = id, pos
+	nd.alive = true
+	nd.ver = 0
+	nd.known = make([]knownInfo, n)
+	nd.lastVer = make([]verPair, n)
+	nd.repliedInc = make([]uint32, n)
+	nd.nearest = make([]int32, k)
+	nd.admit = make([]int32, k)
+	for i := 0; i < k; i++ {
+		nd.nearest[i] = -1
+		nd.admit[i] = -1
+	}
+	nd.selBy = make([]bool, n)
+	nd.grantedBy = make([]bool, n)
+	for c := range nd.chans {
+		nd.chans[c] = make(map[int32]*transfer)
+	}
+	nd.mailbox = nil
+	nd.wakeScheduled = false
+}
+
+// sectorTo returns the index of nd's sector containing a peer at p.
+func (nd *node) sectorTo(e *engine, p geom.Point) int {
+	return e.sectors.IndexOf(nd.pos, p)
+}
+
+// closerOf reports whether peer a at pa is strictly preferred to peer b at
+// pb as seen from base — the same total order (distance, then id) the
+// centralized builder uses, realizing the paper's unique-distance
+// assumption.
+func closerOf(base, pa, pb geom.Point, a, b int32) bool {
+	da, db := geom.Dist2(base, pa), geom.Dist2(base, pb)
+	if da != db {
+		return da < db
+	}
+	return a < b
+}
+
+// sendState opens (or replaces) the reliable transfer of channel ch toward
+// peer to with the state on, and transmits it.
+func (nd *node) sendState(e *engine, ch channel, to int32, on bool) {
+	nd.ver++
+	tr := &transfer{ver: nd.ver, on: on, rto: e.rtoBase}
+	nd.chans[ch][to] = tr
+	e.transmit(nd, ch, to, tr)
+}
+
+// ack builds the acknowledgement of m.
+func (nd *node) ack(m Msg) Msg {
+	return Msg{Kind: KindAck, From: nd.id, To: m.From, Inc: nd.inc, Ver: m.Ver, AckKind: m.Kind, AckInc: m.Inc}
+}
+
+// learn folds a peer's (incarnation, position) into local knowledge. It
+// returns false for stale-incarnation messages, which the caller must
+// ignore entirely. A new peer becomes a phase-1 candidate; a bumped
+// incarnation (the peer restarted and lost everything it had received)
+// voids its announcements and re-opens the state transfers it should hold.
+func (nd *node) learn(e *engine, from int32, inc uint32, pos geom.Point) bool {
+	k := &nd.known[from]
+	if k.heard {
+		if inc < k.inc {
+			return false
+		}
+		if inc == k.inc {
+			return true // already known; positions are static
+		}
+	}
+	restart := k.heard
+	k.heard, k.inc, k.pos = true, inc, pos
+	s := nd.sectorTo(e, pos)
+	if restart {
+		nd.lastVer[from] = verPair{}
+		nd.grantedBy[from] = false
+		if nd.selBy[from] {
+			nd.selBy[from] = false
+			nd.recomputeAdmit(e, s)
+		}
+		// Re-transfer the state the peer lost; cancel pending "off"
+		// transfers — its fresh default already is off.
+		if nd.nearest[s] == from {
+			nd.sendState(e, chSelect, from, true)
+		} else if tr := nd.chans[chSelect][from]; tr != nil && !tr.on {
+			delete(nd.chans[chSelect], from)
+		}
+		if nd.admit[s] == from {
+			nd.sendState(e, chGrant, from, true)
+		} else if tr := nd.chans[chGrant][from]; tr != nil && !tr.on {
+			delete(nd.chans[chGrant], from)
+		}
+		return true
+	}
+	// Phase 1, locally: is the newly heard peer the nearest in its sector?
+	cur := nd.nearest[s]
+	if cur < 0 || closerOf(nd.pos, pos, nd.known[cur].pos, from, cur) {
+		nd.nearest[s] = from
+		if cur >= 0 {
+			nd.sendState(e, chSelect, cur, false)
+		}
+		nd.sendState(e, chSelect, from, true)
+	}
+	return true
+}
+
+// recomputeAdmit re-derives the phase-2 admission of sector s from the
+// current suitor set, issuing the grant/revoke transfers any change
+// implies. The scan order is deterministic and the comparison is the same
+// strict total order as phase 1, so the final admission is a pure function
+// of the final suitor set.
+func (nd *node) recomputeAdmit(e *engine, s int) {
+	best := int32(-1)
+	for w := range nd.selBy {
+		if !nd.selBy[w] {
+			continue
+		}
+		wi := int32(w)
+		k := &nd.known[wi]
+		if !k.heard || nd.sectorTo(e, k.pos) != s {
+			continue
+		}
+		if best < 0 || closerOf(nd.pos, k.pos, nd.known[best].pos, wi, best) {
+			best = wi
+		}
+	}
+	if best == nd.admit[s] {
+		return
+	}
+	old := nd.admit[s]
+	nd.admit[s] = best
+	if old >= 0 {
+		nd.sendState(e, chGrant, old, false)
+	}
+	if best >= 0 {
+		nd.sendState(e, chGrant, best, true)
+	}
+}
+
+// handle processes one received message.
+func (nd *node) handle(e *engine, m Msg) {
+	switch m.Kind {
+	case KindHello:
+		if !nd.learn(e, m.From, m.Inc, m.Pos) {
+			return
+		}
+		// Echo the position once per (peer, incarnation), reliably: this
+		// repairs asymmetric discovery when the reverse beacon was lost.
+		if nd.repliedInc[m.From] < m.Inc+1 {
+			nd.repliedInc[m.From] = m.Inc + 1
+			nd.sendState(e, chReply, m.From, true)
+		}
+	case KindHelloReply:
+		if !nd.learn(e, m.From, m.Inc, m.Pos) {
+			return
+		}
+		e.send(nd.ack(m))
+	case KindSelect:
+		if !nd.learn(e, m.From, m.Inc, m.Pos) {
+			return
+		}
+		e.send(nd.ack(m))
+		if m.Ver > nd.lastVer[m.From].sel {
+			nd.lastVer[m.From].sel = m.Ver
+			if nd.selBy[m.From] != m.On {
+				nd.selBy[m.From] = m.On
+				nd.recomputeAdmit(e, nd.sectorTo(e, m.Pos))
+			}
+		}
+	case KindGrant:
+		if !nd.learn(e, m.From, m.Inc, m.Pos) {
+			return
+		}
+		e.send(nd.ack(m)) // the edge-confirm ack
+		if m.Ver > nd.lastVer[m.From].grant {
+			nd.lastVer[m.From].grant = m.Ver
+			nd.grantedBy[m.From] = m.On
+		}
+	case KindAck:
+		// Only acks addressed to this incarnation settle transfers; a
+		// pre-crash ack must not cancel a post-restart transfer that
+		// happens to reuse its version.
+		if m.AckInc != nd.inc {
+			return
+		}
+		if ch, ok := chanOf(m.AckKind); ok {
+			if tr := nd.chans[ch][m.From]; tr != nil && tr.ver == m.Ver {
+				delete(nd.chans[ch], m.From)
+			}
+		}
+	}
+}

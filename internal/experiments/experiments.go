@@ -134,5 +134,6 @@ func All() []Runner {
 		{"E17", E17ThetaSweep},
 		{"E18", E18ProtocolCost},
 		{"E19", E19ControlTraffic},
+		{"E20", E20DistConvergence},
 	}
 }

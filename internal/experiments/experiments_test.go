@@ -155,7 +155,7 @@ func TestAllRegistryComplete(t *testing.T) {
 		}
 		ids[r.ID] = true
 	}
-	if len(ids) != 20 {
+	if len(ids) != 21 {
 		t.Errorf("registry has %d entries", len(ids))
 	}
 }

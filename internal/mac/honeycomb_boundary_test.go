@@ -1,0 +1,186 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/pointset"
+	"toporouting/internal/routing"
+)
+
+// TestHoneycombBoundaryCells table-tests contestant selection on boundary
+// geometry: hexagons clipped by the unit-square edge (with side 3+2Δ > 1 the
+// whole deployment square is a clipped sliver of one hexagon), clusters in
+// separate hexagons with empty hexes between them, pairs straddling a
+// hexagon boundary, and isolated nodes with no partner in range.
+func TestHoneycombBoundaryCells(t *testing.T) {
+	const delta = 0.5 // hex side 4
+
+	cases := []struct {
+		name string
+		pts  pointset.Set
+		// load packets at node `src` destined to node `dst` before
+		// reading contestants
+		src, dst int
+		// wantCells is the expected number of non-empty hexagons (cells
+		// holding at least one in-range sender-receiver pair).
+		wantCells int
+		// wantContestants is the expected contestant count after loading.
+		wantContestants int
+		// wantSenders are the permitted contestant sender ids.
+		wantSenders []int32
+	}{
+		{
+			// All four unit-square corners plus the center sit in one
+			// hexagon the square clips: corner-to-center and adjacent
+			// corners are in range, the diagonal (≈1.36) is not. Loading a
+			// corner elects exactly one pair for the whole clipped cell.
+			name: "unit square corners in one clipped hex",
+			pts: pointset.Set{
+				geom.Pt(0.02, 0.02), geom.Pt(0.98, 0.02),
+				geom.Pt(0.98, 0.98), geom.Pt(0.02, 0.98),
+				geom.Pt(0.5, 0.5),
+			},
+			src: 0, dst: 2,
+			wantCells:       1,
+			wantContestants: 1,
+			wantSenders:     []int32{0},
+		},
+		{
+			// Two clusters far apart occupy two hexagons with empty hexes
+			// between them; only the loaded cluster's cell elects a pair.
+			name: "distant clusters with empty hexes between",
+			pts: pointset.Set{
+				geom.Pt(0.1, 0.1), geom.Pt(0.6, 0.1),
+				geom.Pt(13.0, 0.1), geom.Pt(13.5, 0.1),
+			},
+			src: 0, dst: 3,
+			wantCells:       2,
+			wantContestants: 1,
+			wantSenders:     []int32{0},
+		},
+		{
+			// A pair straddling the boundary between two hexagons (the
+			// boundary near x = side·√3/2 ≈ 3.46): the pair belongs to the
+			// sender's cell only, so loading one endpoint elects exactly
+			// one contestant even though both cells contain an endpoint.
+			name: "pair straddling a hex boundary",
+			pts: pointset.Set{
+				geom.Pt(3.2, 0), geom.Pt(3.8, 0),
+			},
+			src: 0, dst: 1,
+			wantCells:       2,
+			wantContestants: 1,
+			wantSenders:     []int32{0},
+		},
+		{
+			// Isolated nodes (pairwise distance > 1) form no pairs at all:
+			// their hexagons stay empty and no load elects a contestant.
+			name: "isolated nodes form no cells",
+			pts: pointset.Set{
+				geom.Pt(0, 0), geom.Pt(2.5, 0), geom.Pt(5, 0),
+			},
+			src: 0, dst: 2,
+			wantCells:       0,
+			wantContestants: 0,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHoneycomb(tc.pts, HoneycombConfig{
+				Delta: delta, T: 1, Rng: rand.New(rand.NewSource(1)),
+			})
+			if got := len(h.Cells()); got != tc.wantCells {
+				t.Fatalf("non-empty cells = %d, want %d (%v)", got, tc.wantCells, h.Cells())
+			}
+			// Cells() must be exactly the sender cells of in-range pairs,
+			// and in particular the six neighbors of every occupied cell
+			// that hold no sender must be absent.
+			occupied := map[geom.HexCell]bool{}
+			for _, c := range h.Cells() {
+				occupied[c] = true
+			}
+			senderCells := map[geom.HexCell]bool{}
+			for s := range tc.pts {
+				for u := range tc.pts {
+					if s != u && geom.Dist(tc.pts[s], tc.pts[u]) <= 1 {
+						senderCells[h.Grid().CellOf(tc.pts[s])] = true
+					}
+				}
+			}
+			for c := range senderCells {
+				if !occupied[c] {
+					t.Errorf("cell %v holds a sender but is not listed", c)
+				}
+			}
+			if len(senderCells) != len(occupied) {
+				t.Errorf("listed cells %v, want %v", h.Cells(), senderCells)
+			}
+			for _, c := range h.Cells() {
+				for _, nb := range h.Grid().Neighbors(c) {
+					if !senderCells[nb] && occupied[nb] {
+						t.Errorf("empty neighbor hex %v of %v listed as a cell", nb, c)
+					}
+				}
+			}
+
+			b := routing.New(len(tc.pts), routing.Params{T: 0, Gamma: 0, BufferSize: 60})
+
+			// No packets anywhere: no benefit can beat T = 1.
+			if pairs, _ := h.Contestants(b); len(pairs) != 0 {
+				t.Fatalf("contestants on an idle network: %v", pairs)
+			}
+
+			b.Step(nil, []routing.Injection{{Node: tc.src, Dest: tc.dst, Count: 30}})
+			pairs, benefits := h.Contestants(b)
+			if len(pairs) != tc.wantContestants {
+				t.Fatalf("contestants = %v, want %d", pairs, tc.wantContestants)
+			}
+			for i, p := range pairs {
+				if benefits[i] <= h.t {
+					t.Errorf("contestant %v benefit %v does not beat T=%v", p, benefits[i], h.t)
+				}
+				if geom.Dist(tc.pts[p[0]], tc.pts[p[1]]) > 1 {
+					t.Errorf("contestant %v out of unit range", p)
+				}
+				if cell := h.Grid().CellOf(tc.pts[p[0]]); !occupied[cell] {
+					t.Errorf("contestant %v from unlisted cell %v", p, cell)
+				}
+				okSender := false
+				for _, s := range tc.wantSenders {
+					okSender = okSender || p[0] == s
+				}
+				if !okSender {
+					t.Errorf("contestant sender %d, want one of %v", p[0], tc.wantSenders)
+				}
+			}
+		})
+	}
+}
+
+// TestHoneycombClippedCellStep drives a full honeycomb step on a clipped
+// single-cell square and checks the elected transmission is usable by the
+// balancer (packets flow out of the loaded corner).
+func TestHoneycombClippedCellStep(t *testing.T) {
+	pts := pointset.Set{
+		geom.Pt(0.02, 0.02), geom.Pt(0.98, 0.02),
+		geom.Pt(0.98, 0.98), geom.Pt(0.02, 0.98),
+		geom.Pt(0.5, 0.5),
+	}
+	rng := rand.New(rand.NewSource(3))
+	h := NewHoneycomb(pts, HoneycombConfig{Delta: 0.5, T: 1, Rng: rng})
+	b := routing.New(len(pts), routing.Params{T: 0, Gamma: 0, BufferSize: 60})
+	b.Step(nil, []routing.Injection{{Node: 0, Dest: 2, Count: 30}})
+	for step := 0; step < 400; step++ {
+		active, st := h.Step(b)
+		if st.Successful != len(active) {
+			t.Fatalf("stats inconsistent: %+v vs %d edges", st, len(active))
+		}
+		b.Step(active, nil)
+	}
+	if b.Delivered() == 0 {
+		t.Error("no packet crossed the clipped cell in 400 steps")
+	}
+}

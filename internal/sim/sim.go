@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"toporouting/internal/dist"
 	"toporouting/internal/geom"
 	"toporouting/internal/interference"
 	"toporouting/internal/mac"
@@ -144,6 +145,17 @@ type Config struct {
 	// full rebuilds. Mutually exclusive with Mobility; ignored by
 	// MACHoneycomb, which does not run ΘALG.
 	Churn Churn
+	// Dist, when non-nil, builds the topology with the message-passing
+	// protocol engine (internal/dist) under the given fault plan instead of
+	// the centralized BuildTheta, and certifies each build's convergence.
+	// Mutually exclusive with Churn and MACHoneycomb, which bypass the
+	// distributed protocol.
+	Dist *dist.Faults
+	// Workers caps the worker pool of centralized topology builds: > 0
+	// routes full rebuilds through topology.BuildThetaParallel with that
+	// many workers (0 keeps the sequential builder; ignored under Dist and
+	// Churn, which build incrementally or via the protocol engine).
+	Workers int
 	// Seed drives all randomness of the run.
 	Seed int64
 	// Telemetry, when non-nil, records step-level metrics across every
@@ -175,6 +187,15 @@ type Result struct {
 	// TouchedNodes/ChurnEvents is the mean repair locality.
 	ChurnEvents  int64
 	TouchedNodes int64
+	// Distributed-build accounting (Config.Dist runs only). DistMsgs and
+	// DistDropped sum protocol messages sent and lost across every build of
+	// the run; DistRounds is the rounds-to-convergence of the last build;
+	// DistConverged reports that every build's convergence certificate held
+	// (quiescent, connected, degree-bounded).
+	DistMsgs      int64
+	DistDropped   int64
+	DistRounds    int64
+	DistConverged bool
 }
 
 // Run executes one simulation.
@@ -218,6 +239,16 @@ func Run(cfg Config) Result {
 			cfg.Churn.Moves = 1
 		}
 	}
+	if cfg.Dist != nil {
+		if churn {
+			panic("sim: Dist and Churn are mutually exclusive")
+		}
+		if cfg.MAC == MACHoneycomb {
+			panic("sim: Dist requires a ΘALG-based MAC (given or random)")
+		}
+		res.DistConverged = true
+	}
+	distBuilds := 0
 
 	var (
 		active  []routing.ActiveEdge // MACGiven: reused every step
@@ -255,7 +286,34 @@ func Run(cfg Config) Result {
 				install(dyn.Points(), dyn.Topology())
 				return
 			}
-			top := topology.BuildTheta(pts, topology.Config{Theta: cfg.Theta, Range: d, Telemetry: tel})
+			if cfg.Dist != nil {
+				// Each build gets its own derived seed so mobility rebuilds
+				// sample fresh fault outcomes while staying reproducible.
+				distBuilds++
+				out, err := dist.Build(pts, dist.Config{
+					Theta:     cfg.Theta,
+					Range:     d,
+					Seed:      cfg.Seed + 7919*int64(distBuilds),
+					Faults:    *cfg.Dist,
+					Telemetry: tel,
+				})
+				if err != nil {
+					panic(fmt.Sprintf("sim: invalid fault plan: %v", err))
+				}
+				cert := out.Certify()
+				res.DistMsgs += out.Stats.Sent
+				res.DistDropped += out.Stats.Dropped
+				res.DistRounds = cert.Rounds
+				res.DistConverged = res.DistConverged && cert.Holds()
+				install(pts, out.Top)
+				return
+			}
+			var top *topology.Topology
+			if cfg.Workers > 0 {
+				top = topology.BuildThetaParallel(pts, topology.Config{Theta: cfg.Theta, Range: d, Telemetry: tel}, cfg.Workers)
+			} else {
+				top = topology.BuildTheta(pts, topology.Config{Theta: cfg.Theta, Range: d, Telemetry: tel})
+			}
 			install(pts, top)
 		case MACHoneycomb:
 			honey = mac.NewHoneycomb(pts, mac.HoneycombConfig{

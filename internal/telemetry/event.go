@@ -91,12 +91,24 @@ func (s *JSONL) Events() int64 {
 	return s.n
 }
 
-// Close flushes the buffer and closes the underlying writer when it is
-// closable.
+// syncer is the subset of *os.File the sink needs to force buffered bytes
+// to stable storage.
+type syncer interface{ Sync() error }
+
+// Close flushes the buffer, fsyncs the underlying writer when it supports
+// it (file sinks), and closes it when it is closable. Callers should defer
+// Close right after constructing the sink so the trace survives early
+// errors and panics — the buffered writer otherwise only reaches the file
+// on clean completion.
 func (s *JSONL) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err := s.bw.Flush()
+	if sy, ok := s.c.(syncer); ok {
+		if serr := sy.Sync(); err == nil {
+			err = serr
+		}
+	}
 	if s.c != nil {
 		if cerr := s.c.Close(); err == nil {
 			err = cerr

@@ -283,3 +283,64 @@ func TestStartProfilesFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// countingSyncer verifies Close forces buffered bytes to stable storage on
+// sinks whose writer supports fsync.
+type countingSyncer struct {
+	bytes.Buffer
+	syncs  int
+	closes int
+}
+
+func (c *countingSyncer) Sync() error  { c.syncs++; return nil }
+func (c *countingSyncer) Close() error { c.closes++; return nil }
+
+func TestJSONLCloseSyncsFileSinks(t *testing.T) {
+	w := &countingSyncer{}
+	sink := NewJSONL(w)
+	sink.Emit(Event{Kind: "x"})
+	if w.Len() != 0 {
+		t.Fatal("event bypassed the buffer")
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() == 0 {
+		t.Error("Close did not flush the buffer")
+	}
+	if w.syncs != 1 {
+		t.Errorf("Close issued %d syncs, want 1", w.syncs)
+	}
+	if w.closes != 1 {
+		t.Errorf("Close issued %d closes, want 1", w.closes)
+	}
+}
+
+func TestJSONLFileSurvivesSkippedFinish(t *testing.T) {
+	// Model an early-error exit: the sink is closed by a deferred cleanup
+	// without any other shutdown step having run. The trace must be
+	// complete on disk afterwards.
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	sink, err := CreateJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		sink.Emit(Event{Kind: "step", Step: i})
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 10 {
+		t.Fatalf("read %d events, want 10", len(evs))
+	}
+}

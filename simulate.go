@@ -64,6 +64,14 @@ type SimulationOptions struct {
 	ChurnEvery int
 	ChurnMoves int
 	ChurnStep  float64
+	// DistFaults, when non-nil, builds the topology with the asynchronous
+	// message-passing protocol engine under the given fault plan instead of
+	// the centralized builder, certifying each build's convergence.
+	// Mutually exclusive with ChurnEvery; requires MACGiven or MACRandom.
+	DistFaults *FaultPlan
+	// Workers > 0 caps the worker pool of full topology rebuilds
+	// (BuildNetworkParallel semantics); 0 keeps the sequential builder.
+	Workers int
 	// Seed drives all randomness.
 	Seed int64
 	// Telemetry, when non-nil, records step-level metrics across every
@@ -96,30 +104,48 @@ type SimulationResult struct {
 	// mean repair locality).
 	ChurnEvents  int64 `json:"churn_events,omitempty"`
 	TouchedNodes int64 `json:"touched_nodes,omitempty"`
+	// Distributed-build accounting (DistFaults runs only): protocol
+	// messages sent and lost across every build, the last build's
+	// rounds-to-convergence, and whether every convergence certificate held.
+	DistMsgs      int64 `json:"dist_msgs,omitempty"`
+	DistDropped   int64 `json:"dist_dropped,omitempty"`
+	DistRounds    int64 `json:"dist_rounds,omitempty"`
+	DistConverged bool  `json:"dist_converged,omitempty"`
 	// Metrics is the final snapshot of SimulationOptions.Telemetry; nil
 	// when the run was not instrumented.
 	Metrics *Metrics `json:"metrics,omitempty"`
 }
 
-// Simulate composes point set → ΘALG topology → MAC → (T,γ)-balancing
-// router and runs it for the configured horizon.
-func Simulate(opts SimulationOptions) (SimulationResult, error) {
+// toSimConfig validates the options and converts them to the internal
+// simulation configuration.
+func toSimConfig(opts SimulationOptions) (sim.Config, error) {
 	if len(opts.Points) < 2 {
-		return SimulationResult{}, errors.New("toporouting: simulation needs ≥ 2 points")
+		return sim.Config{}, errors.New("toporouting: simulation needs ≥ 2 points")
 	}
 	if opts.Steps <= 0 {
-		return SimulationResult{}, errors.New("toporouting: simulation needs steps > 0")
+		return sim.Config{}, errors.New("toporouting: simulation needs steps > 0")
 	}
 	if opts.ChurnEvery > 0 {
 		if opts.MobilityEvery > 0 {
-			return SimulationResult{}, errors.New("toporouting: ChurnEvery and MobilityEvery are mutually exclusive")
+			return sim.Config{}, errors.New("toporouting: ChurnEvery and MobilityEvery are mutually exclusive")
 		}
 		if opts.MAC == MACHoneycomb {
-			return SimulationResult{}, errors.New("toporouting: churn requires a ΘALG-based MAC (given or random)")
+			return sim.Config{}, errors.New("toporouting: churn requires a ΘALG-based MAC (given or random)")
+		}
+	}
+	if opts.DistFaults != nil {
+		if opts.ChurnEvery > 0 {
+			return sim.Config{}, errors.New("toporouting: DistFaults and ChurnEvery are mutually exclusive")
+		}
+		if opts.MAC == MACHoneycomb {
+			return sim.Config{}, errors.New("toporouting: DistFaults requires a ΘALG-based MAC (given or random)")
+		}
+		if err := opts.DistFaults.Validate(); err != nil {
+			return sim.Config{}, err
 		}
 	}
 	if opts.Router.BufferSize <= 0 {
-		return SimulationResult{}, errors.New("toporouting: simulation needs a positive buffer size")
+		return sim.Config{}, errors.New("toporouting: simulation needs a positive buffer size")
 	}
 	var kind sim.MACKind
 	switch opts.MAC {
@@ -130,13 +156,13 @@ func Simulate(opts SimulationOptions) (SimulationResult, error) {
 	case MACHoneycomb:
 		kind = sim.MACHoneycomb
 	default:
-		return SimulationResult{}, fmt.Errorf("toporouting: unknown MAC %d", int(opts.MAC))
+		return sim.Config{}, fmt.Errorf("toporouting: unknown MAC %d", int(opts.MAC))
 	}
 	var injector sim.Injector
 	if opts.Traffic != nil {
 		injector = func(step int, rng *rand.Rand) []routing.Injection { return opts.Traffic(step, rng) }
 	}
-	r := sim.Run(sim.Config{
+	return sim.Config{
 		Points: opts.Points,
 		Theta:  opts.Theta,
 		Range:  opts.Range,
@@ -150,29 +176,73 @@ func Simulate(opts SimulationOptions) (SimulationResult, error) {
 		Steps:     opts.Steps,
 		Mobility:  sim.Mobility{Every: opts.MobilityEvery, StepSize: opts.MobilityStep},
 		Churn:     sim.Churn{Every: opts.ChurnEvery, Moves: opts.ChurnMoves, StepSize: opts.ChurnStep},
+		Dist:      opts.DistFaults,
+		Workers:   opts.Workers,
 		Seed:      opts.Seed,
 		Telemetry: opts.Telemetry,
-	})
+	}, nil
+}
+
+// toResult converts an internal result, attaching the metrics snapshot when
+// the run was instrumented.
+func toResult(r sim.Result, tel *Telemetry) SimulationResult {
 	var metrics *Metrics
-	if opts.Telemetry.Enabled() {
-		m := opts.Telemetry.Snapshot()
+	if tel.Enabled() {
+		m := tel.Snapshot()
 		metrics = &m
 	}
 	return SimulationResult{
-		Delivered:    r.Delivered,
-		Accepted:     r.Accepted,
-		Dropped:      r.Dropped,
-		Moves:        r.Moves,
-		TotalCost:    r.TotalCost,
-		AvgCost:      r.AvgCost,
-		Queued:       r.Queued,
-		I:            r.I,
-		MaxDegree:    r.MaxDegree,
-		Rebuilds:     r.Rebuilds,
-		ChurnEvents:  r.ChurnEvents,
-		TouchedNodes: r.TouchedNodes,
-		Metrics:      metrics,
-	}, nil
+		Delivered:     r.Delivered,
+		Accepted:      r.Accepted,
+		Dropped:       r.Dropped,
+		Moves:         r.Moves,
+		TotalCost:     r.TotalCost,
+		AvgCost:       r.AvgCost,
+		Queued:        r.Queued,
+		I:             r.I,
+		MaxDegree:     r.MaxDegree,
+		Rebuilds:      r.Rebuilds,
+		ChurnEvents:   r.ChurnEvents,
+		TouchedNodes:  r.TouchedNodes,
+		DistMsgs:      r.DistMsgs,
+		DistDropped:   r.DistDropped,
+		DistRounds:    r.DistRounds,
+		DistConverged: r.DistConverged,
+		Metrics:       metrics,
+	}
+}
+
+// Simulate composes point set → ΘALG topology → MAC → (T,γ)-balancing
+// router and runs it for the configured horizon.
+func Simulate(opts SimulationOptions) (SimulationResult, error) {
+	cfg, err := toSimConfig(opts)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	return toResult(sim.Run(cfg), opts.Telemetry), nil
+}
+
+// SimulateMonteCarlo runs the configuration once per seed (opts.Seed is
+// ignored), fanned out over a worker pool capped at workers (≤ 0 selects
+// GOMAXPROCS), and returns results in seed order. Results are a pure
+// function of (opts, seeds) — the worker count only changes the schedule,
+// never the outcome. Workers share opts.Telemetry's instruments while
+// per-step trace emission is suppressed inside them; each result carries
+// the same final metrics snapshot.
+func SimulateMonteCarlo(opts SimulationOptions, seeds []int64, workers int) ([]SimulationResult, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("toporouting: Monte Carlo needs at least one seed")
+	}
+	cfg, err := toSimConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	rs := sim.MonteCarlo(cfg, seeds, workers)
+	out := make([]SimulationResult, len(rs))
+	for i, r := range rs {
+		out[i] = toResult(r, opts.Telemetry)
+	}
+	return out, nil
 }
 
 // RunExperiment executes one of the paper-reproduction experiments

@@ -299,7 +299,7 @@ func TestRunExperimentFacade(t *testing.T) {
 		t.Error("unknown experiment should error")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 20 || ids[0] != "E1" {
+	if len(ids) != 21 || ids[0] != "E1" {
 		t.Errorf("ids = %v", ids)
 	}
 }
