@@ -164,16 +164,79 @@ func BenchmarkThetaPath(b *testing.B) {
 }
 
 func BenchmarkInterferenceSets(b *testing.B) {
-	for _, n := range []int{200, 800} {
+	for _, n := range []int{500, 2000} {
 		pts := benchPoints(n)
 		d := unitdisk.CriticalRange(pts) * 1.3
 		top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
 		edges := top.N.Edges()
 		m := interference.NewModel(interference.DefaultDelta)
-		b.Run(sizeName(n), func(b *testing.B) {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				m.Sets(pts, edges)
+			}
+		})
+	}
+}
+
+// BenchmarkBalancerStepManyDests isolates the router hot path under many
+// concurrent flows: n=1000 nodes, traffic spread over 10/100/1000 distinct
+// destinations. The dense scan is O(edges × dests) per step, so the dests
+// sweep exposes the quadratic blowup the sparse hot-slot index removes.
+func BenchmarkBalancerStepManyDests(b *testing.B) {
+	const n = 1000
+	pts := benchPoints(n)
+	d := unitdisk.CriticalRange(pts) * 1.3
+	top := topology.BuildTheta(pts, topology.Config{Theta: math.Pi / 6, Range: d})
+	var active []routing.ActiveEdge
+	cost := top.EnergyCost(2)
+	for _, e := range top.N.Edges() {
+		active = append(active, routing.ActiveEdge{U: e.U, V: e.V, Cost: cost(e.U, e.V)})
+	}
+	for _, dests := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("dests%d", dests), func(b *testing.B) {
+			bal := routing.New(n, routing.Params{T: 0, Gamma: 0, BufferSize: 50})
+			rng := rand.New(rand.NewSource(1))
+			inj := make([]routing.Injection, 0, 4*dests)
+			for i := 0; i < 4*dests; i++ {
+				inj = append(inj, routing.Injection{Node: rng.Intn(n), Dest: (i * 7919) % dests, Count: 1})
+			}
+			bal.Step(nil, inj)
+			// Steady trickle keeps every destination slot live without
+			// letting queues drain to empty over the bench loop.
+			trickle := make([]routing.Injection, 0, dests/10+1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				trickle = trickle[:0]
+				for k := 0; k <= dests/10; k++ {
+					trickle = append(trickle, routing.Injection{Node: rng.Intn(n), Dest: (i + k*11) % dests, Count: 1})
+				}
+				bal.Step(active, trickle)
+			}
+		})
+	}
+}
+
+// BenchmarkMaxBenefit measures the per-pair benefit evaluation the
+// honeycomb MAC performs for every candidate sender-receiver pair: with the
+// dense layout it is O(dests) per call regardless of how many buffers are
+// actually occupied at the sender.
+func BenchmarkMaxBenefit(b *testing.B) {
+	const n = 1000
+	for _, dests := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("dests%d", dests), func(b *testing.B) {
+			bal := routing.New(n, routing.Params{T: 0, Gamma: 0, BufferSize: 50})
+			rng := rand.New(rand.NewSource(1))
+			var inj []routing.Injection
+			for i := 0; i < 4*dests; i++ {
+				inj = append(inj, routing.Injection{Node: rng.Intn(n), Dest: (i * 7919) % dests, Count: 1})
+			}
+			bal.Step(nil, inj)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bal.MaxBenefit(i%n, (i+17)%n)
 			}
 		})
 	}

@@ -1,0 +1,194 @@
+// Command benchdump turns `go test -bench` output into a stable JSON
+// baseline and gates later runs against it.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchdump -out BENCH_baseline.json
+//	go test -run '^$' -bench . -benchmem . | benchdump -baseline BENCH_baseline.json
+//
+// The first form parses benchmark lines from stdin (or -in file) and writes
+// a JSON map from benchmark name (with the -N GOMAXPROCS suffix stripped)
+// to {ns_per_op, bytes_per_op, allocs_per_op}.
+//
+// The second form additionally compares the parsed run against a committed
+// baseline: a benchmark whose ns/op exceeds the baseline by more than
+// -max-regress (default 0.30, i.e. +30%) fails the gate with exit status 1.
+// B/op and allocs/op regressions are reported but warn-only — allocation
+// counts are deterministic yet intentionally allowed to move when a change
+// trades memory for time; the alloc-sensitive paths pin themselves with
+// ReportAllocs assertions in tests instead. Benchmarks present on only one
+// side are reported and skipped, so adding or retiring a benchmark never
+// blocks a PR by itself.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result holds one benchmark's per-op metrics.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches standard `go test -bench -benchmem` output:
+//
+//	BenchmarkName-8   123   456789 ns/op   1024 B/op   7 allocs/op
+//
+// The B/op and allocs/op columns are optional (absent without -benchmem).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark[^\s]*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
+
+func parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		var res Result
+		res.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			res.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			res.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		// Repeated names (e.g. -count>1) keep the last run; fine for a
+		// smoke gate, use -count=1 for baselines.
+		out[m[1]] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return out, nil
+}
+
+func load(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Result)
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func sortedNames(m map[string]Result) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// gate compares run against base and returns the number of hard failures.
+func gate(w io.Writer, base, run map[string]Result, maxRegress float64) int {
+	failures := 0
+	for _, name := range sortedNames(run) {
+		got := run[name]
+		want, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "NEW   %-55s %12.0f ns/op (no baseline, skipped)\n", name, got.NsPerOp)
+			continue
+		}
+		ratio := 0.0
+		if want.NsPerOp > 0 {
+			ratio = got.NsPerOp/want.NsPerOp - 1
+		}
+		status := "ok   "
+		if ratio > maxRegress {
+			status = "FAIL "
+			failures++
+		} else if ratio < -maxRegress {
+			status = "fast "
+		}
+		fmt.Fprintf(w, "%s %-55s %12.0f ns/op  baseline %12.0f  (%+.1f%%)\n",
+			status, name, got.NsPerOp, want.NsPerOp, 100*ratio)
+		if want.AllocsPerOp > 0 && got.AllocsPerOp > want.AllocsPerOp*(1+maxRegress) {
+			fmt.Fprintf(w, "warn  %-55s allocs/op %g vs baseline %g (warn-only)\n",
+				name, got.AllocsPerOp, want.AllocsPerOp)
+		} else if want.BytesPerOp > 0 && got.BytesPerOp > want.BytesPerOp*(1+maxRegress) {
+			fmt.Fprintf(w, "warn  %-55s B/op %g vs baseline %g (warn-only)\n",
+				name, got.BytesPerOp, want.BytesPerOp)
+		}
+	}
+	for _, name := range sortedNames(base) {
+		if _, ok := run[name]; !ok {
+			fmt.Fprintf(w, "GONE  %-55s in baseline but not in this run (skipped)\n", name)
+		}
+	}
+	return failures
+}
+
+func run() error {
+	in := flag.String("in", "", "read bench output from file instead of stdin")
+	out := flag.String("out", "", "write parsed results as JSON to this file ('-' for stdout)")
+	baseline := flag.String("baseline", "", "compare against this JSON baseline and gate on ns/op regressions")
+	maxRegress := flag.Float64("max-regress", 0.30, "maximum tolerated relative ns/op regression before failing")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := parse(src)
+	if err != nil {
+		return err
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *out == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		} else {
+			fmt.Fprintf(os.Stderr, "benchdump: wrote %d benchmarks to %s\n", len(results), *out)
+		}
+	}
+
+	if *baseline != "" {
+		base, err := load(*baseline)
+		if err != nil {
+			return err
+		}
+		if failures := gate(os.Stdout, base, results, *maxRegress); failures > 0 {
+			return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% ns/op", failures, 100**maxRegress)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: toporouting
+BenchmarkBalancerStepManyDests/dests10-8         	     385	   2914321 ns/op	    1201 B/op	       3 allocs/op
+BenchmarkMaxBenefit/dests1000-8                  	45822000	        26.30 ns/op	       0 B/op	       0 allocs/op
+BenchmarkInterferenceSets/n500-8                 	     178	   6600123 ns/op	  100352 B/op	       3 allocs/op
+PASS
+ok  	toporouting	12.3s
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	mb, ok := got["BenchmarkMaxBenefit/dests1000"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	if mb.NsPerOp != 26.30 || mb.AllocsPerOp != 0 {
+		t.Fatalf("MaxBenefit parsed as %+v", mb)
+	}
+	is := got["BenchmarkInterferenceSets/n500"]
+	if is.BytesPerOp != 100352 || is.AllocsPerOp != 3 {
+		t.Fatalf("InterferenceSets parsed as %+v", is)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("parse accepted input with no benchmark lines")
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA":    {NsPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkB":    {NsPerOp: 1000},
+		"BenchmarkGone": {NsPerOp: 5},
+	}
+	run := map[string]Result{
+		"BenchmarkA":   {NsPerOp: 1250, AllocsPerOp: 100}, // +25% ns: ok; allocs blow-up: warn only
+		"BenchmarkB":   {NsPerOp: 1400},                   // +40% ns: fail
+		"BenchmarkNew": {NsPerOp: 7},                      // no baseline: skipped
+	}
+	var sb strings.Builder
+	if failures := gate(&sb, base, run, 0.30); failures != 1 {
+		t.Fatalf("gate reported %d failures, want 1\n%s", failures, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"FAIL ", "warn ", "NEW  ", "GONE "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gate output missing %q:\n%s", want, out)
+		}
+	}
+}

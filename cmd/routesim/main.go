@@ -28,7 +28,8 @@
 // Mutually exclusive with -churn; requires a ΘALG MAC (given or random).
 //
 // -workers caps the worker pool of centralized topology builds (0 = the
-// sequential builder).
+// sequential builder) and of interference-set construction; output is
+// bit-identical for every worker count.
 //
 // Observability: -trace streams one JSON event per line (router steps, MAC
 // rounds, topology builds, rebuilds) into the given file; -metrics prints
@@ -81,7 +82,7 @@ func run() error {
 		delay       = flag.Int("delay", 0, "distributed mode: max extra delivery delay (ticks)")
 		crash       = flag.Int("crash", 0, "distributed mode: number of node crash/restart cycles")
 
-		workers = flag.Int("workers", 0, "cap the topology-build and Monte-Carlo worker pools (0 = sequential build, GOMAXPROCS Monte-Carlo)")
+		workers = flag.Int("workers", 0, "cap the topology-build, interference-set and Monte-Carlo worker pools (0 = sequential build, GOMAXPROCS Monte-Carlo)")
 		runs    = flag.Int("runs", 1, "Monte-Carlo repetitions over seeds seed..seed+runs-1 (reports per-seed delivery)")
 
 		jsonOut    = flag.Bool("json", false, "emit the result as a single JSON object")

@@ -1,0 +1,81 @@
+package interference
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"toporouting/internal/geom"
+	"toporouting/internal/graph"
+)
+
+// randomInstance builds a random geometric instance: n uniform points and
+// every pair within the given radius as an edge.
+func randomInstance(rng *rand.Rand, n int, radius float64) ([]geom.Point, []graph.Edge) {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*5, rng.Float64()*5)
+	}
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if geom.Dist(pts[u], pts[v]) <= radius {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	return pts, edges
+}
+
+// TestSetsParallelMatchesSequential asserts the determinism contract of
+// the worker fan-out: for any worker count the parallel Sets output is
+// bit-identical to the sequential one — same sets, same order. 20 seeds;
+// CI runs it under -race, which also exercises the pass for data races.
+func TestSetsParallelMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(160)
+		pts, edges := randomInstance(rng, n, 0.4+rng.Float64()*0.3)
+		seq := NewModel(DefaultDelta)
+		want := seq.Sets(pts, edges)
+		for _, workers := range []int{2, 3, 4, 8} {
+			par := seq
+			par.Workers = workers
+			got := par.Sets(pts, edges)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: %d-worker Sets diverges from sequential (m=%d edges)",
+					seed, workers, len(edges))
+			}
+		}
+	}
+}
+
+// TestSetsScratchReuse runs Sets back-to-back over different instances to
+// check that pooled scratch from one call cannot leak stale state into the
+// next (stamps, cursors, grid) — each call must match a brute-force
+// recomputation.
+func TestSetsScratchReuse(t *testing.T) {
+	m := NewModel(DefaultDelta)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		n := 20 + rng.Intn(40)
+		pts, edges := randomInstance(rng, n, 0.5)
+		got := m.Sets(pts, edges)
+		for i := range edges {
+			var want []int32
+			for j := range edges {
+				if j != i && m.Interferes(pts, edges[i], edges[j]) {
+					want = append(want, int32(j))
+				}
+			}
+			if len(got[i]) != len(want) {
+				t.Fatalf("trial %d edge %d: |I(e)| = %d, brute force %d", trial, i, len(got[i]), len(want))
+			}
+			for k := range want {
+				if got[i][k] != want[k] {
+					t.Fatalf("trial %d edge %d: I(e) = %v, brute force %v", trial, i, got[i], want)
+				}
+			}
+		}
+	}
+}

@@ -36,6 +36,13 @@ type Honeycomb struct {
 	cTransmitting *telemetry.Counter
 	cSuccessful   *telemetry.Counter
 	steps         int
+	// step scratch, reused across rounds (results are valid until the
+	// next Contestants/Step call)
+	pairsBuf    [][2]int32
+	benefitsBuf []float64
+	chosenBuf   [][2]int32
+	outBuf      []routing.ActiveEdge
+	traceFields map[string]float64
 }
 
 // HoneycombConfig configures NewHoneycomb.
@@ -131,8 +138,10 @@ func (h *Honeycomb) benefit(b *routing.Balancer, s, t int) float64 {
 
 // Contestants returns this step's contestants — per hexagon, the maximum
 // benefit pair if its benefit exceeds T — with their benefits, reading the
-// balancer's current buffer heights.
+// balancer's current buffer heights. The returned slices are reused
+// scratch: they are valid until the next Contestants or Step call.
 func (h *Honeycomb) Contestants(b *routing.Balancer) (pairs [][2]int32, benefits []float64) {
+	pairs, benefits = h.pairsBuf[:0], h.benefitsBuf[:0]
 	for _, cell := range h.cells {
 		bestPair := [2]int32{-1, -1}
 		bestVal := h.t
@@ -147,6 +156,7 @@ func (h *Honeycomb) Contestants(b *routing.Balancer) (pairs [][2]int32, benefits
 			benefits = append(benefits, bestVal)
 		}
 	}
+	h.pairsBuf, h.benefitsBuf = pairs, benefits
 	return pairs, benefits
 }
 
@@ -167,7 +177,8 @@ func (h *Honeycomb) Independent(a, b [2]int32) bool {
 
 // Step runs one honeycomb round against the balancer's current heights and
 // returns the successful transmissions as active edges (unit cost) together
-// with statistics. The caller passes the result to Balancer.Step.
+// with statistics. The caller passes the result to Balancer.Step; the
+// returned slice is reused scratch, valid until the next Step call.
 func (h *Honeycomb) Step(b *routing.Balancer) ([]routing.ActiveEdge, HoneycombStats) {
 	var st HoneycombStats
 	pairs, benefits := h.Contestants(b)
@@ -175,14 +186,15 @@ func (h *Honeycomb) Step(b *routing.Balancer) ([]routing.ActiveEdge, HoneycombSt
 	for _, v := range benefits {
 		st.BenefitSum += v
 	}
-	var chosen [][2]int32
+	chosen := h.chosenBuf[:0]
 	for _, p := range pairs {
 		if h.rng.Float64() < h.pt {
 			chosen = append(chosen, p)
 		}
 	}
+	h.chosenBuf = chosen
 	st.Transmitting = len(chosen)
-	var out []routing.ActiveEdge
+	out := h.outBuf[:0]
 	for i, p := range chosen {
 		ok := true
 		for j, q := range chosen {
@@ -196,16 +208,21 @@ func (h *Honeycomb) Step(b *routing.Balancer) ([]routing.ActiveEdge, HoneycombSt
 			st.Successful++
 		}
 	}
+	h.outBuf = out
 	h.cContestants.Add(int64(st.Contestants))
 	h.cTransmitting.Add(int64(st.Transmitting))
 	h.cSuccessful.Add(int64(st.Successful))
 	if h.tel.Tracing() {
-		h.tel.Emit(telemetry.Event{Layer: "mac", Kind: "step", Name: "honeycomb", Step: h.steps, Fields: map[string]float64{
-			"contestants":  float64(st.Contestants),
-			"transmitting": float64(st.Transmitting),
-			"successful":   float64(st.Successful),
-			"benefit_sum":  st.BenefitSum,
-		}})
+		f := h.traceFields
+		if f == nil {
+			f = make(map[string]float64, 4)
+			h.traceFields = f
+		}
+		f["contestants"] = float64(st.Contestants)
+		f["transmitting"] = float64(st.Transmitting)
+		f["successful"] = float64(st.Successful)
+		f["benefit_sum"] = st.BenefitSum
+		h.tel.Emit(telemetry.Event{Layer: "mac", Kind: "step", Name: "honeycomb", Step: h.steps, Fields: f})
 	}
 	h.steps++
 	return out, st

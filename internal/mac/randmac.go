@@ -37,6 +37,12 @@ type RandomMAC struct {
 	cCollided   *telemetry.Counter
 	cSuccessful *telemetry.Counter
 	steps       int
+	// step scratch, reused across rounds (results are valid until the
+	// next Step call)
+	activeIdx   []int32
+	activeMark  []bool
+	outBuf      []routing.ActiveEdge
+	traceFields map[string]float64
 }
 
 // StepStats reports one MAC step.
@@ -113,25 +119,29 @@ func (m *RandomMAC) IE(i int) int { return m.ie[i] }
 func (m *RandomMAC) Edges() []graph.Edge { return m.edges }
 
 // Step samples one MAC round and returns the successful (non-interfering)
-// active edges, ready to hand to Balancer.Step, along with statistics.
+// active edges, ready to hand to Balancer.Step, along with statistics. The
+// returned slice is reused scratch, valid until the next Step call.
 func (m *RandomMAC) Step() ([]routing.ActiveEdge, StepStats) {
 	var st StepStats
-	activeIdx := make([]int, 0, 8)
+	activeIdx := m.activeIdx[:0]
 	for i := range m.edges {
 		if m.rng.Float64() < 1/(2*float64(m.ie[i])) {
-			activeIdx = append(activeIdx, i)
+			activeIdx = append(activeIdx, int32(i))
 		}
 	}
+	m.activeIdx = activeIdx
 	st.Activated = len(activeIdx)
-	activeSet := make(map[int]bool, len(activeIdx))
-	for _, i := range activeIdx {
-		activeSet[i] = true
+	if m.activeMark == nil {
+		m.activeMark = make([]bool, len(m.edges))
 	}
-	var out []routing.ActiveEdge
+	for _, i := range activeIdx {
+		m.activeMark[i] = true
+	}
+	out := m.outBuf[:0]
 	for _, i := range activeIdx {
 		ok := true
 		for _, j := range m.sets[i] {
-			if activeSet[int(j)] {
+			if m.activeMark[j] {
 				ok = false
 				break
 			}
@@ -144,15 +154,23 @@ func (m *RandomMAC) Step() ([]routing.ActiveEdge, StepStats) {
 			st.Collided++
 		}
 	}
+	m.outBuf = out
+	for _, i := range activeIdx {
+		m.activeMark[i] = false
+	}
 	m.cActivated.Add(int64(st.Activated))
 	m.cCollided.Add(int64(st.Collided))
 	m.cSuccessful.Add(int64(st.Successful))
 	if m.tel.Tracing() {
-		m.tel.Emit(telemetry.Event{Layer: "mac", Kind: "step", Name: "random", Step: m.steps, Fields: map[string]float64{
-			"activated":  float64(st.Activated),
-			"collided":   float64(st.Collided),
-			"successful": float64(st.Successful),
-		}})
+		f := m.traceFields
+		if f == nil {
+			f = make(map[string]float64, 3)
+			m.traceFields = f
+		}
+		f["activated"] = float64(st.Activated)
+		f["collided"] = float64(st.Collided)
+		f["successful"] = float64(st.Successful)
+		m.tel.Emit(telemetry.Event{Layer: "mac", Kind: "step", Name: "random", Step: m.steps, Fields: f})
 	}
 	m.steps++
 	return out, st

@@ -69,6 +69,7 @@ func (b *Balancer) groupSlot(members []int) int {
 	b.dests = append(b.dests, g)
 	b.heights = append(b.heights, make([]int32, b.n))
 	b.advertised = append(b.advertised, make([]int32, b.n))
+	b.inHot = append(b.inHot, make([]bool, b.n))
 	return s
 }
 
@@ -104,7 +105,7 @@ func (b *Balancer) InjectAnycast(node int, members []int, count int) (accepted, 
 		accepted = space
 	}
 	dropped = count - accepted
-	b.heights[s][node] += int32(accepted)
+	b.addHeight(s, node, int32(accepted))
 	if b.trackLatency {
 		for i := 0; i < accepted; i++ {
 			b.latencyPush(s, node, int32(b.steps))

@@ -9,7 +9,7 @@ package routing
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"toporouting/internal/telemetry"
 )
@@ -107,6 +107,34 @@ type Balancer struct {
 	// maintained when HeightQuantization > 0 (see Params).
 	advertised  [][]int32
 	controlMsgs int64
+	// Sparse hot-slot index. hot[v] lists, in ascending slot order, the
+	// buffer slots that hold (or recently held) packets at node v; the
+	// invariant is hot[v] ⊇ {s : heights[s][v] > 0}, with emptied slots
+	// pruned lazily. inHot[s][v] mirrors membership so 0→positive height
+	// transitions insert exactly once; stale[v] counts emptied entries
+	// still listed, triggering compaction once they outnumber live ones.
+	// consider and MaxBenefit iterate hot[v] instead of all slots, which
+	// turns the per-step cost from O(edges × dests) into
+	// O(edges × occupied-slots).
+	hot   [][]int32
+	inHot [][]bool
+	stale []int32
+	// Incrementally maintained queue statistics: totalQueued tracks the
+	// live packet count exactly; heightHist[h] counts buffers currently at
+	// height h ≥ 1 and maxH is a lazily tightened upper bound on the
+	// maximum height, so traced steps no longer rescan O(dests × nodes)
+	// cells.
+	totalQueued int64
+	heightHist  []int64
+	maxH        int32
+	// dirty lists the (slot, node) cells whose height changed since the
+	// last advertisement refresh; only maintained under HeightQuantization
+	// (untouched cells cannot have drifted past the threshold, so the
+	// refresh walks this list instead of every cell).
+	dirty []dirtyCell
+	// traceFields is the reused payload map of traced step events (sinks
+	// must not retain it; see telemetry.Sink).
+	traceFields map[string]float64
 	// optional latency tracking (see latency.go)
 	trackLatency bool
 	lat          *latencyState
@@ -133,6 +161,10 @@ type move struct {
 	val      float64 // benefit h(v,d) − h(w,d) − γc at decision time
 }
 
+// dirtyCell identifies a height-table cell touched since the last
+// advertisement refresh.
+type dirtyCell struct{ slot, node int32 }
+
 // New returns a Balancer over n nodes with the given parameters.
 func New(n int, p Params) *Balancer {
 	p.Validate()
@@ -140,11 +172,84 @@ func New(n int, p Params) *Balancer {
 		panic(fmt.Sprintf("routing: node count %d must be positive", n))
 	}
 	return &Balancer{
-		n:       n,
-		params:  p,
-		destOf:  make(map[int]int),
-		groupOf: make(map[string]int),
+		n:          n,
+		params:     p,
+		destOf:     make(map[int]int),
+		groupOf:    make(map[string]int),
+		hot:        make([][]int32, n),
+		stale:      make([]int32, n),
+		heightHist: make([]int64, 1),
 	}
+}
+
+// addHeight is the single mutation point of the height tables: it applies
+// the (possibly negative) delta to Q(v, slot s) while keeping the hot-slot
+// index, the incremental queue statistics and the quantization dirty list
+// consistent. Every write to b.heights must go through it.
+func (b *Balancer) addHeight(s, v int, delta int32) {
+	if delta == 0 {
+		return
+	}
+	old := b.heights[s][v]
+	now := old + delta
+	b.heights[s][v] = now
+	b.totalQueued += int64(delta)
+	if old > 0 {
+		b.heightHist[old]--
+	}
+	if now > 0 {
+		if int(now) >= len(b.heightHist) {
+			grown := make([]int64, int(now)*2)
+			copy(grown, b.heightHist)
+			b.heightHist = grown
+		}
+		b.heightHist[now]++
+		if now > b.maxH {
+			b.maxH = now
+		}
+	}
+	if old == 0 {
+		if b.inHot[s][v] {
+			b.stale[v]-- // revived before lazy pruning got to it
+		} else {
+			b.hotInsert(v, int32(s))
+		}
+	} else if now == 0 {
+		b.stale[v]++ // leave in hot[v]; pruned lazily
+	}
+	if b.params.HeightQuantization > 0 {
+		b.dirty = append(b.dirty, dirtyCell{int32(s), int32(v)})
+	}
+}
+
+// hotInsert adds slot s to node v's hot list, keeping ascending order (the
+// rotated scan of consider depends on it).
+func (b *Balancer) hotInsert(v int, s int32) {
+	lst := b.hot[v]
+	i, _ := slices.BinarySearch(lst, s)
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = s
+	b.hot[v] = lst
+	b.inHot[s][v] = true
+}
+
+// maybeCompact prunes emptied slots from hot[v] once they outnumber the
+// live ones, keeping scans amortized proportional to occupied slots.
+func (b *Balancer) maybeCompact(v int) {
+	if 2*int(b.stale[v]) <= len(b.hot[v]) {
+		return
+	}
+	kept := b.hot[v][:0]
+	for _, s := range b.hot[v] {
+		if b.heights[s][v] > 0 {
+			kept = append(kept, s)
+		} else {
+			b.inHot[s][v] = false
+		}
+	}
+	b.hot[v] = kept
+	b.stale[v] = 0
 }
 
 // destGroup is a delivery target: a packet is absorbed at any member.
@@ -183,19 +288,15 @@ func (b *Balancer) SetTelemetry(t *telemetry.Telemetry) {
 	b.gQueued = t.Gauge("router.queued")
 }
 
-// queueStats scans the height tables once, returning the total queued
-// packet count and the maximum single-buffer height. Only called on traced
-// steps: it is O(destinations × nodes).
+// queueStats returns the total queued packet count and the maximum
+// single-buffer height. Both are maintained incrementally by addHeight
+// (total exactly, the maximum as a histogram whose cached top is tightened
+// here), so traced steps no longer rescan O(destinations × nodes) cells.
 func (b *Balancer) queueStats() (total, maxHeight int) {
-	for _, row := range b.heights {
-		for _, h := range row {
-			total += int(h)
-			if int(h) > maxHeight {
-				maxHeight = int(h)
-			}
-		}
+	for b.maxH > 0 && b.heightHist[b.maxH] == 0 {
+		b.maxH--
 	}
-	return total, maxHeight
+	return int(b.totalQueued), int(b.maxH)
 }
 
 // N returns the number of nodes.
@@ -215,6 +316,7 @@ func (b *Balancer) slot(d int) int {
 	b.dests = append(b.dests, destGroup{members: []int32{int32(d)}, label: d})
 	b.heights = append(b.heights, make([]int32, b.n))
 	b.advertised = append(b.advertised, make([]int32, b.n))
+	b.inHot = append(b.inHot, make([]bool, b.n))
 	return s
 }
 
@@ -246,16 +348,20 @@ func (b *Balancer) ControlMessages() int64 { return b.controlMsgs }
 // and anycast), of h(v,d) − h(w,d), treating w as absorbing (height 0)
 // for buffers whose destination group contains w. This is the
 // sender-receiver "benefit" of Section 3.4 that the honeycomb MAC elects
-// contestants by.
+// contestants by. Only v's occupied slots are scanned (buffers empty at v
+// contribute nothing), so the cost is O(occupied slots at v), not
+// O(destinations).
 func (b *Balancer) MaxBenefit(v, w int) float64 {
+	b.maybeCompact(v)
 	best := 0.0
-	for s, row := range b.heights {
+	for _, si := range b.hot[v] {
+		row := b.heights[si]
 		hv := float64(row[v])
 		if hv == 0 {
-			continue
+			continue // stale hot entry
 		}
 		hw := 0.0
-		if !b.dests[s].contains(w) {
+		if !b.dests[si].contains(w) {
 			hw = float64(row[w])
 		}
 		if d := hv - hw; d > best {
@@ -265,15 +371,10 @@ func (b *Balancer) MaxBenefit(v, w int) float64 {
 	return best
 }
 
-// TotalQueued returns the total number of packets currently buffered.
+// TotalQueued returns the total number of packets currently buffered
+// (maintained incrementally; O(1)).
 func (b *Balancer) TotalQueued() int {
-	total := 0
-	for _, row := range b.heights {
-		for _, h := range row {
-			total += int(h)
-		}
-	}
-	return total
+	return int(b.totalQueued)
 }
 
 // Delivered returns the cumulative number of packets absorbed at their
@@ -316,6 +417,9 @@ func (b *Balancer) AvgCostPerDelivery() float64 {
 // balancer itself never inspects geometry.
 func (b *Balancer) Step(active []ActiveEdge, injections []Injection) StepReport {
 	var rep StepReport
+	if need := 2 * len(active); cap(b.moveBuf) < need {
+		b.moveBuf = make([]move, 0, need)
+	}
 	b.moveBuf = b.moveBuf[:0]
 
 	// Phase 1: decisions against start-of-step heights.
@@ -339,23 +443,35 @@ func (b *Balancer) Step(active []ActiveEdge, injections []Injection) StepReport 
 	// a static order would walk lone packets around deterministic cycles
 	// forever. The paper leaves this resolution unspecified because in its
 	// parameter regime (T ≥ B + 2(δ−1)) no contention arises.
-	sort.SliceStable(b.moveBuf, func(i, j int) bool {
-		mi, mj := b.moveBuf[i], b.moveBuf[j]
+	slices.SortStableFunc(b.moveBuf, func(mi, mj move) int {
 		if mi.val != mj.val {
-			return mi.val > mj.val
+			if mi.val > mj.val {
+				return -1
+			}
+			return 1
 		}
 		iAbsorb := b.dests[mi.slot].contains(mi.to)
 		jAbsorb := b.dests[mj.slot].contains(mj.to)
 		if iAbsorb != jAbsorb {
-			return iAbsorb
+			if iAbsorb {
+				return -1
+			}
+			return 1
 		}
-		return b.moveHash(mi) < b.moveHash(mj)
+		hi, hj := moveHashAt(b.steps, mi), moveHashAt(b.steps, mj)
+		switch {
+		case hi < hj:
+			return -1
+		case hi > hj:
+			return 1
+		}
+		return 0
 	})
 	for _, m := range b.moveBuf {
 		if b.heights[m.slot][m.from] <= 0 {
 			continue
 		}
-		b.heights[m.slot][m.from]--
+		b.addHeight(int(m.slot), m.from, -1)
 		rep.Moved++
 		rep.Cost += m.cost
 		var ts int32
@@ -369,7 +485,7 @@ func (b *Balancer) Step(active []ActiveEdge, injections []Injection) StepReport 
 				b.latencies = append(b.latencies, int32(b.steps)-ts)
 			}
 		} else {
-			b.heights[m.slot][m.to]++
+			b.addHeight(int(m.slot), m.to, 1)
 			if tracked {
 				b.latencyPush(int(m.slot), m.to, ts)
 			}
@@ -405,7 +521,7 @@ func (b *Balancer) Step(active []ActiveEdge, injections []Injection) StepReport 
 		if admit > space {
 			admit = space
 		}
-		b.heights[s][inj.Node] += int32(admit)
+		b.addHeight(s, inj.Node, int32(admit))
 		if b.trackLatency {
 			for i := 0; i < admit; i++ {
 				b.latencyPush(s, inj.Node, int32(b.steps))
@@ -417,17 +533,21 @@ func (b *Balancer) Step(active []ActiveEdge, injections []Injection) StepReport 
 
 	// Height-advertisement refresh: each node re-broadcasts a buffer's
 	// height when it drifted beyond the quantization threshold. Each
-	// refresh is one control message.
+	// refresh is one control message. Only cells touched since the last
+	// refresh can have drifted (untouched cells were within the threshold
+	// after the previous refresh and have not changed), so the walk covers
+	// the dirty list instead of every cell; duplicate dirty entries are
+	// harmless — the first visit re-advertises, later ones see zero drift.
 	if q := int32(b.params.HeightQuantization); q > 0 {
-		for s, row := range b.heights {
-			adv := b.advertised[s]
-			for v, h := range row {
-				if d := h - adv[v]; d > q || d < -q {
-					adv[v] = h
-					b.controlMsgs++
-				}
+		for _, c := range b.dirty {
+			h := b.heights[c.slot][c.node]
+			adv := b.advertised[c.slot]
+			if d := h - adv[c.node]; d > q || d < -q {
+				adv[c.node] = h
+				b.controlMsgs++
 			}
 		}
+		b.dirty = b.dirty[:0]
 	}
 
 	step := b.steps
@@ -446,24 +566,28 @@ func (b *Balancer) Step(active []ActiveEdge, injections []Injection) StepReport 
 	if b.tel.Tracing() {
 		queued, maxHeight := b.queueStats()
 		b.gQueued.Set(float64(queued))
-		b.tel.Emit(telemetry.Event{Layer: "router", Kind: "step", Step: int(step), Fields: map[string]float64{
-			"moved":      float64(rep.Moved),
-			"delivered":  float64(rep.Delivered),
-			"accepted":   float64(rep.Accepted),
-			"dropped":    float64(rep.Dropped),
-			"cost":       rep.Cost,
-			"queued":     float64(queued),
-			"max_height": float64(maxHeight),
-		}})
+		f := b.traceFields
+		if f == nil {
+			f = make(map[string]float64, 8)
+			b.traceFields = f
+		}
+		f["moved"] = float64(rep.Moved)
+		f["delivered"] = float64(rep.Delivered)
+		f["accepted"] = float64(rep.Accepted)
+		f["dropped"] = float64(rep.Dropped)
+		f["cost"] = rep.Cost
+		f["queued"] = float64(queued)
+		f["max_height"] = float64(maxHeight)
+		b.tel.Emit(telemetry.Event{Layer: "router", Kind: "step", Step: int(step), Fields: f})
 	}
 	return rep
 }
 
-// moveHash mixes the current step with a move's endpoints and buffer into
+// moveHashAt mixes a step counter with a move's endpoints and buffer into
 // a well-distributed 64-bit value (splitmix64 finalizer). It varies per
 // step, so tie resolution is fair over time yet fully reproducible.
-func (b *Balancer) moveHash(m move) uint64 {
-	x := uint64(b.steps)*0x9E3779B97F4A7C15 ^
+func moveHashAt(steps int64, m move) uint64 {
+	x := uint64(steps)*0x9E3779B97F4A7C15 ^
 		uint64(m.from)<<40 ^ uint64(m.to)<<20 ^ uint64(m.slot)
 	x ^= x >> 30
 	x *= 0xBF58476D1CE4E5B9
@@ -478,29 +602,43 @@ func (b *Balancer) moveHash(m move) uint64 {
 // destinations are broken by a per-step rotation of the scan origin; a
 // fixed tie-break would permanently starve high-index destinations under
 // diffuse load (the paper leaves the resolution unspecified).
+//
+// Only v's hot slots are scanned: slots empty at v cannot send, and
+// hot[v] ⊇ nonempty slots, so walking the (ascending) hot list from the
+// first slot ≥ the rotation origin and wrapping visits exactly the
+// non-skipped slots of the dense rotated scan in the same order — the
+// selected move is bit-identical.
 func (b *Balancer) consider(v, w int, cost float64) {
 	nslots := len(b.heights)
 	if nslots == 0 {
 		return
 	}
+	b.maybeCompact(v)
+	lst := b.hot[v]
+	if len(lst) == 0 {
+		return
+	}
 	bestSlot := -1
 	bestVal := math.Inf(-1)
 	gammaCost := b.params.Gamma * cost
-	start := int((b.steps + int64(v)) % int64(nslots))
-	for i := 0; i < nslots; i++ {
-		s := start + i
-		if s >= nslots {
-			s -= nslots
+	quantized := b.params.HeightQuantization > 0
+	start := int32((b.steps + int64(v)) % int64(nslots))
+	origin, _ := slices.BinarySearch(lst, start)
+	for k := 0; k < len(lst); k++ {
+		idx := origin + k
+		if idx >= len(lst) {
+			idx -= len(lst)
 		}
+		s := int(lst[idx])
 		row := b.heights[s]
 		hv := float64(row[v])
 		if hv == 0 {
-			continue // nothing to send
+			continue // stale hot entry: nothing to send
 		}
 		var hw float64
 		if b.dests[s].contains(w) {
 			hw = 0 // destination buffer height is always 0
-		} else if b.params.HeightQuantization > 0 {
+		} else if quantized {
 			// The sender only knows w's last advertised height.
 			hw = float64(b.advertised[s][w])
 		} else {

@@ -1,0 +1,147 @@
+package routing
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestStepEquivalence is the safety net of the sparse hot-slot balancer:
+// the optimized Balancer must be move-for-move identical to the retained
+// dense reference implementation (reference.go) under adversarial random
+// schedules — unicast and anycast traffic, with and without height
+// quantization. It drives both through identical step sequences across
+// 55 seeds and compares every StepReport, MaxBenefit spot checks each
+// step, and the full height/advertised tables plus control-message and
+// queue-statistic counters at the end.
+func TestStepEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 55; seed++ {
+		for _, quant := range []int{0, 2} {
+			equivalenceScenario(t, seed, quant)
+		}
+	}
+}
+
+func equivalenceScenario(t *testing.T, seed int64, quant int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed*1009 + int64(quant)))
+	n := 12 + rng.Intn(20)
+	params := Params{
+		T:                  []float64{0, 0, 1, 2.5}[rng.Intn(4)],
+		Gamma:              []float64{0, 0, 0.3}[rng.Intn(3)],
+		BufferSize:         4 + rng.Intn(8),
+		HeightQuantization: quant,
+	}
+	opt := New(n, params)
+	ref := newReference(n, params)
+	steps := 40 + rng.Intn(40)
+	for step := 0; step < steps; step++ {
+		if rng.Intn(4) == 0 {
+			node := rng.Intn(n)
+			members := make([]int, 2+rng.Intn(3))
+			for i := range members {
+				members[i] = rng.Intn(n)
+			}
+			count := 1 + rng.Intn(3)
+			a1, d1 := opt.InjectAnycast(node, members, count)
+			a2, d2 := ref.InjectAnycast(node, members, count)
+			if a1 != a2 || d1 != d2 {
+				t.Fatalf("seed %d q %d step %d: InjectAnycast = (%d,%d), reference (%d,%d)",
+					seed, quant, step, a1, d1, a2, d2)
+			}
+		}
+		active := make([]ActiveEdge, 0, 2*n)
+		for i := rng.Intn(2 * n); i > 0; i-- {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			active = append(active, ActiveEdge{U: u, V: v, Cost: rng.Float64() * 2})
+		}
+		inj := make([]Injection, 0, 6)
+		for i := rng.Intn(6); i > 0; i-- {
+			inj = append(inj, Injection{Node: rng.Intn(n), Dest: rng.Intn(n), Count: rng.Intn(4)})
+		}
+		r1 := opt.Step(active, inj)
+		r2 := ref.Step(active, inj)
+		if r1 != r2 {
+			t.Fatalf("seed %d q %d step %d: StepReport %+v, reference %+v", seed, quant, step, r1, r2)
+		}
+		for k := 0; k < 5; k++ {
+			v, w := rng.Intn(n), rng.Intn(n)
+			if got, want := opt.MaxBenefit(v, w), ref.MaxBenefit(v, w); got != want {
+				t.Fatalf("seed %d q %d step %d: MaxBenefit(%d,%d) = %v, reference %v",
+					seed, quant, step, v, w, got, want)
+			}
+		}
+	}
+	compareFinalState(t, seed, quant, opt, ref)
+	checkHotInvariant(t, seed, quant, opt)
+}
+
+// compareFinalState asserts bit-identical height and advertisement tables
+// and matching counters and incremental queue statistics.
+func compareFinalState(t *testing.T, seed int64, quant int, opt *Balancer, ref *refBalancer) {
+	t.Helper()
+	if len(opt.heights) != len(ref.heights) {
+		t.Fatalf("seed %d q %d: %d slots, reference %d", seed, quant, len(opt.heights), len(ref.heights))
+	}
+	for s := range opt.heights {
+		if !slices.Equal(opt.heights[s], ref.heights[s]) {
+			t.Fatalf("seed %d q %d: heights[%d] diverged:\n%v\n%v", seed, quant, s, opt.heights[s], ref.heights[s])
+		}
+		if !slices.Equal(opt.advertised[s], ref.advertised[s]) {
+			t.Fatalf("seed %d q %d: advertised[%d] diverged", seed, quant, s)
+		}
+	}
+	if opt.controlMsgs != ref.controlMsgs {
+		t.Fatalf("seed %d q %d: controlMsgs %d, reference %d", seed, quant, opt.controlMsgs, ref.controlMsgs)
+	}
+	if opt.delivers != ref.delivers || opt.accepts != ref.accepts || opt.drops != ref.drops {
+		t.Fatalf("seed %d q %d: cumulative counters diverged", seed, quant)
+	}
+	gotTotal, gotMax := opt.queueStats()
+	wantTotal, wantMax := ref.queueStats()
+	if gotTotal != wantTotal || gotMax != wantMax {
+		t.Fatalf("seed %d q %d: queueStats = (%d,%d), dense rescan (%d,%d)",
+			seed, quant, gotTotal, gotMax, wantTotal, wantMax)
+	}
+	if opt.TotalQueued() != wantTotal {
+		t.Fatalf("seed %d q %d: TotalQueued = %d, dense rescan %d", seed, quant, opt.TotalQueued(), wantTotal)
+	}
+}
+
+// checkHotInvariant verifies hot[v] ⊇ {s : heights[s][v] > 0}, that hot
+// lists are sorted and duplicate-free, and that membership/stale counters
+// agree with the tables.
+func checkHotInvariant(t *testing.T, seed int64, quant int, b *Balancer) {
+	t.Helper()
+	for v := 0; v < b.n; v++ {
+		if !slices.IsSorted(b.hot[v]) {
+			t.Fatalf("seed %d q %d: hot[%d] not sorted: %v", seed, quant, v, b.hot[v])
+		}
+		stale := 0
+		for i, s := range b.hot[v] {
+			if i > 0 && b.hot[v][i-1] == s {
+				t.Fatalf("seed %d q %d: hot[%d] has duplicate slot %d", seed, quant, v, s)
+			}
+			if !b.inHot[s][v] {
+				t.Fatalf("seed %d q %d: hot[%d] lists slot %d but inHot is false", seed, quant, v, s)
+			}
+			if b.heights[s][v] == 0 {
+				stale++
+			}
+		}
+		if stale != int(b.stale[v]) {
+			t.Fatalf("seed %d q %d: stale[%d] = %d, actual stale entries %d", seed, quant, v, b.stale[v], stale)
+		}
+		for s := range b.heights {
+			if b.heights[s][v] > 0 && !b.inHot[s][v] {
+				t.Fatalf("seed %d q %d: nonempty buffer (%d,%d) missing from hot set", seed, quant, s, v)
+			}
+			if b.inHot[s][v] && !slices.Contains(b.hot[v], int32(s)) {
+				t.Fatalf("seed %d q %d: inHot[%d][%d] set but slot not listed", seed, quant, s, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file retains the pre-optimization dense implementation of the
+// (T,γ)-balancing step as an executable specification. The production
+// Balancer maintains a sparse hot-slot index and incremental queue
+// statistics (see balancer.go); refBalancer scans every destination slot
+// per edge per step exactly as the original code did. The two must be
+// move-for-move identical — TestStepEquivalence drives both through the
+// same adversarial schedules and compares every StepReport and the full
+// height tables. refBalancer is deliberately unexported and test-facing:
+// it trades all performance for obviousness.
+
+// refBalancer is the dense reference implementation of the balancer.
+type refBalancer struct {
+	n           int
+	params      Params
+	heights     [][]int32
+	advertised  [][]int32
+	destOf      map[int]int
+	groupOf     map[string]int
+	dests       []destGroup
+	moveBuf     []move
+	steps       int64
+	controlMsgs int64
+	delivers    int64
+	drops       int64
+	accepts     int64
+}
+
+// newReference returns a dense reference balancer over n nodes.
+func newReference(n int, p Params) *refBalancer {
+	p.Validate()
+	if n <= 0 {
+		panic(fmt.Sprintf("routing: node count %d must be positive", n))
+	}
+	return &refBalancer{
+		n:       n,
+		params:  p,
+		destOf:  make(map[int]int),
+		groupOf: make(map[string]int),
+	}
+}
+
+func (b *refBalancer) slot(d int) int {
+	if s, ok := b.destOf[d]; ok {
+		return s
+	}
+	s := len(b.dests)
+	b.destOf[d] = s
+	b.dests = append(b.dests, destGroup{members: []int32{int32(d)}, label: d})
+	b.heights = append(b.heights, make([]int32, b.n))
+	b.advertised = append(b.advertised, make([]int32, b.n))
+	return s
+}
+
+func (b *refBalancer) groupSlot(members []int) int {
+	if len(members) == 0 {
+		panic("routing: empty anycast group")
+	}
+	out := canonGroup(members)
+	for _, m := range out {
+		if m < 0 || m >= b.n {
+			panic(fmt.Sprintf("routing: anycast member %d out of range", m))
+		}
+	}
+	if len(out) == 1 {
+		return b.slot(out[0])
+	}
+	k := groupKey(out)
+	if s, ok := b.groupOf[k]; ok {
+		return s
+	}
+	s := len(b.dests)
+	b.groupOf[k] = s
+	g := destGroup{label: -1}
+	for _, m := range out {
+		g.members = append(g.members, int32(m))
+	}
+	b.dests = append(b.dests, g)
+	b.heights = append(b.heights, make([]int32, b.n))
+	b.advertised = append(b.advertised, make([]int32, b.n))
+	return s
+}
+
+// InjectAnycast mirrors Balancer.InjectAnycast on the dense tables.
+func (b *refBalancer) InjectAnycast(node int, members []int, count int) (accepted, dropped int) {
+	if count <= 0 {
+		return 0, 0
+	}
+	if node < 0 || node >= b.n {
+		panic(fmt.Sprintf("routing: anycast source %d out of range", node))
+	}
+	s := b.groupSlot(members)
+	if b.dests[s].contains(node) {
+		b.delivers += int64(count)
+		b.accepts += int64(count)
+		return count, 0
+	}
+	space := b.params.BufferSize - int(b.heights[s][node])
+	if space < 0 {
+		space = 0
+	}
+	accepted = count
+	if accepted > space {
+		accepted = space
+	}
+	dropped = count - accepted
+	b.heights[s][node] += int32(accepted)
+	b.accepts += int64(accepted)
+	b.drops += int64(dropped)
+	return accepted, dropped
+}
+
+// MaxBenefit is the dense O(dests) benefit scan.
+func (b *refBalancer) MaxBenefit(v, w int) float64 {
+	best := 0.0
+	for s, row := range b.heights {
+		hv := float64(row[v])
+		if hv == 0 {
+			continue
+		}
+		hw := 0.0
+		if !b.dests[s].contains(w) {
+			hw = float64(row[w])
+		}
+		if d := hv - hw; d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// queueStats is the dense O(dests × nodes) rescan.
+func (b *refBalancer) queueStats() (total, maxHeight int) {
+	for _, row := range b.heights {
+		for _, h := range row {
+			total += int(h)
+			if int(h) > maxHeight {
+				maxHeight = int(h)
+			}
+		}
+	}
+	return total, maxHeight
+}
+
+// Step is the original dense step: full-slot-range consider scans, dense
+// advertisement refresh.
+func (b *refBalancer) Step(active []ActiveEdge, injections []Injection) StepReport {
+	var rep StepReport
+	b.moveBuf = b.moveBuf[:0]
+
+	for _, e := range active {
+		if e.U == e.V || e.U < 0 || e.U >= b.n || e.V < 0 || e.V >= b.n {
+			panic(fmt.Sprintf("routing: invalid active edge %+v", e))
+		}
+		if e.Cost < 0 {
+			panic(fmt.Sprintf("routing: negative edge cost %+v", e))
+		}
+		b.consider(e.U, e.V, e.Cost)
+		b.consider(e.V, e.U, e.Cost)
+	}
+
+	sort.SliceStable(b.moveBuf, func(i, j int) bool {
+		mi, mj := b.moveBuf[i], b.moveBuf[j]
+		if mi.val != mj.val {
+			return mi.val > mj.val
+		}
+		iAbsorb := b.dests[mi.slot].contains(mi.to)
+		jAbsorb := b.dests[mj.slot].contains(mj.to)
+		if iAbsorb != jAbsorb {
+			return iAbsorb
+		}
+		return moveHashAt(b.steps, mi) < moveHashAt(b.steps, mj)
+	})
+	for _, m := range b.moveBuf {
+		if b.heights[m.slot][m.from] <= 0 {
+			continue
+		}
+		b.heights[m.slot][m.from]--
+		rep.Moved++
+		rep.Cost += m.cost
+		if b.dests[m.slot].contains(m.to) {
+			rep.Delivered++
+		} else {
+			b.heights[m.slot][m.to]++
+		}
+	}
+
+	H := int32(b.params.BufferSize)
+	for _, inj := range injections {
+		if inj.Count <= 0 {
+			continue
+		}
+		if inj.Node < 0 || inj.Node >= b.n || inj.Dest < 0 || inj.Dest >= b.n {
+			panic(fmt.Sprintf("routing: invalid injection %+v", inj))
+		}
+		if inj.Node == inj.Dest {
+			rep.Delivered += inj.Count
+			rep.Accepted += inj.Count
+			continue
+		}
+		s := b.slot(inj.Dest)
+		space := int(H - b.heights[s][inj.Node])
+		if space < 0 {
+			space = 0
+		}
+		admit := inj.Count
+		if admit > space {
+			admit = space
+		}
+		b.heights[s][inj.Node] += int32(admit)
+		rep.Accepted += admit
+		rep.Dropped += inj.Count - admit
+	}
+
+	if q := int32(b.params.HeightQuantization); q > 0 {
+		for s, row := range b.heights {
+			adv := b.advertised[s]
+			for v, h := range row {
+				if d := h - adv[v]; d > q || d < -q {
+					adv[v] = h
+					b.controlMsgs++
+				}
+			}
+		}
+	}
+
+	b.steps++
+	b.delivers += int64(rep.Delivered)
+	b.drops += int64(rep.Dropped)
+	b.accepts += int64(rep.Accepted)
+	return rep
+}
+
+// consider is the dense rotated scan over every destination slot.
+func (b *refBalancer) consider(v, w int, cost float64) {
+	nslots := len(b.heights)
+	if nslots == 0 {
+		return
+	}
+	bestSlot := -1
+	bestVal := math.Inf(-1)
+	gammaCost := b.params.Gamma * cost
+	start := int((b.steps + int64(v)) % int64(nslots))
+	for i := 0; i < nslots; i++ {
+		s := start + i
+		if s >= nslots {
+			s -= nslots
+		}
+		row := b.heights[s]
+		hv := float64(row[v])
+		if hv == 0 {
+			continue
+		}
+		var hw float64
+		if b.dests[s].contains(w) {
+			hw = 0
+		} else if b.params.HeightQuantization > 0 {
+			hw = float64(b.advertised[s][w])
+		} else {
+			hw = float64(row[w])
+		}
+		val := hv - hw - gammaCost
+		if val > bestVal {
+			bestVal = val
+			bestSlot = s
+		}
+	}
+	if bestSlot >= 0 && bestVal > b.params.T {
+		b.moveBuf = append(b.moveBuf, move{from: v, to: w, slot: int32(bestSlot), cost: cost, val: bestVal})
+	}
+}

@@ -154,7 +154,9 @@ type Config struct {
 	// Workers caps the worker pool of centralized topology builds: > 0
 	// routes full rebuilds through topology.BuildThetaParallel with that
 	// many workers (0 keeps the sequential builder; ignored under Dist and
-	// Churn, which build incrementally or via the protocol engine).
+	// Churn, which build incrementally or via the protocol engine). The
+	// same cap fans out the interference-set computation behind the random
+	// MAC; results are identical for every worker count.
 	Workers int
 	// Seed drives all randomness of the run.
 	Seed int64
@@ -220,6 +222,10 @@ func Run(cfg Config) Result {
 	n := len(pts)
 	router := routing.New(n, cfg.Router)
 	model := interference.NewModel(cfg.Delta)
+	// The worker cap also fans out the interference-set computation behind
+	// the random MAC (deterministic: the result is worker-count
+	// independent).
+	model.Workers = cfg.Workers
 	tel := cfg.Telemetry
 	router.SetTelemetry(tel)
 	stopRun := tel.StartPhase("sim.run")

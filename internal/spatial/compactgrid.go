@@ -1,0 +1,157 @@
+package spatial
+
+import (
+	"math"
+
+	"toporouting/internal/geom"
+)
+
+// CompactGrid is a uniform-grid index stored in flat CSR arrays (bucket
+// offsets + one contiguous index slice) instead of Grid's per-bucket
+// slices. Filling it is a counting sort — three reusable allocations
+// instead of one per bucket — which makes it the right index for hot paths
+// that rebuild a grid per call, like the interference-set computation. A
+// zero CompactGrid is empty; (re)populate it with Fill. Refilling reuses
+// the backing arrays, so steady-state use allocates nothing.
+//
+// Visit order is identical to Grid's: bucket-major, ascending point index
+// within each bucket.
+type CompactGrid struct {
+	pts   []geom.Point
+	cell  float64
+	min   geom.Point
+	cols  int
+	rows  int
+	start []int32 // bucket b occupies idx[start[b]:start[b+1]]
+	idx   []int32
+	cur   []int32 // fill cursors, retained as scratch
+}
+
+// Fill (re)indexes pts with the given cell size, reusing the grid's
+// backing arrays. A non-positive cellSize selects the same heuristic as
+// NewGrid (bounding-box area / n, clamped). The grid keeps a reference to
+// pts; callers must not mutate the slice while the grid is in use.
+func (g *CompactGrid) Fill(pts []geom.Point, cellSize float64) {
+	g.pts = pts
+	if len(pts) == 0 {
+		g.cell = 1
+		g.cols, g.rows = 0, 0
+		return
+	}
+	min, max := pts[0], pts[0]
+	for _, p := range pts[1:] {
+		if p.X < min.X {
+			min.X = p.X
+		}
+		if p.Y < min.Y {
+			min.Y = p.Y
+		}
+		if p.X > max.X {
+			max.X = p.X
+		}
+		if p.Y > max.Y {
+			max.Y = p.Y
+		}
+	}
+	w, h := max.X-min.X, max.Y-min.Y
+	if cellSize <= 0 {
+		area := w * h
+		if area <= 0 {
+			cellSize = 1
+		} else {
+			cellSize = math.Sqrt(area / float64(len(pts)))
+		}
+		if cellSize <= 0 {
+			cellSize = 1
+		}
+	}
+	g.cell = cellSize
+	g.min = min
+	g.cols = int(w/cellSize) + 1
+	g.rows = int(h/cellSize) + 1
+
+	cells := g.cols * g.rows
+	g.start = growInt32(g.start, cells+1)
+	g.cur = growInt32(g.cur, cells)
+	g.idx = growInt32(g.idx, len(pts))
+	counts := g.cur
+	clear(counts)
+	for _, p := range pts {
+		counts[g.cellIndex(p)]++
+	}
+	g.start[0] = 0
+	for c := 0; c < cells; c++ {
+		g.start[c+1] = g.start[c] + counts[c]
+		counts[c] = g.start[c] // reuse as fill cursor
+	}
+	for i, p := range pts {
+		c := g.cellIndex(p)
+		g.idx[counts[c]] = int32(i)
+		counts[c]++
+	}
+}
+
+// growInt32 returns a slice of exactly length n, reusing s's backing array
+// when it is large enough.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// Len returns the number of indexed points.
+func (g *CompactGrid) Len() int { return len(g.pts) }
+
+func (g *CompactGrid) cellIndex(p geom.Point) int {
+	col := int((p.X - g.min.X) / g.cell)
+	row := int((p.Y - g.min.Y) / g.cell)
+	if col < 0 {
+		col = 0
+	} else if col >= g.cols {
+		col = g.cols - 1
+	}
+	if row < 0 {
+		row = 0
+	} else if row >= g.rows {
+		row = g.rows - 1
+	}
+	return row*g.cols + col
+}
+
+// ForEachWithin calls fn(j) for every indexed point j with |p, pts[j]| ≤ r,
+// in deterministic order (bucket-major, ascending index within buckets).
+// It is safe for concurrent use by multiple goroutines once filled.
+func (g *CompactGrid) ForEachWithin(p geom.Point, r float64, fn func(j int)) {
+	if g.cols == 0 || r < 0 {
+		return
+	}
+	r2 := r * r
+	c0 := int(math.Floor((p.X - r - g.min.X) / g.cell))
+	c1 := int(math.Floor((p.X + r - g.min.X) / g.cell))
+	r0 := int(math.Floor((p.Y - r - g.min.Y) / g.cell))
+	r1 := int(math.Floor((p.Y + r - g.min.Y) / g.cell))
+	if c0 < 0 {
+		c0 = 0
+	}
+	if r0 < 0 {
+		r0 = 0
+	}
+	if c1 >= g.cols {
+		c1 = g.cols - 1
+	}
+	if r1 >= g.rows {
+		r1 = g.rows - 1
+	}
+	for row := r0; row <= r1; row++ {
+		base := row * g.cols
+		for col := c0; col <= c1; col++ {
+			b := base + col
+			for _, j := range g.idx[g.start[b]:g.start[b+1]] {
+				if geom.Dist2(p, g.pts[j]) <= r2 {
+					fn(int(j))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package spatial
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"toporouting/internal/geom"
+)
+
+// TestCompactGridMatchesGrid checks that CompactGrid answers range queries
+// identically to Grid — same points, same deterministic visit order — and
+// that refilling reuses the arrays without leaking stale state.
+func TestCompactGridMatchesGrid(t *testing.T) {
+	var cg CompactGrid
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		ref := NewGrid(pts, 0)
+		cg.Fill(pts, 0) // refilled every seed: exercises reuse
+		for q := 0; q < 50; q++ {
+			p := geom.Pt(rng.Float64()*12-1, rng.Float64()*12-1)
+			r := rng.Float64() * 3
+			var want, got []int
+			ref.ForEachWithin(p, r, func(j int) { want = append(want, j) })
+			cg.ForEachWithin(p, r, func(j int) { got = append(got, j) })
+			if !slices.Equal(got, want) {
+				t.Fatalf("seed %d query %d: CompactGrid %v, Grid %v", seed, q, got, want)
+			}
+		}
+	}
+}
+
+func TestCompactGridEmpty(t *testing.T) {
+	var cg CompactGrid
+	cg.Fill(nil, 0)
+	called := false
+	cg.ForEachWithin(geom.Pt(0, 0), 5, func(int) { called = true })
+	if called || cg.Len() != 0 {
+		t.Fatal("empty CompactGrid must answer no points")
+	}
+}

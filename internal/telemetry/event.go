@@ -38,6 +38,12 @@ type Event struct {
 
 // Sink receives trace events. Implementations must be safe for concurrent
 // Emit calls.
+//
+// Ownership: an event's Fields map is only valid for the duration of the
+// Emit call — hot-path emitters (the router and MAC step loops) reuse one
+// map across steps to keep tracing allocation-free. Sinks that process the
+// event synchronously (like JSONL, which encodes under its lock) need no
+// copy; sinks that retain events must deep-copy Fields (see MemorySink).
 type Sink interface {
 	Emit(Event)
 	// Close flushes and releases the sink; no Emit may follow.
@@ -124,8 +130,16 @@ type MemorySink struct {
 	events []Event
 }
 
-// Emit appends the event.
+// Emit appends the event, deep-copying its Fields map: emitters may reuse
+// the map on the next step (see the Sink ownership contract).
 func (s *MemorySink) Emit(ev Event) {
+	if ev.Fields != nil {
+		f := make(map[string]float64, len(ev.Fields))
+		for k, v := range ev.Fields {
+			f[k] = v
+		}
+		ev.Fields = f
+	}
 	s.mu.Lock()
 	s.events = append(s.events, ev)
 	s.mu.Unlock()

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path microbenchmarks and either record a baseline
+# or gate the current tree against the committed one.
+#
+#   scripts/bench.sh baseline   # rewrite BENCH_baseline.json from this machine
+#   scripts/bench.sh gate       # compare against BENCH_baseline.json (CI mode)
+#   scripts/bench.sh run        # just print the bench output (default)
+#
+# The gate fails when any benchmark's ns/op regresses by more than
+# BENCH_MAX_REGRESS (default 0.30 = +30%); B/op and allocs/op changes are
+# warn-only. Baselines are machine-dependent — regenerate on the reference
+# machine (or in CI) rather than mixing hosts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-run}"
+BENCH_PATTERN="${BENCH_PATTERN:-BalancerStepManyDests|MaxBenefit|InterferenceSets}"
+BENCH_TIME="${BENCH_TIME:-1s}"
+BENCH_MAX_REGRESS="${BENCH_MAX_REGRESS:-0.30}"
+BASELINE="BENCH_baseline.json"
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+go test -run '^$' -bench "$BENCH_PATTERN" -benchtime "$BENCH_TIME" \
+    -benchmem -count=1 . | tee "$OUT"
+
+case "$MODE" in
+run)
+    ;;
+baseline)
+    go run ./cmd/benchdump -in "$OUT" -out "$BASELINE"
+    ;;
+gate)
+    if [ ! -f "$BASELINE" ]; then
+        echo "bench.sh: no $BASELINE to gate against; run 'scripts/bench.sh baseline' first" >&2
+        exit 1
+    fi
+    go run ./cmd/benchdump -in "$OUT" -baseline "$BASELINE" -max-regress "$BENCH_MAX_REGRESS"
+    ;;
+*)
+    echo "bench.sh: unknown mode '$MODE' (want run|baseline|gate)" >&2
+    exit 2
+    ;;
+esac

@@ -96,6 +96,9 @@ type Network struct {
 	opts  Options
 	top   *topology.Topology
 	gstar *graph.Graph
+	// workers is the pool cap the network was built with (0 = sequential);
+	// interference-set computations inherit it.
+	workers int
 }
 
 // BuildNetwork runs ΘALG over the given points. It returns an error for
@@ -131,9 +134,10 @@ func BuildNetworkParallel(points []Point, opts Options, workers int) (*Network, 
 	}
 	top := topology.BuildThetaParallel(points, topology.Config{Theta: o.Theta, Range: o.Range, Telemetry: o.Telemetry}, workers)
 	return &Network{
-		opts:  o,
-		top:   top,
-		gstar: unitdisk.Build(points, o.Range),
+		opts:    o,
+		top:     top,
+		gstar:   unitdisk.Build(points, o.Range),
+		workers: workers,
 	}, nil
 }
 
@@ -410,9 +414,12 @@ func headSources(n, max int) []int {
 
 // InterferenceNumber computes the interference number I of N under the
 // network's guard zone Δ (Lemma 2.10: O(log n) whp for uniform random
-// nodes).
+// nodes). Networks built with BuildNetworkParallel reuse the same worker
+// cap for the interference-set fan-out; the result is identical either
+// way.
 func (nw *Network) InterferenceNumber() int {
 	m := interference.NewModel(nw.opts.Delta)
+	m.Workers = nw.workers
 	return m.Number(nw.top.Pts, nw.top.N.Edges())
 }
 
@@ -424,6 +431,7 @@ func (nw *Network) InterferenceNumber() int {
 // (a lower bound on the true maximum).
 func (nw *Network) TransmissionInterferenceNumber() int {
 	m := interference.NewModel(nw.opts.Delta)
+	m.Workers = nw.workers
 	edges := nw.gstar.Edges()
 	if len(edges) > 2000 {
 		return m.NumberSampled(nw.top.Pts, edges, 500)
