@@ -1,0 +1,229 @@
+// Command loadgen drives a running toporoutingd with an open-loop request
+// stream at a target rate and reports the latency distribution and status
+// breakdown.
+//
+// Usage:
+//
+//	loadgen [-addr http://localhost:8080] [-rps 50] [-duration 10s]
+//	        [-endpoint topology|simulate|interference] [-n 60] [-dist uniform]
+//	        [-steps 50] [-mode centralized] [-timeout-ms 5000]
+//	        [-strict] [-json]
+//
+// Open-loop means the schedule never waits for responses: a request fires
+// every 1/rps regardless of how the previous ones are doing, so server
+// slowdowns surface as latency and shed load (429), not as a silently
+// reduced offered rate. 429 responses count as "shed", not as errors — they
+// are the server's backpressure working as designed.
+//
+// -strict exits non-zero when any 5xx was observed or no request succeeded,
+// which makes loadgen usable as a CI smoke gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"toporouting/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the end-of-run summary (also the -json shape).
+type report struct {
+	Requests    int            `json:"requests"`
+	OK          int            `json:"ok"`         // 2xx
+	Shed        int            `json:"shed"`       // 429
+	ClientErr   int            `json:"client_err"` // other 4xx
+	ServerErr   int            `json:"server_err"` // 5xx
+	Transport   int            `json:"transport_err"`
+	Statuses    map[string]int `json:"statuses"`
+	LatencyMS   latencySummary `json:"latency_ms"`
+	OfferedRPS  float64        `json:"offered_rps"`
+	AchievedRPS float64        `json:"achieved_rps"` // 2xx per second
+}
+
+type latencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "http://localhost:8080", "toporoutingd base URL")
+		rps       = flag.Float64("rps", 50, "target request rate (open loop)")
+		duration  = flag.Duration("duration", 10*time.Second, "run length")
+		endpoint  = flag.String("endpoint", "topology", "topology | simulate | interference")
+		n         = flag.Int("n", 60, "nodes per request")
+		dist      = flag.String("dist", "uniform", "point distribution")
+		steps     = flag.Int("steps", 50, "simulation steps (simulate endpoint)")
+		mode      = flag.String("mode", "centralized", "topology build mode")
+		timeoutMS = flag.Int("timeout-ms", 5000, "per-request timeout_ms")
+		strict    = flag.Bool("strict", false, "exit non-zero on any 5xx or zero successes")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+	if *rps <= 0 {
+		return fmt.Errorf("rps must be positive, got %v", *rps)
+	}
+
+	path, body, err := buildRequest(*endpoint, *n, *dist, *steps, *mode, *timeoutMS)
+	if err != nil {
+		return err
+	}
+	url := *addr + path
+	client := &http.Client{Timeout: time.Duration(*timeoutMS)*time.Millisecond + 5*time.Second}
+
+	type sample struct {
+		status    int // 0 = transport error
+		latencyMS float64
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	interval := time.Duration(float64(time.Second) / *rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.After(*duration)
+	start := time.Now()
+
+fire:
+	for {
+		select {
+		case <-deadline:
+			break fire
+		case <-ticker.C:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				lat := float64(time.Since(t0)) / float64(time.Millisecond)
+				st := 0
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					st = resp.StatusCode
+				}
+				mu.Lock()
+				samples = append(samples, sample{status: st, latencyMS: lat})
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := report{Statuses: make(map[string]int), OfferedRPS: *rps}
+	var lats []float64
+	for _, s := range samples {
+		rep.Requests++
+		switch {
+		case s.status == 0:
+			rep.Transport++
+		case s.status < 300:
+			rep.OK++
+			lats = append(lats, s.latencyMS)
+		case s.status == http.StatusTooManyRequests:
+			rep.Shed++
+		case s.status < 500:
+			rep.ClientErr++
+		default:
+			rep.ServerErr++
+		}
+		if s.status != 0 {
+			rep.Statuses[fmt.Sprint(s.status)]++
+		}
+	}
+	rep.AchievedRPS = float64(rep.OK) / elapsed
+	sum := stats.Summarize(lats)
+	rep.LatencyMS = latencySummary{
+		Mean: sum.Mean, P50: sum.P50, P90: sum.P90, P95: sum.P95, P99: sum.P99, Max: sum.Max,
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		printReport(rep)
+	}
+
+	if *strict {
+		if rep.ServerErr > 0 {
+			return fmt.Errorf("strict: %d server errors (5xx)", rep.ServerErr)
+		}
+		if rep.OK == 0 {
+			return fmt.Errorf("strict: no successful responses out of %d requests", rep.Requests)
+		}
+	}
+	return nil
+}
+
+// buildRequest assembles the request body once; every fired request reuses
+// it (same points seed → the server does identical work per request).
+func buildRequest(endpoint string, n int, dist string, steps int, mode string, timeoutMS int) (string, []byte, error) {
+	var (
+		path string
+		req  map[string]any
+	)
+	switch endpoint {
+	case "topology":
+		path = "/v1/topology"
+		req = map[string]any{"mode": mode, "dist": dist, "n": n, "timeout_ms": timeoutMS}
+	case "simulate":
+		path = "/v1/simulate"
+		req = map[string]any{
+			"dist": dist, "n": n, "steps": steps,
+			"router":     map[string]any{"buffer": 100},
+			"timeout_ms": timeoutMS,
+		}
+	case "interference":
+		path = "/v1/interference"
+		req = map[string]any{"dist": dist, "n": n, "timeout_ms": timeoutMS}
+	default:
+		return "", nil, fmt.Errorf("unknown endpoint %q (want topology, simulate, or interference)", endpoint)
+	}
+	body, err := json.Marshal(req)
+	return path, body, err
+}
+
+func printReport(rep report) {
+	fmt.Printf("requests   %d (offered %.1f rps)\n", rep.Requests, rep.OfferedRPS)
+	fmt.Printf("ok         %d (achieved %.1f rps)\n", rep.OK, rep.AchievedRPS)
+	fmt.Printf("shed(429)  %d\n", rep.Shed)
+	fmt.Printf("4xx        %d\n", rep.ClientErr)
+	fmt.Printf("5xx        %d\n", rep.ServerErr)
+	fmt.Printf("transport  %d\n", rep.Transport)
+	keys := make([]string, 0, len(rep.Statuses))
+	for k := range rep.Statuses {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  status %s: %d\n", k, rep.Statuses[k])
+	}
+	fmt.Printf("latency ms mean=%.1f p50=%.1f p90=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+		rep.LatencyMS.Mean, rep.LatencyMS.P50, rep.LatencyMS.P90,
+		rep.LatencyMS.P95, rep.LatencyMS.P99, rep.LatencyMS.Max)
+}

@@ -1,0 +1,146 @@
+// Command toporoutingd serves the topology-control and routing stack over
+// HTTP/JSON: topology builds (centralized, parallel, or the asynchronous
+// distributed protocol engine), routing simulations (synchronous or as
+// pollable async jobs), and interference queries.
+//
+// Usage:
+//
+//	toporoutingd [-addr :8080] [-queue 64] [-workers 0]
+//	             [-default-timeout 30s] [-max-timeout 5m]
+//	             [-max-nodes 50000] [-max-steps 10000000] [-job-ttl 10m]
+//	             [-grace 10s] [-trace trace.jsonl] [-expvar toporouting]
+//
+// Endpoints:
+//
+//	POST /v1/topology      build a topology; {"mode":"centralized|parallel|distributed", ...}
+//	POST /v1/simulate      run a simulation; {"async":true} returns 202 + job id
+//	POST /v1/interference  interference number of a built topology
+//	GET  /v1/jobs/{id}     poll an async job
+//	GET  /healthz          liveness
+//	GET  /readyz           readiness (503 while draining)
+//	GET  /metrics          telemetry snapshot (JSON)
+//	GET  /debug/vars       expvar (live telemetry under the -expvar name)
+//	GET  /debug/pprof/     net/http/pprof
+//
+// Load is shed explicitly: requests queue on a bounded admission queue
+// drained by a fixed worker pool, and a full queue answers 429 with
+// Retry-After. Every request carries a deadline (timeout_ms, capped by
+// -max-timeout, defaulting to -default-timeout), and a disconnected client
+// cancels its synchronous job within one simulation step.
+//
+// SIGINT/SIGTERM drains gracefully: readiness flips to 503, admission
+// stops, in-flight jobs get -grace to finish, stragglers are cancelled
+// through their contexts, and the trace sink (when -trace is set) is
+// flushed and fsynced before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"toporouting"
+	"toporouting/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "toporoutingd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr           = flag.String("addr", ":8080", "listen address")
+		queue          = flag.Int("queue", 64, "admission queue depth (full queue sheds with 429)")
+		workers        = flag.Int("workers", 0, "job executor count (0 = GOMAXPROCS)")
+		defaultTimeout = flag.Duration("default-timeout", 30*time.Second, "deadline for requests without timeout_ms")
+		maxTimeout     = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeouts")
+		maxNodes       = flag.Int("max-nodes", 50000, "per-request node cap")
+		maxSteps       = flag.Int("max-steps", 10_000_000, "per-request steps×runs cap")
+		jobTTL         = flag.Duration("job-ttl", 10*time.Minute, "retention of finished async jobs")
+		grace          = flag.Duration("grace", 10*time.Second, "drain grace period on SIGTERM")
+		trace          = flag.String("trace", "", "stream JSONL trace events to this file")
+		expvarName     = flag.String("expvar", "toporouting", "expvar name for the live telemetry snapshot")
+	)
+	flag.Parse()
+
+	var (
+		tel  *toporouting.Telemetry
+		sink toporouting.TraceSink
+	)
+	if *trace != "" {
+		var err error
+		sink, err = toporouting.CreateJSONLTrace(*trace)
+		if err != nil {
+			return err
+		}
+		tel = toporouting.NewTracedTelemetry(sink)
+	} else {
+		tel = toporouting.NewTelemetry()
+	}
+	toporouting.PublishExpvar(*expvarName, tel)
+
+	srv := server.New(server.Config{
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxNodes:       *maxNodes,
+		MaxSteps:       *maxSteps,
+		JobTTL:         *jobTTL,
+		Telemetry:      tel,
+		Sink:           sink,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("toporoutingd listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-sigCtx.Done():
+	}
+
+	log.Printf("toporoutingd draining (grace %s, %d in flight)", *grace, srv.InFlight())
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Drain jobs first — synchronous handlers hold their connections until
+	// their jobs finish, so the HTTP shutdown below completes once the job
+	// drain does.
+	drainErr := srv.Shutdown(graceCtx)
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil {
+		log.Printf("toporoutingd: http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		log.Printf("toporoutingd: drain forced after grace period: %v", drainErr)
+	} else {
+		log.Printf("toporoutingd: drained cleanly")
+	}
+	return nil
+}

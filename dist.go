@@ -1,6 +1,7 @@
 package toporouting
 
 import (
+	"context"
 	"errors"
 
 	"toporouting/internal/dist"
@@ -42,6 +43,14 @@ type DistReport struct {
 // the degree bound, per the paper's Lemma 2.1). The certificate's Holds
 // method is the go/no-go signal.
 func BuildNetworkDistributedAsync(points []Point, opts Options, faults FaultPlan, seed int64) (*Network, DistReport, error) {
+	return BuildNetworkDistributedAsyncContext(context.Background(), points, opts, faults, seed)
+}
+
+// BuildNetworkDistributedAsyncContext is BuildNetworkDistributedAsync
+// under a cancellation context: the discrete-event protocol engine checks
+// ctx periodically and abandons the run with ctx.Err() when it is
+// cancelled. A background context reproduces the uncancelled build exactly.
+func BuildNetworkDistributedAsyncContext(ctx context.Context, points []Point, opts Options, faults FaultPlan, seed int64) (*Network, DistReport, error) {
 	if len(points) < 2 {
 		return nil, DistReport{}, errors.New("toporouting: need at least two points")
 	}
@@ -49,7 +58,7 @@ func BuildNetworkDistributedAsync(points []Point, opts Options, faults FaultPlan
 	if err != nil {
 		return nil, DistReport{}, err
 	}
-	out, err := dist.Build(points, dist.Config{
+	out, err := dist.BuildContext(ctx, points, dist.Config{
 		Theta:     o.Theta,
 		Range:     o.Range,
 		Seed:      seed,

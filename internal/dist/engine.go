@@ -2,6 +2,7 @@ package dist
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -201,6 +202,15 @@ func (e *engine) fold(ev *event) {
 // geometry (mirroring topology.BuildTheta) and returns an error only for
 // an invalid fault plan.
 func Build(pts []geom.Point, cfg Config) (*Outcome, error) {
+	return BuildContext(context.Background(), pts, cfg)
+}
+
+// BuildContext is Build under a cancellation context: the discrete-event
+// loop checks ctx every ctxCheckStride events and returns (nil, ctx.Err())
+// promptly after cancellation, abandoning the partially converged run. A
+// background context makes it identical to Build — the check never
+// perturbs the deterministic schedule, only cuts it short.
+func BuildContext(ctx context.Context, pts []geom.Point, cfg Config) (*Outcome, error) {
 	n := len(pts)
 	cfg = cfg.withDefaults(n)
 	if cfg.Range <= 0 {
@@ -246,7 +256,11 @@ func Build(pts []geom.Point, cfg Config) (*Outcome, error) {
 		}
 	}
 
-	e.run()
+	e.run(ctx)
+	if err := ctx.Err(); err != nil {
+		stopBuild()
+		return nil, err
+	}
 
 	out := &Outcome{
 		Pts:   pts,
@@ -259,14 +273,24 @@ func Build(pts []geom.Point, cfg Config) (*Outcome, error) {
 	return out, nil
 }
 
-// run drains the event queue (or aborts at the MaxEvents safety cap).
-func (e *engine) run() {
+// ctxCheckStride is how many discrete events the run loop processes
+// between context checks — frequent enough that cancellation lands within
+// microseconds of protocol work, rare enough to stay off the profile.
+const ctxCheckStride = 1024
+
+// run drains the event queue (or aborts at the MaxEvents safety cap, or at
+// context cancellation).
+func (e *engine) run(ctx context.Context) {
 	e.stats.Quiesced = true
 	for e.queue.Len() > 0 {
 		ev := heap.Pop(&e.queue).(event)
 		e.now = ev.t
 		e.stats.Events++
 		if e.stats.Events > e.cfg.MaxEvents {
+			e.stats.Quiesced = false
+			return
+		}
+		if e.stats.Events%ctxCheckStride == 0 && ctx.Err() != nil {
 			e.stats.Quiesced = false
 			return
 		}

@@ -9,12 +9,49 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
 	"toporouting/internal/geom"
 	"toporouting/internal/graph"
 )
+
+// maxLineBytes is the scanner line cap for both readers. bufio's default
+// 64 KiB made long (e.g. machine-concatenated) lines fail with an
+// uncontextualized "token too long"; 8 MiB is far beyond any legitimate
+// two-field line while still bounding memory against hostile input.
+const maxLineBytes = 8 << 20
+
+// newLineScanner returns a line scanner over r with the raised line cap.
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	return sc
+}
+
+// scanErr contextualizes a scanner failure with the line it occurred on
+// (the line after the last successfully scanned one).
+func scanErr(sc *bufio.Scanner, line int) error {
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("fileio: line %d: %w", line+1, err)
+	}
+	return nil
+}
+
+// parseCoord parses one coordinate, rejecting non-finite values: NaN/±Inf
+// parse fine but poison spatial-grid construction and every downstream
+// geometric predicate, so they are refused at the boundary.
+func parseCoord(field string, line int) (float64, error) {
+	x, err := strconv.ParseFloat(field, 64)
+	if err != nil {
+		return 0, fmt.Errorf("fileio: line %d: %v", line, err)
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0, fmt.Errorf("fileio: line %d: non-finite coordinate %q", line, field)
+	}
+	return x, nil
+}
 
 // WritePoints writes one point per line as "x y" with full float64
 // round-trip precision.
@@ -32,10 +69,11 @@ func WritePoints(w io.Writer, pts []geom.Point) error {
 }
 
 // ReadPoints parses a point file written by WritePoints (or any
-// whitespace-separated two-column numeric file).
+// whitespace-separated two-column numeric file). Non-finite coordinates
+// (NaN, ±Inf) are rejected with a line-numbered error.
 func ReadPoints(r io.Reader) ([]geom.Point, error) {
 	var pts []geom.Point
-	sc := bufio.NewScanner(r)
+	sc := newLineScanner(r)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -47,17 +85,17 @@ func ReadPoints(r io.Reader) ([]geom.Point, error) {
 		if len(fields) != 2 {
 			return nil, fmt.Errorf("fileio: line %d: want 2 fields, got %d", line, len(fields))
 		}
-		x, err := strconv.ParseFloat(fields[0], 64)
+		x, err := parseCoord(fields[0], line)
 		if err != nil {
-			return nil, fmt.Errorf("fileio: line %d: %v", line, err)
+			return nil, err
 		}
-		y, err := strconv.ParseFloat(fields[1], 64)
+		y, err := parseCoord(fields[1], line)
 		if err != nil {
-			return nil, fmt.Errorf("fileio: line %d: %v", line, err)
+			return nil, err
 		}
 		pts = append(pts, geom.Pt(x, y))
 	}
-	if err := sc.Err(); err != nil {
+	if err := scanErr(sc, line); err != nil {
 		return nil, err
 	}
 	return pts, nil
@@ -75,10 +113,14 @@ func WriteEdges(w io.Writer, g *graph.Graph) error {
 	return bw.Flush()
 }
 
-// ReadEdges parses an edge file into a graph over n nodes.
+// ReadEdges parses an edge file into a graph over n nodes. Self-loops
+// (u == v) are rejected with a line-numbered error — the undirected graph
+// cannot represent them, so silently admitting the line would hide corrupt
+// input. Duplicate edges are deduplicated (graph.AddEdge ignores an edge
+// already present), so repeated lines are harmless.
 func ReadEdges(r io.Reader, n int) (*graph.Graph, error) {
 	g := graph.New(n)
-	sc := bufio.NewScanner(r)
+	sc := newLineScanner(r)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -101,9 +143,12 @@ func ReadEdges(r io.Reader, n int) (*graph.Graph, error) {
 		if u < 0 || u >= n || v < 0 || v >= n {
 			return nil, fmt.Errorf("fileio: line %d: edge (%d,%d) out of range [0,%d)", line, u, v, n)
 		}
+		if u == v {
+			return nil, fmt.Errorf("fileio: line %d: self-loop (%d,%d)", line, u, v)
+		}
 		g.AddEdge(u, v)
 	}
-	if err := sc.Err(); err != nil {
+	if err := scanErr(sc, line); err != nil {
 		return nil, err
 	}
 	return g, nil

@@ -51,6 +51,10 @@ func TestReadPointsErrors(t *testing.T) {
 		"1 2 3\n",
 		"abc 2\n",
 		"1 xyz\n",
+		"NaN 1\n",      // non-finite x
+		"1 +Inf\n",     // non-finite y
+		"-Inf -Inf\n",  // both non-finite
+		"0 0\nnan 2\n", // ParseFloat accepts any case; line 2 must error
 	}
 	for i, in := range cases {
 		if _, err := ReadPoints(strings.NewReader(in)); err == nil {
@@ -93,10 +97,53 @@ func TestReadEdgesErrors(t *testing.T) {
 		"a 2\n",
 		"1 b\n",
 		"0 9\n", // out of range for n=3
+		"2 2\n", // self-loop
 	}
 	for i, in := range cases {
 		if _, err := ReadEdges(strings.NewReader(in), 3); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
+	}
+	// The self-loop error must carry the offending line number.
+	_, err := ReadEdges(strings.NewReader("0 1\n# fine\n2 2\n"), 3)
+	if err == nil || !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "self-loop") {
+		t.Errorf("self-loop error = %v", err)
+	}
+}
+
+func TestReadPointsNonFiniteLineNumber(t *testing.T) {
+	_, err := ReadPoints(strings.NewReader("# hdr\n1 2\n\nInf 0\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 4") || !strings.Contains(err.Error(), "non-finite") {
+		t.Errorf("non-finite error = %v", err)
+	}
+}
+
+func TestReadEdgesDuplicatesDeduped(t *testing.T) {
+	g, err := ReadEdges(strings.NewReader("0 1\n1 0\n0 1\n1 2\n"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Errorf("deduped graph wrong: %v", g.Edges())
+	}
+}
+
+// TestLongLines pins the raised scanner cap: lines beyond bufio's default
+// 64 KiB must parse (they used to fail with an uncontextualized "token too
+// long"), and lines beyond the 8 MiB cap must fail with a line-numbered
+// error.
+func TestLongLines(t *testing.T) {
+	pad := strings.Repeat(" ", 128<<10)
+	pts, err := ReadPoints(strings.NewReader("1 2" + pad + "\n3 4\n"))
+	if err != nil || len(pts) != 2 {
+		t.Fatalf("128KiB point line: %v %v", pts, err)
+	}
+	g, err := ReadEdges(strings.NewReader("0 1"+pad+"\n"), 2)
+	if err != nil || g.NumEdges() != 1 {
+		t.Fatalf("128KiB edge line: %v", err)
+	}
+	huge := "0 0\n1 1" + strings.Repeat(" ", 9<<20) + "\n"
+	if _, err := ReadPoints(strings.NewReader(huge)); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("9MiB line error = %v", err)
 	}
 }

@@ -19,7 +19,9 @@ func FuzzReadPoints(f *testing.F) {
 	f.Add([]byte("  \t 1e-300\t-2.5e+17  \n"))
 	f.Add([]byte("0.1 0.2 0.3\n"))      // 3 fields: must error
 	f.Add([]byte("a b\n"))              // non-numeric: must error
-	f.Add([]byte("NaN Inf\n"))          // parse fine; round trip exercises ±Inf/NaN
+	f.Add([]byte("NaN Inf\n"))          // non-finite: must error
+	f.Add([]byte("1 -Inf\n"))           // non-finite y: must error
+	f.Add([]byte("infinity 0\n"))       // ParseFloat accepts "infinity": must error
 	f.Add([]byte("5e-324 1.797e308\n")) // denormal + near-max
 	f.Add([]byte("0x1p-3 010\n"))       // ParseFloat hex-float and leading zero
 	f.Add([]byte("1 2\r\n3 4\r\n"))     // CRLF
@@ -29,6 +31,13 @@ func FuzzReadPoints(f *testing.F) {
 		pts, err := ReadPoints(bytes.NewReader(data))
 		if err != nil {
 			return
+		}
+		// A nil error implies every coordinate is finite — non-finite values
+		// must be rejected at the parse boundary.
+		for i, p := range pts {
+			if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+				t.Fatalf("point %d non-finite after successful parse: %v", i, p)
+			}
 		}
 		var buf bytes.Buffer
 		if err := WritePoints(&buf, pts); err != nil {
@@ -56,8 +65,9 @@ func FuzzReadPoints(f *testing.F) {
 func FuzzReadEdges(f *testing.F) {
 	f.Add([]byte(""), 5)
 	f.Add([]byte("0 1\n1 2\n"), 3)
-	f.Add([]byte("0 0\n"), 2)                    // self-loop line
-	f.Add([]byte("0 1\n0 1\n"), 2)               // duplicate edge
+	f.Add([]byte("0 0\n"), 2)                    // self-loop: must error
+	f.Add([]byte("1 1\n"), 3)                    // self-loop off node 0: must error
+	f.Add([]byte("0 1\n0 1\n1 0\n"), 2)          // duplicate edge: deduped, no error
 	f.Add([]byte("4 1\n"), 3)                    // out of range: must error
 	f.Add([]byte("-1 0\n"), 4)                   // negative id: must error
 	f.Add([]byte("1 2 3\n"), 9)                  // 3 fields: must error
@@ -80,6 +90,9 @@ func FuzzReadEdges(f *testing.F) {
 		for _, e := range g.Edges() {
 			if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
 				t.Fatalf("edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+			}
+			if e.U == e.V {
+				t.Fatalf("self-loop (%d,%d) after successful parse", e.U, e.V)
 			}
 			if !g.HasEdge(e.U, e.V) || !g.HasEdge(e.V, e.U) {
 				t.Fatalf("edge (%d,%d) not symmetric", e.U, e.V)

@@ -1,0 +1,606 @@
+// Package server is the HTTP/JSON serving layer of the stack: topology
+// builds, routing simulations, and interference queries behind a bounded
+// admission queue and a fixed worker pool.
+//
+// Admission control is explicit: every request becomes a job on a bounded
+// queue drained by a fixed number of workers. When the queue is full the
+// server sheds load with 429 + Retry-After instead of letting goroutines
+// and latency pile up. Every job runs under a context carrying the request
+// deadline; synchronous jobs are additionally cancelled when the client
+// disconnects, so abandoned work stops within one simulation step.
+// Shutdown drains: admission stops (readiness flips, new work gets 503),
+// in-flight jobs get a grace period to finish, and whatever remains is
+// cancelled through the same contexts before telemetry sinks are flushed.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"toporouting"
+)
+
+// Config parameterizes a Server. The zero value serves with sane defaults.
+type Config struct {
+	// QueueDepth bounds the admission queue (jobs admitted but not yet
+	// running); 0 selects 64. A full queue sheds with 429.
+	QueueDepth int
+	// Workers is the number of job executors; 0 selects GOMAXPROCS.
+	Workers int
+	// DefaultTimeout applies to requests that do not set timeout_ms;
+	// 0 selects 30s. MaxTimeout caps client-requested timeouts; 0 selects
+	// 5m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxNodes and MaxSteps bound per-request work; 0 selects 50000 nodes
+	// and 10^7 steps.
+	MaxNodes int
+	MaxSteps int
+	// JobTTL is how long finished async jobs stay pollable; 0 selects 10m.
+	JobTTL time.Duration
+	// Telemetry, when non-nil, is threaded into every build and simulation
+	// and additionally records server-level counters (admitted, shed,
+	// completed) and queue-wait/run-time histograms. Its snapshot is served
+	// at GET /metrics.
+	Telemetry *toporouting.Telemetry
+	// Sink, when non-nil, is closed (flushing buffered trace events to
+	// disk) at the end of Shutdown.
+	Sink io.Closer
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 50000
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 10_000_000
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 10 * time.Minute
+	}
+	return c
+}
+
+// Server is the serving core: mux, admission queue, worker pool, job store.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// baseCtx parents every job context; baseCancel is the drain hammer —
+	// cancelling it stops all in-flight work within one step.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue    chan *job
+	stop     chan struct{} // closed after drain; workers exit
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	active   atomic.Int64 // jobs admitted and not yet finished
+
+	jobs  *jobStore
+	start time.Time
+
+	shutdownOnce sync.Once
+	shutdownDone chan struct{}
+	shutdownErr  error
+}
+
+// New builds a Server and starts its worker pool. The caller owns shutdown:
+// call Shutdown to drain before exiting.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:          cfg,
+		baseCtx:      ctx,
+		baseCancel:   cancel,
+		queue:        make(chan *job, cfg.QueueDepth),
+		stop:         make(chan struct{}),
+		shutdownDone: make(chan struct{}),
+		jobs:         newJobStore(cfg.JobTTL),
+		start:        time.Now(),
+	}
+	s.mux = s.routes()
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// InFlight reports the number of jobs admitted and not yet finished
+// (queued + running). Exposed for tests and the drain loop.
+func (s *Server) InFlight() int64 { return s.active.Load() }
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/topology", s.handleTopology)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/interference", s.handleInterference)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// worker drains the admission queue until drain closes s.stop. A job whose
+// context died while it sat in the queue is retired without running.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.execute(j)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Server) execute(j *job) {
+	defer s.active.Add(-1)
+	defer j.cancel()
+	if err := j.ctx.Err(); err != nil {
+		j.finish(nil, err)
+		return
+	}
+	j.setRunning()
+	tel := s.cfg.Telemetry
+	if tel.Enabled() {
+		tel.Histogram("server.queue_wait_ms").Observe(float64(time.Since(j.created)) / float64(time.Millisecond))
+	}
+	result, err := safeRun(j)
+	j.finish(result, err)
+	if tel.Enabled() {
+		tel.Counter("server.jobs_finished").Inc()
+		if err != nil {
+			tel.Counter("server.jobs_failed").Inc()
+		}
+	}
+}
+
+// safeRun executes the job body, converting a panic (e.g. the topology
+// builder's duplicate-position panic) into a job error instead of taking
+// down the worker.
+func safeRun(j *job) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	return j.run(j.ctx)
+}
+
+// newJob wires a job under parent with the effective request timeout. The
+// returned job's context is additionally cancelled when the server's base
+// context dies (drain forcing), whatever the parent is.
+func (s *Server) newJob(kind string, parent context.Context, timeoutMS int, run func(context.Context) (any, error)) *job {
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(parent, timeout)
+	stopAfter := context.AfterFunc(s.baseCtx, cancel)
+	return &job{
+		id:      s.jobs.nextID(),
+		kind:    kind,
+		ctx:     ctx,
+		cancel:  func() { stopAfter(); cancel() },
+		run:     run,
+		done:    make(chan struct{}),
+		status:  statusQueued,
+		created: time.Now(),
+	}
+}
+
+// admit places the job on the bounded queue without blocking: a full queue
+// is load to shed now, not latency to hide.
+func (s *Server) admit(j *job) error {
+	if s.draining.Load() {
+		return errDraining
+	}
+	s.active.Add(1)
+	select {
+	case s.queue <- j:
+		if tel := s.cfg.Telemetry; tel.Enabled() {
+			tel.Counter("server.jobs_admitted").Inc()
+		}
+		return nil
+	default:
+		s.active.Add(-1)
+		if tel := s.cfg.Telemetry; tel.Enabled() {
+			tel.Counter("server.jobs_shed").Inc()
+		}
+		return errQueueFull
+	}
+}
+
+// runSync admits the job and blocks until it finishes, mapping admission
+// failures to backpressure responses. It returns false when it already
+// wrote an error response.
+func (s *Server) runSync(w http.ResponseWriter, j *job) bool {
+	if err := s.admit(j); err != nil {
+		j.cancel()
+		writeAdmissionError(w, err)
+		return false
+	}
+	<-j.done
+	return true
+}
+
+func writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// writeJobOutcome renders a finished synchronous job: 200 with its result,
+// 504 when its deadline expired, 499-equivalent (client gone) or 503 when
+// cancelled, 500 otherwise.
+func writeJobOutcome(w http.ResponseWriter, j *job) {
+	j.mu.Lock()
+	result, err := j.result, j.err
+	j.mu.Unlock()
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, result)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// Client disconnect or drain; the client is likely gone, but be
+		// explicit for the ones that are not.
+		writeError(w, http.StatusServiceUnavailable, "request cancelled")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	var req topologyRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	pts, err := req.resolve(s.cfg.MaxNodes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "centralized"
+	}
+	opts := toporouting.Options{
+		Theta: req.Theta, Range: req.Range, Kappa: req.Kappa, Delta: req.Delta,
+		Telemetry: s.cfg.Telemetry,
+	}
+	var run func(context.Context) (any, error)
+	switch mode {
+	case "centralized", "parallel":
+		workers := req.Workers
+		if mode == "parallel" && workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if mode == "centralized" {
+			workers = 0
+		}
+		run = func(ctx context.Context) (any, error) {
+			start := time.Now()
+			nw, err := toporouting.BuildNetworkContext(ctx, pts, opts, workers)
+			if err != nil {
+				return nil, err
+			}
+			return topologyView(mode, nw, nil, req.IncludeEdges, start), nil
+		}
+	case "distributed":
+		run = func(ctx context.Context) (any, error) {
+			start := time.Now()
+			nw, rep, err := toporouting.BuildNetworkDistributedAsyncContext(ctx, pts, opts, req.Faults.plan(), req.BuildSeed)
+			if err != nil {
+				return nil, err
+			}
+			view := &distReportView{
+				Sent:      rep.Stats.Sent,
+				Delivered: rep.Stats.Delivered,
+				Dropped:   rep.Stats.Dropped,
+				Rounds:    rep.Certificate.Rounds,
+				Crashes:   rep.Stats.Crashes,
+				Converged: rep.Certificate.Holds(),
+			}
+			return topologyView(mode, nw, view, req.IncludeEdges, start), nil
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (want centralized, parallel, or distributed)", mode))
+		return
+	}
+	j := s.newJob("topology", r.Context(), req.TimeoutMS, run)
+	if s.runSync(w, j) {
+		writeJobOutcome(w, j)
+	}
+}
+
+func topologyView(mode string, nw *toporouting.Network, dist *distReportView, includeEdges bool, start time.Time) topologyResponse {
+	resp := topologyResponse{
+		Mode:        mode,
+		N:           nw.N(),
+		NumEdges:    nw.NumEdges(),
+		MaxDegree:   nw.MaxDegree(),
+		DegreeBound: nw.DegreeBound(),
+		Connected:   nw.Connected(),
+		Theta:       nw.Options().Theta,
+		Range:       nw.Options().Range,
+		DistReport:  dist,
+		ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if includeEdges {
+		resp.Edges = nw.Edges()
+	}
+	return resp
+}
+
+func (s *Server) handleInterference(w http.ResponseWriter, r *http.Request) {
+	var req interferenceRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	pts, err := req.resolve(s.cfg.MaxNodes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts := toporouting.Options{
+		Theta: req.Theta, Range: req.Range, Delta: req.Delta,
+		Telemetry: s.cfg.Telemetry,
+	}
+	run := func(ctx context.Context) (any, error) {
+		start := time.Now()
+		nw, err := toporouting.BuildNetworkContext(ctx, pts, opts, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		resp := interferenceResponse{
+			N:            nw.N(),
+			NumEdges:     nw.NumEdges(),
+			Interference: nw.InterferenceNumber(),
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if req.IncludeTransmission {
+			resp.TransmissionEdges = len(nw.TransmissionEdges())
+			resp.TransmissionInterference = nw.TransmissionInterferenceNumber()
+		}
+		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+		return resp, nil
+	}
+	j := s.newJob("interference", r.Context(), req.TimeoutMS, run)
+	if s.runSync(w, j) {
+		writeJobOutcome(w, j)
+	}
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	pts, err := req.resolve(s.cfg.MaxNodes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Steps <= 0 {
+		writeError(w, http.StatusBadRequest, "steps must be positive")
+		return
+	}
+	runs := req.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	if total := int64(req.Steps) * int64(runs); total > int64(s.cfg.MaxSteps) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("steps×runs %d exceeds the server cap of %d", total, s.cfg.MaxSteps))
+		return
+	}
+	opts, err := req.options(pts, s.cfg.Telemetry)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	run := func(ctx context.Context) (any, error) {
+		start := time.Now()
+		var results []toporouting.SimulationResult
+		if runs == 1 {
+			res, err := toporouting.SimulateContext(ctx, opts)
+			if err != nil {
+				return nil, err
+			}
+			results = []toporouting.SimulationResult{res}
+		} else {
+			seeds := make([]int64, runs)
+			for i := range seeds {
+				seeds[i] = req.SimSeed + int64(i)
+			}
+			var err error
+			results, err = toporouting.SimulateMonteCarloContext(ctx, opts, seeds, req.Workers)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return simulateResponse{
+			Results:   results,
+			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		}, nil
+	}
+	if req.Async {
+		// Async jobs survive the request: parent on the server, not the
+		// connection. Drain still cancels them through baseCtx.
+		j := s.newJob("simulate", s.baseCtx, req.TimeoutMS, run)
+		if err := s.admit(j); err != nil {
+			j.cancel()
+			writeAdmissionError(w, err)
+			return
+		}
+		s.jobs.put(j)
+		writeJSON(w, http.StatusAccepted, asyncAccepted{
+			ID:     j.id,
+			Status: string(statusQueued),
+			Poll:   "/v1/jobs/" + j.id,
+		})
+		return
+	}
+	j := s.newJob("simulate", r.Context(), req.TimeoutMS, run)
+	if s.runSync(w, j) {
+		writeJobOutcome(w, j)
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job (unknown id or expired)")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_s":  time.Since(s.start).Seconds(),
+		"in_flight": s.active.Load(),
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if !s.cfg.Telemetry.Enabled() {
+		writeJSON(w, http.StatusOK, map[string]string{})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Telemetry.Snapshot())
+}
+
+// Shutdown drains the server: stop admitting (readiness flips to 503 and
+// admit returns errDraining), give in-flight jobs until ctx's deadline to
+// finish, then cancel whatever remains through the base context — every job
+// checks its context at least once per step, so forced drain completes
+// within one step per job. Telemetry sinks are flushed last. The returned
+// error is ctx.Err() when the grace period expired before a voluntary
+// drain, nil on a clean one. Shutdown is idempotent: concurrent or repeat
+// calls wait for the first drain and return its result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		s.shutdownErr = s.drain(ctx)
+		close(s.shutdownDone)
+	})
+	<-s.shutdownDone
+	return s.shutdownErr
+}
+
+func (s *Server) drain(ctx context.Context) error {
+	s.draining.Store(true)
+	forced := false
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+wait:
+	for s.active.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			forced = true
+			break wait
+		case <-tick.C:
+		}
+	}
+	if forced {
+		// Grace expired: cancel every in-flight context and wait for the
+		// per-step checks to observe it.
+		s.baseCancel()
+		s.jobs.cancelAll()
+		for s.active.Load() > 0 {
+			<-tick.C
+		}
+	}
+	close(s.stop)
+	s.wg.Wait()
+	s.baseCancel()
+	if s.cfg.Sink != nil {
+		if err := s.cfg.Sink.Close(); err != nil && !forced {
+			return fmt.Errorf("server: flushing sink: %w", err)
+		}
+	}
+	if forced {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// maxBodyBytes bounds request bodies; explicit point lists dominate the
+// size, and 50000 points encode well under this.
+const maxBodyBytes = 16 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}

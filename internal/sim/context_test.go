@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"toporouting/internal/pointset"
+	"toporouting/internal/routing"
+)
+
+// TestRunContextCancelStopsWithinOneStep cancels the context from inside a
+// step's injector and asserts the run stops before the next step begins —
+// the "cancel within one step" contract the serving layer relies on.
+func TestRunContextCancelStopsWithinOneStep(t *testing.T) {
+	const cancelAt = 5
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	steps := 0
+	cfg := baseConfig(60, 1)
+	cfg.Steps = 100000
+	inner := cfg.Inject
+	cfg.Inject = func(step int, rng *randT) []routing.Injection {
+		steps++
+		if step == cancelAt {
+			cancel()
+		}
+		return inner(step, rng)
+	}
+	res, err := RunContext(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The injector runs once per executed step; the step that cancelled may
+	// finish, but no further step may start.
+	if steps != cancelAt+1 {
+		t.Fatalf("executed %d steps, want exactly %d", steps, cancelAt+1)
+	}
+	if res.Accepted == 0 {
+		t.Error("partial result lost: nothing accepted before cancellation")
+	}
+}
+
+// TestRunContextBackgroundMatchesRun pins that threading a background
+// context changes nothing: RunContext(Background) ≡ Run, bit for bit.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	cfg := baseConfig(60, 7)
+	want := Run(cfg)
+	got, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("RunContext(Background) = %+v, want %+v", got, want)
+	}
+}
+
+// TestMonteCarloContextCancel cancels a Monte-Carlo fan-out mid-flight and
+// asserts it returns promptly with ctx.Err() instead of running all seeds.
+func TestMonteCarloContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{
+		Points: pointset.Generate(pointset.KindUniform, 60, 3),
+		Router: routing.Params{BufferSize: 50},
+		Steps:  1 << 30, // far beyond any test budget: only cancellation ends a run
+		Inject: func(step int, rng *randT) []routing.Injection {
+			if step == 0 {
+				cancel() // first worker to start a run cancels the fan-out
+			}
+			return nil
+		},
+	}
+	seeds := make([]int64, 8)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	done := make(chan struct{})
+	var err error
+	go func() {
+		_, err = MonteCarloContext(ctx, cfg, seeds, 2)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("MonteCarloContext did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

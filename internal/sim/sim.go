@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -202,6 +203,17 @@ type Result struct {
 
 // Run executes one simulation.
 func Run(cfg Config) Result {
+	r, _ := RunContext(context.Background(), cfg)
+	return r
+}
+
+// RunContext executes one simulation under a cancellation context. The
+// step loop checks ctx once per step and topology (re)builds check it
+// between row batches, so cancellation — a disconnected client, an expired
+// deadline, a draining server — stops the run within one simulation step.
+// On cancellation the partial Result accumulated so far is returned
+// alongside ctx.Err(); a background context reproduces Run exactly.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Steps <= 0 {
 		panic("sim: non-positive step count")
 	}
@@ -261,7 +273,7 @@ func Run(cfg Config) Result {
 		rmac    *mac.RandomMAC
 		honey   *mac.Honeycomb
 		dyn     *topology.Dynamic
-		rebuild func()
+		rebuild func() error
 	)
 	// install points the MAC layer at a (re)built or repaired topology.
 	install := func(cur []geom.Point, top *topology.Topology) {
@@ -278,7 +290,7 @@ func Run(cfg Config) Result {
 			res.I = rmac.I()
 		}
 	}
-	rebuild = func() {
+	rebuild = func() error {
 		stopRebuild := tel.StartPhase("sim.rebuild")
 		defer stopRebuild()
 		switch cfg.MAC {
@@ -290,13 +302,13 @@ func Run(cfg Config) Result {
 			if churn {
 				dyn = topology.NewDynamic(pts, topology.Config{Theta: cfg.Theta, Range: d, Telemetry: tel})
 				install(dyn.Points(), dyn.Topology())
-				return
+				return nil
 			}
 			if cfg.Dist != nil {
 				// Each build gets its own derived seed so mobility rebuilds
 				// sample fresh fault outcomes while staying reproducible.
 				distBuilds++
-				out, err := dist.Build(pts, dist.Config{
+				out, err := dist.BuildContext(ctx, pts, dist.Config{
 					Theta:     cfg.Theta,
 					Range:     d,
 					Seed:      cfg.Seed + 7919*int64(distBuilds),
@@ -304,6 +316,9 @@ func Run(cfg Config) Result {
 					Telemetry: tel,
 				})
 				if err != nil {
+					if ctx.Err() != nil {
+						return ctx.Err()
+					}
 					panic(fmt.Sprintf("sim: invalid fault plan: %v", err))
 				}
 				cert := out.Certify()
@@ -312,13 +327,14 @@ func Run(cfg Config) Result {
 				res.DistRounds = cert.Rounds
 				res.DistConverged = res.DistConverged && cert.Holds()
 				install(pts, out.Top)
-				return
+				return nil
 			}
-			var top *topology.Topology
+			top, err := topology.BuildThetaContext(ctx, pts, topology.Config{Theta: cfg.Theta, Range: d, Telemetry: tel}, cfg.Workers)
+			if err != nil {
+				return err
+			}
 			if cfg.Workers > 0 {
-				top = topology.BuildThetaParallel(pts, topology.Config{Theta: cfg.Theta, Range: d, Telemetry: tel}, cfg.Workers)
-			} else {
-				top = topology.BuildTheta(pts, topology.Config{Theta: cfg.Theta, Range: d, Telemetry: tel})
+				tel.Gauge("topology.build_workers").Set(float64(cfg.Workers))
 			}
 			install(pts, top)
 		case MACHoneycomb:
@@ -332,13 +348,25 @@ func Run(cfg Config) Result {
 		default:
 			panic(fmt.Sprintf("sim: unknown MAC kind %d", int(cfg.MAC)))
 		}
+		return nil
 	}
-	rebuild()
+	if err := rebuild(); err != nil {
+		stopRun()
+		return res, err
+	}
 
 	// Nil-safe handle: a disabled scope makes this a no-op pointer, so the
 	// step loop pays one nil check per step.
 	offeredC := tel.Counter("sim.offered_edges")
+	var runErr error
 	for step := 0; step < cfg.Steps; step++ {
+		// One cancellation check per step: a cancelled context (client
+		// disconnect, deadline, server drain) stops the run before the next
+		// step's work begins.
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
 		if churn && step > 0 && step%cfg.Churn.Every == 0 {
 			// Churn epoch: displace random nodes one at a time, repairing
 			// the live topology locally after each move. The router keeps
@@ -380,7 +408,10 @@ func Run(cfg Config) Result {
 					)
 				}
 			}
-			rebuild()
+			if err := rebuild(); err != nil {
+				runErr = err
+				break
+			}
 			res.Rebuilds++
 			tel.Counter("sim.rebuilds").Inc()
 			if tel.Tracing() {
@@ -433,7 +464,7 @@ func Run(cfg Config) Result {
 			"rebuilds":   float64(res.Rebuilds),
 		}})
 	}
-	return res
+	return res, runErr
 }
 
 // MonteCarlo runs the configuration once per seed, fanned out over a worker
@@ -449,6 +480,17 @@ func Run(cfg Config) Result {
 // {layer: "sim", kind: "mc_run"} event per seed — in seed order — carrying
 // the worker index and duration.
 func MonteCarlo(cfg Config, seeds []int64, parallelism int) []Result {
+	rs, _ := MonteCarloContext(context.Background(), cfg, seeds, parallelism)
+	return rs
+}
+
+// MonteCarloContext is MonteCarlo under a cancellation context: workers
+// check ctx before starting each run and every running simulation checks it
+// once per step, so cancellation stops the fan-out within one step across
+// the pool. The seed-ordered results computed before cancellation are
+// returned alongside ctx.Err(); unstarted or interrupted seeds are left as
+// zero Results.
+func MonteCarloContext(ctx context.Context, cfg Config, seeds []int64, parallelism int) ([]Result, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -475,14 +517,17 @@ func MonteCarlo(cfg Config, seeds []int64, parallelism int) []Result {
 		go func(worker int) {
 			defer wg.Done()
 			for i := range work {
+				if ctx.Err() != nil {
+					continue // cancelled: drain the channel without running
+				}
 				c := workerCfg
 				c.Seed = seeds[i]
 				if metas == nil {
-					results[i] = Run(c)
+					results[i], _ = RunContext(ctx, c)
 					continue
 				}
 				t0 := time.Now()
-				results[i] = Run(c)
+				results[i], _ = RunContext(ctx, c)
 				metas[i] = runMeta{worker: worker, ms: float64(time.Since(t0)) / float64(time.Millisecond)}
 			}
 		}(w)
@@ -508,5 +553,5 @@ func MonteCarlo(cfg Config, seeds []int64, parallelism int) []Result {
 			}})
 		}
 	}
-	return results
+	return results, ctx.Err()
 }

@@ -104,22 +104,15 @@ func (g *Grid) ForEachWithin(p geom.Point, r float64, fn func(j int)) {
 		return
 	}
 	r2 := r * r
-	c0 := int(math.Floor((p.X - r - g.min.X) / g.cell))
-	c1 := int(math.Floor((p.X + r - g.min.X) / g.cell))
-	r0 := int(math.Floor((p.Y - r - g.min.Y) / g.cell))
-	r1 := int(math.Floor((p.Y + r - g.min.Y) / g.cell))
-	if c0 < 0 {
-		c0 = 0
-	}
-	if r0 < 0 {
-		r0 = 0
-	}
-	if c1 >= g.cols {
-		c1 = g.cols - 1
-	}
-	if r1 >= g.rows {
-		r1 = g.rows - 1
-	}
+	// Clamp both ends of the cell range into [0, cols)×[0, rows). Clamping
+	// only one side leaves c0 > c1 (or r0 > r1) for query discs lying fully
+	// outside the index's bounding box, which silently skips the boundary
+	// cells a clamped scan would (correctly, thanks to the distance filter)
+	// visit — the bug that made Nearest return (-1, +Inf) for far queries.
+	c0 := clampCell(int(math.Floor((p.X-r-g.min.X)/g.cell)), g.cols)
+	c1 := clampCell(int(math.Floor((p.X+r-g.min.X)/g.cell)), g.cols)
+	r0 := clampCell(int(math.Floor((p.Y-r-g.min.Y)/g.cell)), g.rows)
+	r1 := clampCell(int(math.Floor((p.Y+r-g.min.Y)/g.cell)), g.rows)
 	for row := r0; row <= r1; row++ {
 		base := row * g.cols
 		for col := c0; col <= c1; col++ {
@@ -155,19 +148,24 @@ func (g *Grid) NeighborsOf(i int, r float64) []int {
 
 // Nearest returns the index of the point nearest to p and its distance,
 // excluding indices for which skip(j) is true (skip may be nil). It returns
-// (-1, +Inf) if no eligible point exists. The search expands ring by ring,
-// so it is efficient when a near point exists.
+// (-1, +Inf) only when every point is skipped. The search expands ring by
+// ring, so it is efficient when a near point exists; for query points
+// outside the indexed bounding box the rings start at the box boundary, so
+// arbitrarily far queries still find the true nearest point.
 func (g *Grid) Nearest(p geom.Point, skip func(j int) bool) (int, float64) {
 	best, bestD := -1, math.Inf(1)
 	if !g.hasCells {
 		return best, bestD
 	}
-	maxRing := g.cols
-	if g.rows > maxRing {
-		maxRing = g.rows
-	}
+	// d0 is the distance from p to the grid's cell coverage; offsetting the
+	// ring radii by it routes far-outside queries straight to the nearest
+	// boundary cells instead of searching empty space around p.
+	d0 := g.boxDist(p)
+	// cols+rows cells of radius always cover the coverage diagonal from the
+	// box point nearest to p, so the last ring sees every indexed point.
+	maxRing := g.cols + g.rows
 	for ring := 0; ring <= maxRing; ring++ {
-		r := float64(ring+1) * g.cell
+		r := d0 + float64(ring+1)*g.cell
 		g.ForEachWithin(p, r, func(j int) {
 			if skip != nil && skip(j) {
 				return
@@ -176,9 +174,28 @@ func (g *Grid) Nearest(p geom.Point, skip func(j int) bool) (int, float64) {
 				best, bestD = j, d
 			}
 		})
-		if best >= 0 && bestD <= float64(ring)*g.cell {
+		if best >= 0 && bestD <= d0+float64(ring)*g.cell {
 			break
 		}
 	}
 	return best, bestD
+}
+
+// boxDist returns the distance from p to the rectangle of cells the grid
+// covers (zero for points inside it).
+func (g *Grid) boxDist(p geom.Point) float64 {
+	dx := math.Max(0, math.Max(g.min.X-p.X, p.X-(g.min.X+float64(g.cols)*g.cell)))
+	dy := math.Max(0, math.Max(g.min.Y-p.Y, p.Y-(g.min.Y+float64(g.rows)*g.cell)))
+	return math.Hypot(dx, dy)
+}
+
+// clampCell clamps a cell coordinate into [0, n).
+func clampCell(c, n int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
 }

@@ -101,6 +101,69 @@ func TestNearest(t *testing.T) {
 	}
 }
 
+// TestNearestFarOutside is the regression test for the far-query bug: a
+// query point far outside the index's bounding box used to return
+// (-1, +Inf) because the ring radii never reached the box and the one-sided
+// cell-range clamp in ForEachWithin produced empty scans. The nearest point
+// must be found no matter how far away the query is.
+func TestNearestFarOutside(t *testing.T) {
+	pts := randomPoints(200, 1, 11)
+	g := NewGrid(pts, 0)
+	queries := []geom.Point{
+		geom.Pt(100, 100),
+		geom.Pt(-50, 0.5),
+		geom.Pt(0.5, 1e6),
+		geom.Pt(-3, -4),
+	}
+	for _, p := range queries {
+		gotJ, gotD := g.Nearest(p, nil)
+		wantJ, wantD := -1, math.Inf(1)
+		for j, q := range pts {
+			if d := geom.Dist(p, q); d < wantD {
+				wantJ, wantD = j, d
+			}
+		}
+		if gotJ != wantJ || math.Abs(gotD-wantD) > 1e-9 {
+			t.Fatalf("Nearest(%v): got (%d,%v), want (%d,%v)", p, gotJ, gotD, wantJ, wantD)
+		}
+		// The far query must also honor skip: excluding the true nearest
+		// yields the runner-up, not -1.
+		gotJ2, _ := g.Nearest(p, func(k int) bool { return k == wantJ })
+		if gotJ2 < 0 || gotJ2 == wantJ {
+			t.Fatalf("Nearest(%v, skip %d) = %d", p, wantJ, gotJ2)
+		}
+	}
+}
+
+// TestWithinFarOutside pins the clamped ForEachWithin scan: a disc that
+// reaches into the box from far outside must report exactly the brute-force
+// point set.
+func TestWithinFarOutside(t *testing.T) {
+	pts := randomPoints(150, 2, 12)
+	g := NewGrid(pts, 0)
+	for _, tc := range []struct {
+		p geom.Point
+		r float64
+	}{
+		{geom.Pt(10, 1), 9.5},   // reaches the right edge
+		{geom.Pt(-8, -8), 13},   // reaches the corner
+		{geom.Pt(50, 50), 10},   // misses entirely: empty
+		{geom.Pt(1, -20), 20.7}, // reaches the bottom edge
+	} {
+		got := g.Within(tc.p, tc.r)
+		want := bruteWithin(pts, tc.p, tc.r)
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("Within(%v, %v): %d points, want %d", tc.p, tc.r, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Within(%v, %v): got %v, want %v", tc.p, tc.r, got, want)
+			}
+		}
+	}
+}
+
 func TestNearestMatchesBrute(t *testing.T) {
 	pts := randomPoints(300, 8, 5)
 	g := NewGrid(pts, 0)

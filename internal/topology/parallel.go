@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"context"
 	"runtime"
 
 	"toporouting/internal/geom"
@@ -19,7 +20,7 @@ func BuildThetaParallel(pts []geom.Point, cfg Config, workers int) *Topology {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	t := buildTheta(pts, cfg, workers)
+	t, _ := buildTheta(context.Background(), pts, cfg, workers)
 	if tel := cfg.Telemetry; tel.Enabled() {
 		tel.Gauge("topology.build_workers").Set(float64(workers))
 	}

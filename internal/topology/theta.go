@@ -7,6 +7,7 @@
 package topology
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -141,14 +142,33 @@ func (t *Topology) admitRow(u int, idx withinIndex) {
 // on an invalid configuration. The transmission graph G* is implicit: nodes
 // within distance Cfg.Range are mutually reachable.
 func BuildTheta(pts []geom.Point, cfg Config) *Topology {
-	return buildTheta(pts, cfg, 1)
+	t, _ := buildTheta(context.Background(), pts, cfg, 1)
+	return t
 }
+
+// BuildThetaContext is BuildTheta under a cancellation context: the build
+// checks ctx between row batches of every phase and returns (nil, ctx.Err())
+// promptly after cancellation, so a caller whose client went away stops
+// burning CPU mid-build. workers > 1 additionally fans phase 1 out as in
+// BuildThetaParallel (≤ 0 stays sequential).
+func BuildThetaContext(ctx context.Context, pts []geom.Point, cfg Config, workers int) (*Topology, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	return buildTheta(ctx, pts, cfg, workers)
+}
+
+// cancelStride is how many per-node rows a build loop processes between
+// context checks: large enough that the atomic ctx.Err() load is amortized
+// to noise, small enough that cancellation lands in well under a
+// millisecond of work.
+const cancelStride = 256
 
 // buildTheta is the shared builder: workers > 1 fans the per-node phase-1
 // sector selection out over a worker pool. Results are identical for every
 // worker count — workers own disjoint node ranges and phase 1 is
 // embarrassingly parallel (each row reads only immutable positions).
-func buildTheta(pts []geom.Point, cfg Config, workers int) *Topology {
+func buildTheta(ctx context.Context, pts []geom.Point, cfg Config, workers int) (*Topology, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Range <= 0 {
 		panic(fmt.Sprintf("topology: non-positive range %v", cfg.Range))
@@ -186,6 +206,9 @@ func buildTheta(pts []geom.Point, cfg Config, workers int) *Topology {
 			go func(lo, hi int) {
 				defer wg.Done()
 				for u := lo; u < hi; u++ {
+					if u%cancelStride == 0 && ctx.Err() != nil {
+						return
+					}
 					t.phase1Row(u, idx)
 				}
 			}(lo, hi)
@@ -193,8 +216,16 @@ func buildTheta(pts []geom.Point, cfg Config, workers int) *Topology {
 		wg.Wait()
 	} else {
 		for u := 0; u < n; u++ {
+			if u%cancelStride == 0 && ctx.Err() != nil {
+				break
+			}
 			t.phase1Row(u, idx)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		stopPhase1()
+		stopBuild()
+		return nil, err
 	}
 
 	// Yao graph N₁: undirected closure of the phase-1 selections.
@@ -214,6 +245,11 @@ func buildTheta(pts []geom.Point, cfg Config, workers int) *Topology {
 	// neighborhood round (w tells u "I selected you") followed by the
 	// connection round (u answers its per-sector winners).
 	for w := 0; w < n; w++ {
+		if w%cancelStride == 0 && ctx.Err() != nil {
+			stopPhase2()
+			stopBuild()
+			return nil, ctx.Err()
+		}
 		for _, v := range t.NearestOut[w] {
 			if v < 0 {
 				continue
@@ -253,7 +289,7 @@ func buildTheta(pts []geom.Point, cfg Config, workers int) *Topology {
 			"max_degree": float64(t.N.MaxDegree()),
 		}})
 	}
-	return t
+	return t, nil
 }
 
 // checkDistinct enforces the paper's standing assumption of distinct node

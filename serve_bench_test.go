@@ -1,0 +1,51 @@
+// Serving-layer benchmark. This file is in the external test package
+// (package toporouting_test) because internal/server imports the root
+// toporouting facade — importing it from the internal test package
+// (bench_test.go) would be an import cycle.
+package toporouting_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"toporouting/internal/server"
+)
+
+// BenchmarkServeTopology measures one synchronous topology build through
+// the full serving path: HTTP round-trip, JSON decode, admission queue,
+// worker-pool execution, ΘALG build, JSON encode. It is the end-to-end
+// latency floor of the daemon's hot endpoint.
+func BenchmarkServeTopology(b *testing.B) {
+	s := server.New(server.Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	body := []byte(`{"dist":"uniform","n":200,"seed":1}`)
+	url := ts.URL + "/v1/topology"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}

@@ -1,6 +1,7 @@
 package toporouting
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -215,11 +216,22 @@ func toResult(r sim.Result, tel *Telemetry) SimulationResult {
 // Simulate composes point set → ΘALG topology → MAC → (T,γ)-balancing
 // router and runs it for the configured horizon.
 func Simulate(opts SimulationOptions) (SimulationResult, error) {
+	return SimulateContext(context.Background(), opts)
+}
+
+// SimulateContext is Simulate under a cancellation context: the run checks
+// ctx once per simulation step (and inside topology builds), so a
+// disconnected client or an expired deadline stops the simulation within
+// one step. On cancellation the partial result accumulated so far is
+// returned alongside ctx.Err(); option-validation errors are returned with
+// a zero result as in Simulate.
+func SimulateContext(ctx context.Context, opts SimulationOptions) (SimulationResult, error) {
 	cfg, err := toSimConfig(opts)
 	if err != nil {
 		return SimulationResult{}, err
 	}
-	return toResult(sim.Run(cfg), opts.Telemetry), nil
+	r, err := sim.RunContext(ctx, cfg)
+	return toResult(r, opts.Telemetry), err
 }
 
 // SimulateMonteCarlo runs the configuration once per seed (opts.Seed is
@@ -230,6 +242,14 @@ func Simulate(opts SimulationOptions) (SimulationResult, error) {
 // per-step trace emission is suppressed inside them; each result carries
 // the same final metrics snapshot.
 func SimulateMonteCarlo(opts SimulationOptions, seeds []int64, workers int) ([]SimulationResult, error) {
+	return SimulateMonteCarloContext(context.Background(), opts, seeds, workers)
+}
+
+// SimulateMonteCarloContext is SimulateMonteCarlo under a cancellation
+// context: every worker's running simulation checks ctx once per step, so
+// cancellation stops the whole fan-out within one step. Results computed
+// before cancellation are returned alongside ctx.Err().
+func SimulateMonteCarloContext(ctx context.Context, opts SimulationOptions, seeds []int64, workers int) ([]SimulationResult, error) {
 	if len(seeds) == 0 {
 		return nil, errors.New("toporouting: Monte Carlo needs at least one seed")
 	}
@@ -237,12 +257,12 @@ func SimulateMonteCarlo(opts SimulationOptions, seeds []int64, workers int) ([]S
 	if err != nil {
 		return nil, err
 	}
-	rs := sim.MonteCarlo(cfg, seeds, workers)
+	rs, err := sim.MonteCarloContext(ctx, cfg, seeds, workers)
 	out := make([]SimulationResult, len(rs))
 	for i, r := range rs {
 		out[i] = toResult(r, opts.Telemetry)
 	}
-	return out, nil
+	return out, err
 }
 
 // RunExperiment executes one of the paper-reproduction experiments

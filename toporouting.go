@@ -25,6 +25,7 @@
 package toporouting
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -133,6 +134,33 @@ func BuildNetworkParallel(points []Point, opts Options, workers int) (*Network, 
 		return nil, err
 	}
 	top := topology.BuildThetaParallel(points, topology.Config{Theta: o.Theta, Range: o.Range, Telemetry: o.Telemetry}, workers)
+	return &Network{
+		opts:    o,
+		top:     top,
+		gstar:   unitdisk.Build(points, o.Range),
+		workers: workers,
+	}, nil
+}
+
+// BuildNetworkContext is BuildNetwork under a cancellation context:
+// the ΘALG build checks ctx between row batches of each phase, so a caller
+// whose request was cancelled (client disconnect, deadline, server drain)
+// stops the build promptly and receives ctx.Err(). workers > 0 additionally
+// fans phase 1 out over that many workers (BuildNetworkParallel semantics);
+// ≤ 0 keeps the sequential builder. The topology is identical to
+// BuildNetwork's for every worker count.
+func BuildNetworkContext(ctx context.Context, points []Point, opts Options, workers int) (*Network, error) {
+	if len(points) < 2 {
+		return nil, errors.New("toporouting: need at least two points")
+	}
+	o, err := opts.withDefaults(points)
+	if err != nil {
+		return nil, err
+	}
+	top, err := topology.BuildThetaContext(ctx, points, topology.Config{Theta: o.Theta, Range: o.Range, Telemetry: o.Telemetry}, workers)
+	if err != nil {
+		return nil, err
+	}
 	return &Network{
 		opts:    o,
 		top:     top,
