@@ -13,6 +13,12 @@
 // The second form additionally compares the parsed run against a committed
 // baseline: a benchmark whose ns/op exceeds the baseline by more than
 // -max-regress (default 0.30, i.e. +30%) fails the gate with exit status 1.
+//
+// -ratio asserts relative bounds WITHIN one run, immune to machine speed:
+// "BenchmarkServeTopologyTraced/BenchmarkServeTopology<=1.05" fails when
+// the traced serving path costs more than 1.05× the untraced one. Multiple
+// comma-separated clauses are allowed; a clause naming a benchmark absent
+// from the run fails rather than silently passing.
 // B/op and allocs/op regressions are reported but warn-only — allocation
 // counts are deterministic yet intentionally allowed to move when a change
 // trades memory for time; the alloc-sensitive paths pin themselves with
@@ -31,6 +37,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Result holds one benchmark's per-op metrics.
@@ -138,11 +145,69 @@ func gate(w io.Writer, base, run map[string]Result, maxRegress float64) int {
 	return failures
 }
 
+// ratioClause is one within-run bound: num's ns/op must be ≤ max × den's.
+type ratioClause struct {
+	num, den string
+	max      float64
+}
+
+// parseRatios parses comma-separated "A/B<=1.05" clauses.
+func parseRatios(spec string) ([]ratioClause, error) {
+	var clauses []ratioClause
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		names, bound, ok := strings.Cut(part, "<=")
+		if !ok {
+			return nil, fmt.Errorf("ratio clause %q: want NumBench/DenBench<=max", part)
+		}
+		num, den, ok := strings.Cut(names, "/")
+		if !ok || num == "" || den == "" {
+			return nil, fmt.Errorf("ratio clause %q: want NumBench/DenBench<=max", part)
+		}
+		max, err := strconv.ParseFloat(strings.TrimSpace(bound), 64)
+		if err != nil || max <= 0 {
+			return nil, fmt.Errorf("ratio clause %q: bad bound %q", part, bound)
+		}
+		clauses = append(clauses, ratioClause{num: strings.TrimSpace(num), den: strings.TrimSpace(den), max: max})
+	}
+	if len(clauses) == 0 {
+		return nil, fmt.Errorf("empty ratio spec %q", spec)
+	}
+	return clauses, nil
+}
+
+// gateRatios checks every clause against one run's results and returns the
+// number of failures (missing benchmarks count as failures).
+func gateRatios(w io.Writer, run map[string]Result, clauses []ratioClause) int {
+	failures := 0
+	for _, c := range clauses {
+		num, okN := run[c.num]
+		den, okD := run[c.den]
+		if !okN || !okD || den.NsPerOp <= 0 {
+			fmt.Fprintf(w, "FAIL  ratio %s/%s: benchmark missing from run\n", c.num, c.den)
+			failures++
+			continue
+		}
+		ratio := num.NsPerOp / den.NsPerOp
+		status := "ok   "
+		if ratio > c.max {
+			status = "FAIL "
+			failures++
+		}
+		fmt.Fprintf(w, "%s ratio %s/%s = %.3f (max %.3f)\n", status, c.num, c.den, ratio, c.max)
+	}
+	return failures
+}
+
 func run() error {
 	in := flag.String("in", "", "read bench output from file instead of stdin")
 	out := flag.String("out", "", "write parsed results as JSON to this file ('-' for stdout)")
 	baseline := flag.String("baseline", "", "compare against this JSON baseline and gate on ns/op regressions")
 	maxRegress := flag.Float64("max-regress", 0.30, "maximum tolerated relative ns/op regression before failing")
+	ratios := flag.String("ratio", "", `within-run ns/op bounds, e.g. "BenchA/BenchB<=1.05" (comma-separated)`)
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -181,6 +246,15 @@ func run() error {
 		}
 		if failures := gate(os.Stdout, base, results, *maxRegress); failures > 0 {
 			return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% ns/op", failures, 100**maxRegress)
+		}
+	}
+	if *ratios != "" {
+		clauses, err := parseRatios(*ratios)
+		if err != nil {
+			return err
+		}
+		if failures := gateRatios(os.Stdout, results, clauses); failures > 0 {
+			return fmt.Errorf("%d ratio bound(s) violated", failures)
 		}
 	}
 	return nil

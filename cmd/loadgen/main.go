@@ -7,7 +7,7 @@
 //	loadgen [-addr http://localhost:8080] [-rps 50] [-duration 10s]
 //	        [-endpoint topology|simulate|interference] [-n 60] [-dist uniform]
 //	        [-steps 50] [-mode centralized] [-timeout-ms 5000]
-//	        [-strict] [-json]
+//	        [-strict] [-json] [-slo "p99<50ms,err<1%"]
 //
 // Open-loop means the schedule never waits for responses: a request fires
 // every 1/rps regardless of how the previous ones are doing, so server
@@ -16,7 +16,11 @@
 // are the server's backpressure working as designed.
 //
 // -strict exits non-zero when any 5xx was observed or no request succeeded,
-// which makes loadgen usable as a CI smoke gate.
+// which makes loadgen usable as a CI smoke gate. -slo goes further: it
+// asserts service-level objectives against the final report — latency
+// percentiles in milliseconds (p50/p90/p95/p99/mean/max) and rates as a
+// percentage of all requests (err = 5xx + transport failures, shed = 429)
+// — and exits non-zero listing every violated clause.
 package main
 
 import (
@@ -77,10 +81,18 @@ func run() error {
 		timeoutMS = flag.Int("timeout-ms", 5000, "per-request timeout_ms")
 		strict    = flag.Bool("strict", false, "exit non-zero on any 5xx or zero successes")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		slo       = flag.String("slo", "", `assert SLOs and exit non-zero on violation, e.g. "p99<50ms,err<1%"`)
 	)
 	flag.Parse()
 	if *rps <= 0 {
 		return fmt.Errorf("rps must be positive, got %v", *rps)
+	}
+	var sloClauses []sloClause
+	if *slo != "" {
+		var err error
+		if sloClauses, err = parseSLO(*slo); err != nil {
+			return err
+		}
 	}
 
 	path, body, err := buildRequest(*endpoint, *n, *dist, *steps, *mode, *timeoutMS)
@@ -176,6 +188,12 @@ fire:
 		if rep.OK == 0 {
 			return fmt.Errorf("strict: no successful responses out of %d requests", rep.Requests)
 		}
+	}
+	if violations := checkSLO(sloClauses, rep); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "loadgen:", v)
+		}
+		return fmt.Errorf("%d of %d slo clauses violated", len(violations), len(sloClauses))
 	}
 	return nil
 }

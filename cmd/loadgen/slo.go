@@ -1,0 +1,96 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// sloClause is one assertion against the end-of-run report: a latency bound
+// ("p99<50ms", "mean<10ms") or a rate bound ("err<1%", "shed<5%").
+type sloClause struct {
+	metric string  // p50 p90 p95 p99 mean max err shed
+	bound  float64 // ms for latency metrics, percent for rate metrics
+}
+
+// parseSLO parses a comma-separated SLO spec like "p99<50ms,err<1%".
+// Latency clauses (p50/p90/p95/p99/mean/max) take a millisecond bound;
+// rate clauses (err/shed) take a percentage of all requests. err counts
+// 5xx plus transport errors — the failures a client actually experiences;
+// 429s are intentional shed and get their own clause.
+func parseSLO(spec string) ([]sloClause, error) {
+	var clauses []sloClause
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		metric, rest, ok := strings.Cut(part, "<")
+		if !ok {
+			return nil, fmt.Errorf("slo clause %q: want metric<bound", part)
+		}
+		metric = strings.TrimSpace(metric)
+		rest = strings.TrimSpace(rest)
+		var unit string
+		switch metric {
+		case "p50", "p90", "p95", "p99", "mean", "max":
+			unit = "ms"
+		case "err", "shed":
+			unit = "%"
+		default:
+			return nil, fmt.Errorf("slo clause %q: unknown metric %q (want p50, p90, p95, p99, mean, max, err, or shed)", part, metric)
+		}
+		if !strings.HasSuffix(rest, unit) {
+			return nil, fmt.Errorf("slo clause %q: %s bound must end in %q", part, metric, unit)
+		}
+		bound, err := strconv.ParseFloat(strings.TrimSuffix(rest, unit), 64)
+		if err != nil || bound < 0 {
+			return nil, fmt.Errorf("slo clause %q: bad bound %q", part, rest)
+		}
+		clauses = append(clauses, sloClause{metric: metric, bound: bound})
+	}
+	if len(clauses) == 0 {
+		return nil, fmt.Errorf("empty slo spec %q", spec)
+	}
+	return clauses, nil
+}
+
+// checkSLO evaluates every clause against the report and returns one error
+// per violated clause (nil when all hold).
+func checkSLO(clauses []sloClause, rep report) []error {
+	var violations []error
+	for _, c := range clauses {
+		var got float64
+		switch c.metric {
+		case "p50":
+			got = rep.LatencyMS.P50
+		case "p90":
+			got = rep.LatencyMS.P90
+		case "p95":
+			got = rep.LatencyMS.P95
+		case "p99":
+			got = rep.LatencyMS.P99
+		case "mean":
+			got = rep.LatencyMS.Mean
+		case "max":
+			got = rep.LatencyMS.Max
+		case "err":
+			if rep.Requests > 0 {
+				got = 100 * float64(rep.ServerErr+rep.Transport) / float64(rep.Requests)
+			}
+		case "shed":
+			if rep.Requests > 0 {
+				got = 100 * float64(rep.Shed) / float64(rep.Requests)
+			}
+		}
+		if got >= c.bound {
+			unit := "ms"
+			if c.metric == "err" || c.metric == "shed" {
+				unit = "%"
+			}
+			violations = append(violations,
+				fmt.Errorf("slo violated: %s = %.2f%s, want < %g%s", c.metric, got, unit, c.bound, unit))
+		}
+	}
+	return violations
+}

@@ -1,0 +1,62 @@
+package main
+
+import "testing"
+
+func TestParseSLO(t *testing.T) {
+	clauses, err := parseSLO("p99<50ms, err<1%,shed<5%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sloClause{{"p99", 50}, {"err", 1}, {"shed", 5}}
+	if len(clauses) != len(want) {
+		t.Fatalf("got %d clauses, want %d", len(clauses), len(want))
+	}
+	for i, c := range clauses {
+		if c != want[i] {
+			t.Fatalf("clause %d = %+v, want %+v", i, c, want[i])
+		}
+	}
+
+	for _, bad := range []string{
+		"", "p99", "p99<50", "p99<50%", "err<1ms", "p42<50ms", "p99<-3ms", "p99<xms",
+	} {
+		if _, err := parseSLO(bad); err == nil {
+			t.Errorf("parseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckSLO(t *testing.T) {
+	rep := report{
+		Requests:  100,
+		OK:        90,
+		Shed:      4,
+		ServerErr: 2,
+		Transport: 1,
+		LatencyMS: latencySummary{Mean: 8, P50: 5, P90: 20, P95: 30, P99: 45, Max: 80},
+	}
+	pass, err := parseSLO("p99<50ms,mean<10ms,shed<5%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := checkSLO(pass, rep); len(v) != 0 {
+		t.Fatalf("expected pass, got violations: %v", v)
+	}
+	// err = (2 + 1) / 100 = 3% ≥ 1%; max = 80 ≥ 50.
+	fail, err := parseSLO("err<1%,max<50ms,p50<100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := checkSLO(fail, rep); len(v) != 2 {
+		t.Fatalf("expected 2 violations, got %d: %v", len(v), v)
+	}
+	// Bounds are strict: meeting the bound exactly violates it.
+	exact, _ := parseSLO("p99<45ms")
+	if v := checkSLO(exact, rep); len(v) != 1 {
+		t.Fatalf("p99=45 should violate p99<45ms")
+	}
+	// No clauses → no violations (the -slo flag unset path).
+	if v := checkSLO(nil, rep); v != nil {
+		t.Fatalf("nil clauses produced violations: %v", v)
+	}
+}

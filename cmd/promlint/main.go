@@ -1,0 +1,62 @@
+// Command promlint validates a Prometheus text exposition (format 0.0.4)
+// read from stdin or -in. It is the CI gate behind toporoutingd's
+// GET /metrics: the serve-smoke job scrapes the endpoint and pipes the
+// body through promlint, so a malformed exposition — bad metric or label
+// names, broken escaping, non-monotonic histogram buckets, a missing +Inf
+// bucket, or a +Inf count disagreeing with _count — fails the build
+// instead of failing the first real scraper pointed at the daemon.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promlint
+//	promlint -in metrics.txt [-q]
+//
+// On success it prints the sample count; -q suppresses that. On failure it
+// prints the first format error and exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"toporouting/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in    = flag.String("in", "", "read the exposition from this file instead of stdin")
+		quiet = flag.Bool("q", false, "suppress the success summary")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	samples, err := telemetry.ParsePrometheus(r)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		names := make(map[string]struct{}, len(samples))
+		for _, s := range samples {
+			names[s.Name] = struct{}{}
+		}
+		fmt.Printf("ok: %d samples across %d metrics\n", len(samples), len(names))
+	}
+	return nil
+}

@@ -9,6 +9,7 @@
 //	             [-default-timeout 30s] [-max-timeout 5m]
 //	             [-max-nodes 50000] [-max-steps 10000000] [-job-ttl 10m]
 //	             [-grace 10s] [-trace trace.jsonl] [-expvar toporouting]
+//	             [-log text|json|off] [-trace-slow 32] [-trace-sample 64]
 //
 // Endpoints:
 //
@@ -18,9 +19,18 @@
 //	GET  /v1/jobs/{id}     poll an async job
 //	GET  /healthz          liveness
 //	GET  /readyz           readiness (503 while draining)
-//	GET  /metrics          telemetry snapshot (JSON)
+//	GET  /metrics          Prometheus text exposition (?format=json for the JSON snapshot)
+//	GET  /debug/traces     retained request traces (slowest + uniform sample)
 //	GET  /debug/vars       expvar (live telemetry under the -expvar name)
 //	GET  /debug/pprof/     net/http/pprof
+//
+// Every /v1 request is traced as a span tree — admission wait, worker
+// pickup, build phases, simulation steps, response encode — and logged as
+// one structured line carrying its request and trace ids (echoed to the
+// client as X-Request-ID / X-Trace-ID). The -trace-slow slowest traces
+// plus a -trace-sample uniform sample are retained in memory and served
+// at /debug/traces; with -trace set, finished spans also stream to the
+// JSONL sink alongside step-level events.
 //
 // Load is shed explicitly: requests queue on a bounded admission queue
 // drained by a fixed worker pool, and a full queue answers 429 with
@@ -40,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -70,8 +81,22 @@ func run() error {
 		grace          = flag.Duration("grace", 10*time.Second, "drain grace period on SIGTERM")
 		trace          = flag.String("trace", "", "stream JSONL trace events to this file")
 		expvarName     = flag.String("expvar", "toporouting", "expvar name for the live telemetry snapshot")
+		logFormat      = flag.String("log", "text", "request log format: text, json, or off")
+		traceSlow      = flag.Int("trace-slow", 32, "retain this many slowest request traces")
+		traceSample    = flag.Int("trace-sample", 64, "retain a uniform sample of this many request traces")
 	)
 	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+	default:
+		return fmt.Errorf("unknown -log format %q (want text, json, or off)", *logFormat)
+	}
 
 	var (
 		tel  *toporouting.Telemetry
@@ -88,6 +113,7 @@ func run() error {
 		tel = toporouting.NewTelemetry()
 	}
 	toporouting.PublishExpvar(*expvarName, tel)
+	tracer := toporouting.NewTracer(tel, toporouting.NewTraceRing(*traceSlow, *traceSample))
 
 	srv := server.New(server.Config{
 		QueueDepth:     *queue,
@@ -98,6 +124,8 @@ func run() error {
 		MaxSteps:       *maxSteps,
 		JobTTL:         *jobTTL,
 		Telemetry:      tel,
+		Tracer:         tracer,
+		Logger:         logger,
 		Sink:           sink,
 	})
 

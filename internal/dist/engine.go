@@ -225,6 +225,8 @@ func BuildContext(ctx context.Context, pts []geom.Point, cfg Config) (*Outcome, 
 	topology.CheckDistinct(pts)
 	tel := cfg.Telemetry
 	stopBuild := tel.StartPhase("dist.build")
+	_, span := telemetry.StartChild(ctx, "dist.build")
+	span.SetAttr("n", float64(n))
 
 	e := &engine{
 		cfg:     cfg,
@@ -259,6 +261,7 @@ func BuildContext(ctx context.Context, pts []geom.Point, cfg Config) (*Outcome, 
 	e.run(ctx)
 	if err := ctx.Err(); err != nil {
 		stopBuild()
+		span.End()
 		return nil, err
 	}
 
@@ -269,6 +272,9 @@ func BuildContext(ctx context.Context, pts []geom.Point, cfg Config) (*Outcome, 
 		Top:   e.assemble(),
 	}
 	stopBuild()
+	span.SetAttr("events", float64(e.stats.Events))
+	span.SetAttr("sent", float64(e.stats.Sent))
+	span.End()
 	e.record(tel)
 	return out, nil
 }

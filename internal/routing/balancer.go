@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"time"
 
 	"toporouting/internal/telemetry"
 )
@@ -152,6 +153,7 @@ type Balancer struct {
 	cMoved     *telemetry.Counter
 	gCost      *telemetry.Gauge
 	gQueued    *telemetry.Gauge
+	hStepMS    *telemetry.BucketHistogram
 }
 
 type move struct {
@@ -286,6 +288,7 @@ func (b *Balancer) SetTelemetry(t *telemetry.Telemetry) {
 	b.cMoved = t.Counter("router.moved")
 	b.gCost = t.Gauge("router.cost")
 	b.gQueued = t.Gauge("router.queued")
+	b.hStepMS = t.BucketHistogram("router.step_ms", telemetry.DefLatencyBuckets)
 }
 
 // queueStats returns the total queued packet count and the maximum
@@ -417,6 +420,13 @@ func (b *Balancer) AvgCostPerDelivery() float64 {
 // balancer itself never inspects geometry.
 func (b *Balancer) Step(active []ActiveEdge, injections []Injection) StepReport {
 	var rep StepReport
+	// Per-step wall time feeds the router.step_ms cost distribution — the
+	// per-request evidence behind "where does a slow simulate request go".
+	// Two clock reads per step, paid only with telemetry installed.
+	var stepT0 time.Time
+	if b.tel.Enabled() {
+		stepT0 = time.Now()
+	}
 	if need := 2 * len(active); cap(b.moveBuf) < need {
 		b.moveBuf = make([]move, 0, need)
 	}
@@ -579,6 +589,9 @@ func (b *Balancer) Step(active []ActiveEdge, injections []Injection) StepReport 
 		f["queued"] = float64(queued)
 		f["max_height"] = float64(maxHeight)
 		b.tel.Emit(telemetry.Event{Layer: "router", Kind: "step", Step: int(step), Fields: f})
+	}
+	if b.tel.Enabled() {
+		b.hStepMS.Observe(float64(time.Since(stepT0)) / float64(time.Millisecond))
 	}
 	return rep
 }

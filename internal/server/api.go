@@ -205,6 +205,14 @@ type asyncAccepted struct {
 	Poll   string `json:"poll"`
 }
 
+// tracesResponse is the body of GET /debug/traces: the retained traces
+// (K slowest + uniform sample, slowest first) and how many the ring has
+// seen in total.
+type tracesResponse struct {
+	Seen   int64                `json:"seen"`
+	Traces []*toporouting.Trace `json:"traces"`
+}
+
 // options assembles the SimulationOptions for one run; the caller overrides
 // Seed per Monte-Carlo repetition.
 func (r *simulateRequest) options(pts []toporouting.Point, tel *toporouting.Telemetry) (toporouting.SimulationOptions, error) {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"toporouting/internal/telemetry"
 )
 
 // Admission errors. The HTTP layer maps errQueueFull to 429 + Retry-After
@@ -41,6 +43,9 @@ type job struct {
 	cancel context.CancelFunc
 	run    func(context.Context) (any, error)
 	done   chan struct{}
+	// waitSpan measures the admission wait (creation to worker pickup)
+	// when the originating request is traced; nil otherwise.
+	waitSpan *telemetry.Span
 
 	mu       sync.Mutex
 	status   jobStatus
@@ -49,6 +54,12 @@ type job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+}
+
+func (j *job) currentStatus() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
 }
 
 func (j *job) setRunning() {
@@ -77,16 +88,32 @@ func (j *job) finish(result any, err error) {
 	close(j.done)
 }
 
-// snapshot returns the job's externally visible state.
+// snapshot returns the job's externally visible state. Durations are live:
+// a queued job reports its wait so far, a running job its run so far, so a
+// poller watching /v1/jobs/{id} sees where the time is going before the job
+// finishes, not only after.
 func (j *job) snapshot() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	now := time.Now()
 	v := jobView{ID: j.id, Kind: j.kind, Status: string(j.status)}
-	if !j.started.IsZero() {
+	if j.started.IsZero() {
+		// Never picked up: retired in the queue (finished set) or still
+		// waiting (live wait so far).
+		end := now
+		if !j.finished.IsZero() {
+			end = j.finished
+		}
+		v.QueuedMS = float64(end.Sub(j.created)) / float64(time.Millisecond)
+	} else {
 		v.QueuedMS = float64(j.started.Sub(j.created)) / float64(time.Millisecond)
+		if j.finished.IsZero() {
+			v.RunMS = float64(now.Sub(j.started)) / float64(time.Millisecond)
+		} else {
+			v.RunMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		}
 	}
 	if !j.finished.IsZero() {
-		v.RunMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
 		v.Result = j.result
 		if j.err != nil {
 			v.Error = j.err.Error()

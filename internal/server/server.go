@@ -20,14 +20,18 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"toporouting"
+	"toporouting/internal/telemetry"
 )
 
 // Config parameterizes a Server. The zero value serves with sane defaults.
@@ -50,9 +54,17 @@ type Config struct {
 	JobTTL time.Duration
 	// Telemetry, when non-nil, is threaded into every build and simulation
 	// and additionally records server-level counters (admitted, shed,
-	// completed) and queue-wait/run-time histograms. Its snapshot is served
-	// at GET /metrics.
+	// completed) and queue-wait/run-time histograms. GET /metrics serves it
+	// as Prometheus text exposition (?format=json for the JSON snapshot).
 	Telemetry *toporouting.Telemetry
+	// Tracer, when non-nil, mints one span tree per /v1 request —
+	// admission wait, worker pickup, build phases, simulation steps, and
+	// response encode — retained in the tracer's ring and served at
+	// GET /debug/traces. nil disables tracing at zero cost.
+	Tracer *toporouting.Tracer
+	// Logger, when non-nil, writes one structured line per /v1 request
+	// carrying the request and trace ids.
+	Logger *slog.Logger
 	// Sink, when non-nil, is closed (flushing buffered trace events to
 	// disk) at the end of Shutdown.
 	Sink io.Closer
@@ -98,6 +110,12 @@ type Server struct {
 	wg       sync.WaitGroup
 	draining atomic.Bool
 	active   atomic.Int64 // jobs admitted and not yet finished
+	busy     atomic.Int64 // workers currently executing a job
+	reqSeq   atomic.Int64 // request-id sequence for the /v1 middleware
+
+	// avgRunBits is an EWMA of job run time in milliseconds (float64
+	// bits), the drain-rate estimate behind the Retry-After computation.
+	avgRunBits atomic.Uint64
 
 	jobs  *jobStore
 	start time.Time
@@ -139,13 +157,14 @@ func (s *Server) InFlight() int64 { return s.active.Load() }
 
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/topology", s.handleTopology)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/interference", s.handleInterference)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/topology", s.instrument("/v1/topology", s.handleTopology))
+	mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	mux.HandleFunc("POST /v1/interference", s.instrument("/v1/interference", s.handleInterference))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -172,35 +191,94 @@ func (s *Server) worker() {
 func (s *Server) execute(j *job) {
 	defer s.active.Add(-1)
 	defer j.cancel()
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+	j.waitSpan.End() // worker pickup: the admission wait is over
 	if err := j.ctx.Err(); err != nil {
 		j.finish(nil, err)
 		return
 	}
 	j.setRunning()
+	waitMS := float64(time.Since(j.created)) / float64(time.Millisecond)
 	tel := s.cfg.Telemetry
 	if tel.Enabled() {
-		tel.Histogram("server.queue_wait_ms").Observe(float64(time.Since(j.created)) / float64(time.Millisecond))
+		tel.Histogram("server.queue_wait_ms").Observe(waitMS)
+		tel.BucketHistogram(
+			telemetry.LabeledName("server.job_wait_ms", "kind", j.kind),
+			telemetry.DefLatencyBuckets,
+		).Observe(waitMS)
 	}
-	result, err := safeRun(j)
+	runCtx, runSpan := telemetry.StartChild(j.ctx, "job.run")
+	runT0 := time.Now()
+	result, err := safeRun(j, runCtx)
+	runMS := float64(time.Since(runT0)) / float64(time.Millisecond)
+	runSpan.End()
+	s.noteRunMS(runMS)
 	j.finish(result, err)
 	if tel.Enabled() {
 		tel.Counter("server.jobs_finished").Inc()
 		if err != nil {
 			tel.Counter("server.jobs_failed").Inc()
 		}
+		tel.BucketHistogram(
+			telemetry.LabeledName("server.job_run_ms", "kind", j.kind),
+			telemetry.DefLatencyBuckets,
+		).Observe(runMS)
+		tel.Counter(telemetry.LabeledName("server.job_outcomes",
+			"kind", j.kind, "status", string(j.currentStatus()))).Inc()
 	}
 }
 
-// safeRun executes the job body, converting a panic (e.g. the topology
-// builder's duplicate-position panic) into a job error instead of taking
-// down the worker.
-func safeRun(j *job) (result any, err error) {
+// noteRunMS folds one job's run time into the EWMA drain-rate estimate.
+// α = 0.2 keeps roughly the last five jobs' weight, enough to track load
+// shifts without letting one outlier own the Retry-After answer.
+func (s *Server) noteRunMS(ms float64) {
+	for {
+		old := s.avgRunBits.Load()
+		avg := math.Float64frombits(old)
+		if avg == 0 {
+			avg = ms
+		} else {
+			avg = 0.8*avg + 0.2*ms
+		}
+		if s.avgRunBits.CompareAndSwap(old, math.Float64bits(avg)) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates when a shed client should come back: the
+// queued work ahead of it (current depth + itself) divided by the pool's
+// drain rate, estimated from the run-time EWMA. Clamped to [1, 30] s — 1
+// because Retry-After is integral and 0 would invite a tight retry loop,
+// 30 so a momentary spike never parks clients for minutes.
+func (s *Server) retryAfterSeconds() int {
+	avg := math.Float64frombits(s.avgRunBits.Load())
+	if avg <= 0 {
+		return 1 // no completed jobs yet: nothing to estimate from
+	}
+	secs := avg * float64(len(s.queue)+1) / (1000 * float64(s.cfg.Workers))
+	ra := int(math.Ceil(secs))
+	if ra < 1 {
+		ra = 1
+	}
+	if ra > 30 {
+		ra = 30
+	}
+	return ra
+}
+
+// safeRun executes the job body under ctx (the job context, possibly
+// carrying a run span), converting a panic (e.g. the topology builder's
+// duplicate-position panic) into a job error instead of taking down the
+// worker.
+func safeRun(j *job, ctx context.Context) (result any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("job panicked: %v", r)
 		}
 	}()
-	return j.run(j.ctx)
+	return j.run(ctx)
 }
 
 // newJob wires a job under parent with the effective request timeout. The
@@ -216,7 +294,7 @@ func (s *Server) newJob(kind string, parent context.Context, timeoutMS int, run 
 	}
 	ctx, cancel := context.WithTimeout(parent, timeout)
 	stopAfter := context.AfterFunc(s.baseCtx, cancel)
-	return &job{
+	j := &job{
 		id:      s.jobs.nextID(),
 		kind:    kind,
 		ctx:     ctx,
@@ -226,6 +304,12 @@ func (s *Server) newJob(kind string, parent context.Context, timeoutMS int, run 
 		status:  statusQueued,
 		created: time.Now(),
 	}
+	// When the request carries a root span, the time between here and
+	// worker pickup is the admission wait — the first child of the tree.
+	if sp := telemetry.SpanFromContext(parent); sp != nil {
+		j.waitSpan = sp.Child("admission.wait")
+	}
+	return j
 }
 
 // admit places the job on the bounded queue without blocking: a full queue
@@ -239,6 +323,7 @@ func (s *Server) admit(j *job) error {
 	case s.queue <- j:
 		if tel := s.cfg.Telemetry; tel.Enabled() {
 			tel.Counter("server.jobs_admitted").Inc()
+			tel.Gauge("server.queue_depth").Set(float64(len(s.queue)))
 		}
 		return nil
 	default:
@@ -256,17 +341,21 @@ func (s *Server) admit(j *job) error {
 func (s *Server) runSync(w http.ResponseWriter, j *job) bool {
 	if err := s.admit(j); err != nil {
 		j.cancel()
-		writeAdmissionError(w, err)
+		s.writeAdmissionError(w, err)
 		return false
 	}
 	<-j.done
 	return true
 }
 
-func writeAdmissionError(w http.ResponseWriter, err error) {
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// Retry-After is derived from the queue ahead of the client and
+		// the pool's measured drain rate, not a constant: a briefly full
+		// queue says "come back in a second", a deep one under slow jobs
+		// says tens of seconds.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
 	case errors.Is(err, errDraining):
 		writeError(w, http.StatusServiceUnavailable, "server draining")
@@ -277,14 +366,17 @@ func writeAdmissionError(w http.ResponseWriter, err error) {
 
 // writeJobOutcome renders a finished synchronous job: 200 with its result,
 // 504 when its deadline expired, 499-equivalent (client gone) or 503 when
-// cancelled, 500 otherwise.
-func writeJobOutcome(w http.ResponseWriter, j *job) {
+// cancelled, 500 otherwise. Encoding the success response is the last leg
+// of a traced request, so it gets its own span.
+func writeJobOutcome(ctx context.Context, w http.ResponseWriter, j *job) {
 	j.mu.Lock()
 	result, err := j.result, j.err
 	j.mu.Unlock()
 	switch {
 	case err == nil:
+		_, span := telemetry.StartChild(ctx, "encode")
 		writeJSON(w, http.StatusOK, result)
+		span.End()
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
 	case errors.Is(err, context.Canceled):
@@ -355,7 +447,7 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	}
 	j := s.newJob("topology", r.Context(), req.TimeoutMS, run)
 	if s.runSync(w, j) {
-		writeJobOutcome(w, j)
+		writeJobOutcome(r.Context(), w, j)
 	}
 }
 
@@ -415,7 +507,7 @@ func (s *Server) handleInterference(w http.ResponseWriter, r *http.Request) {
 	}
 	j := s.newJob("interference", r.Context(), req.TimeoutMS, run)
 	if s.runSync(w, j) {
-		writeJobOutcome(w, j)
+		writeJobOutcome(r.Context(), w, j)
 	}
 }
 
@@ -478,7 +570,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		j := s.newJob("simulate", s.baseCtx, req.TimeoutMS, run)
 		if err := s.admit(j); err != nil {
 			j.cancel()
-			writeAdmissionError(w, err)
+			s.writeAdmissionError(w, err)
 			return
 		}
 		s.jobs.put(j)
@@ -491,7 +583,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	j := s.newJob("simulate", r.Context(), req.TimeoutMS, run)
 	if s.runSync(w, j) {
-		writeJobOutcome(w, j)
+		writeJobOutcome(r.Context(), w, j)
 	}
 }
 
@@ -520,12 +612,47 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	if !s.cfg.Telemetry.Enabled() {
-		writeJSON(w, http.StatusOK, map[string]string{})
+// handleMetrics serves the telemetry scope in the Prometheus text
+// exposition format (the default, what a scraper expects) or as the legacy
+// JSON snapshot when ?format=json is given. Point-in-time server state —
+// queue depth, busy workers, in-flight jobs, uptime — is stamped into the
+// scope as gauges at scrape time so the exposition carries current values
+// rather than whatever the last admit observed.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	tel := s.cfg.Telemetry
+	if r.URL.Query().Get("format") == "json" {
+		if !tel.Enabled() {
+			writeJSON(w, http.StatusOK, map[string]string{})
+			return
+		}
+		writeJSON(w, http.StatusOK, tel.Snapshot())
 		return
 	}
-	writeJSON(w, http.StatusOK, s.cfg.Telemetry.Snapshot())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if !tel.Enabled() {
+		return // empty exposition is valid
+	}
+	tel.Gauge("server.queue_depth").Set(float64(len(s.queue)))
+	tel.Gauge("server.workers_busy").Set(float64(s.busy.Load()))
+	tel.Gauge("server.workers").Set(float64(s.cfg.Workers))
+	tel.Gauge("server.in_flight").Set(float64(s.active.Load()))
+	tel.Gauge("server.uptime_seconds").Set(time.Since(s.start).Seconds())
+	_ = toporouting.WritePrometheus(w, tel)
+}
+
+// handleTraces serves the tracer's retained traces — the K slowest plus a
+// uniform sample — slowest first.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	tr := s.cfg.Tracer
+	if tr == nil || tr.Ring() == nil {
+		writeJSON(w, http.StatusOK, tracesResponse{Traces: []*toporouting.Trace{}})
+		return
+	}
+	ring := tr.Ring()
+	writeJSON(w, http.StatusOK, tracesResponse{
+		Seen:   ring.Seen(),
+		Traces: ring.Snapshot(),
+	})
 }
 
 // Shutdown drains the server: stop admitting (readiness flips to 503 and

@@ -429,7 +429,7 @@ func TestHealthMetricsEndpoints(t *testing.T) {
 		}
 	}
 	var m toporouting.Metrics
-	r, err := http.Get(ts.URL + "/metrics")
+	r, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -241,6 +241,9 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	tel := cfg.Telemetry
 	router.SetTelemetry(tel)
 	stopRun := tel.StartPhase("sim.run")
+	ctx, spanRun := telemetry.StartChild(ctx, "sim.run")
+	spanRun.SetAttr("n", float64(n))
+	spanRun.SetAttr("steps", float64(cfg.Steps))
 
 	var res Result
 	res.Seed = cfg.Seed
@@ -293,6 +296,8 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	rebuild = func() error {
 		stopRebuild := tel.StartPhase("sim.rebuild")
 		defer stopRebuild()
+		rctx, spanRb := telemetry.StartChild(ctx, "sim.rebuild")
+		defer spanRb.End()
 		switch cfg.MAC {
 		case MACGiven, MACRandom:
 			d := cfg.Range
@@ -308,7 +313,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 				// Each build gets its own derived seed so mobility rebuilds
 				// sample fresh fault outcomes while staying reproducible.
 				distBuilds++
-				out, err := dist.BuildContext(ctx, pts, dist.Config{
+				out, err := dist.BuildContext(rctx, pts, dist.Config{
 					Theta:     cfg.Theta,
 					Range:     d,
 					Seed:      cfg.Seed + 7919*int64(distBuilds),
@@ -329,7 +334,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 				install(pts, out.Top)
 				return nil
 			}
-			top, err := topology.BuildThetaContext(ctx, pts, topology.Config{Theta: cfg.Theta, Range: d, Telemetry: tel}, cfg.Workers)
+			top, err := topology.BuildThetaContext(rctx, pts, topology.Config{Theta: cfg.Theta, Range: d, Telemetry: tel}, cfg.Workers)
 			if err != nil {
 				return err
 			}
@@ -352,12 +357,18 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	}
 	if err := rebuild(); err != nil {
 		stopRun()
+		spanRun.End()
 		return res, err
 	}
 
 	// Nil-safe handle: a disabled scope makes this a no-op pointer, so the
 	// step loop pays one nil check per step.
 	offeredC := tel.Counter("sim.offered_edges")
+	// One span covers the whole routing loop: per-step spans would bloat
+	// every trace to Steps records, so route-step cost distributions live
+	// in the router.step_ms bucket histogram instead.
+	_, spanSteps := telemetry.StartChild(ctx, "sim.steps")
+	spanSteps.SetAttr("steps", float64(cfg.Steps))
 	var runErr error
 	for step := 0; step < cfg.Steps; step++ {
 		// One cancellation check per step: a cancelled context (client
@@ -439,6 +450,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		router.Step(offered, inj)
 	}
 
+	spanSteps.End()
 	res.Delivered = router.Delivered()
 	res.Accepted = router.Accepted()
 	res.Dropped = router.Dropped()
@@ -447,6 +459,9 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	res.AvgCost = router.AvgCostPerDelivery()
 	res.Queued = router.TotalQueued()
 	stopRun()
+	spanRun.SetAttr("delivered", float64(res.Delivered))
+	spanRun.SetAttr("queued", float64(res.Queued))
+	spanRun.End()
 	if tel.Enabled() {
 		tel.Counter("sim.runs").Inc()
 		tel.Counter("sim.steps").Add(int64(cfg.Steps))

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// BucketHistogram is a fixed-bucket counting histogram — the Prometheus
+// histogram type, as opposed to the sample-retaining Histogram that backs
+// quantile summaries. Buckets are fixed at creation, observations are two
+// atomic adds, and snapshots produce cumulative counts, so it is safe (and
+// cheap) on the serving hot path where a mutexed sample append is not.
+type BucketHistogram struct {
+	bounds  []float64 // ascending upper bounds; an implicit +Inf follows
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefLatencyBuckets is the default latency bucket layout in milliseconds:
+// sub-millisecond to 10 s in roughly 1-2.5-5 decades, matching the spread
+// between a cached topology build and a Monte-Carlo simulate request.
+var DefLatencyBuckets = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+func newBucketHistogram(bounds []float64) *BucketHistogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &BucketHistogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one sample (no-op on a nil histogram).
+func (h *BucketHistogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= x; the last slot is +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if x <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+			return
+		}
+	}
+}
+
+// BucketSnapshot is a point-in-time view of a BucketHistogram with
+// Prometheus semantics: Cumulative[i] counts observations ≤ Bounds[i], and
+// the final entry (upper bound +Inf) equals Count.
+type BucketSnapshot struct {
+	Bounds     []float64 `json:"bounds"`
+	Cumulative []uint64  `json:"cumulative"`
+	Count      uint64    `json:"count"`
+	Sum        float64   `json:"sum"`
+}
+
+// Snapshot captures cumulative bucket counts. Under concurrent Observe
+// the snapshot is not a single atomic cut, but every count it reports was
+// true at some point and Count ≥ each cumulative entry once observers
+// quiesce.
+func (h *BucketHistogram) Snapshot() BucketSnapshot {
+	if h == nil {
+		return BucketSnapshot{}
+	}
+	s := BucketSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.counts)),
+		Sum:        math.Float64frombits(h.sumBits.Load()),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	s.Count = h.count.Load()
+	return s
+}
+
+// BucketHistogram returns the named fixed-bucket histogram, creating it
+// with bounds on first use (later callers get the existing instrument and
+// their bounds are ignored). The result is nil — and safely inert — when
+// t is nil.
+func (t *Telemetry) BucketHistogram(name string, bounds []float64) *BucketHistogram {
+	if t == nil {
+		return nil
+	}
+	return t.reg.bucketHistogram(name, bounds)
+}
+
+func (r *registry) bucketHistogram(name string, bounds []float64) *BucketHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.bhists[name]
+	if !ok {
+		h = newBucketHistogram(bounds)
+		r.bhists[name] = h
+	}
+	return h
+}

@@ -23,6 +23,9 @@ type Event struct {
 	Kind string `json:"kind"`
 	// Name qualifies the kind (phase name, MAC name, protocol round, ...).
 	Name string `json:"name,omitempty"`
+	// Trace ties span events ({layer: "trace", kind: "span"}) emitted for
+	// one request to its trace id; empty on non-span events.
+	Trace string `json:"trace,omitempty"`
 	// Step is the simulation step the event describes, when step-scoped.
 	Step int `json:"step,omitempty"`
 	// Seed identifies the run in Monte-Carlo fan-outs.

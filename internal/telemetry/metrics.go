@@ -12,9 +12,10 @@ import (
 // scope. It marshals cleanly to JSON (the -json / -metrics CLI surfaces)
 // and formats as a sorted table via String.
 type Metrics struct {
-	Counters   map[string]int64         `json:"counters,omitempty"`
-	Gauges     map[string]float64       `json:"gauges,omitempty"`
-	Histograms map[string]stats.Summary `json:"histograms,omitempty"`
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]stats.Summary  `json:"histograms,omitempty"`
+	Buckets    map[string]BucketSnapshot `json:"buckets,omitempty"`
 }
 
 // Snapshot captures the current value of every instrument. A nil scope
@@ -56,6 +57,16 @@ func (t *Telemetry) Snapshot() Metrics {
 			h    *Histogram
 		}{name, h})
 	}
+	bhists := make([]struct {
+		name string
+		h    *BucketHistogram
+	}, 0, len(r.bhists))
+	for name, h := range r.bhists {
+		bhists = append(bhists, struct {
+			name string
+			h    *BucketHistogram
+		}{name, h})
+	}
 	r.mu.Unlock()
 
 	// Read instrument values outside the registry lock: histograms take
@@ -78,6 +89,12 @@ func (t *Telemetry) Snapshot() Metrics {
 			m.Histograms[e.name] = e.h.Summary()
 		}
 	}
+	if len(bhists) > 0 {
+		m.Buckets = make(map[string]BucketSnapshot, len(bhists))
+		for _, e := range bhists {
+			m.Buckets[e.name] = e.h.Snapshot()
+		}
+	}
 	return m
 }
 
@@ -94,6 +111,14 @@ func (m Metrics) String() string {
 		s := m.Histograms[name]
 		fmt.Fprintf(&b, "histogram  %-36s n=%d min=%.3f p50=%.3f p95=%.3f max=%.3f mean=%.3f\n",
 			name, s.N, s.Min, s.P50, s.P95, s.Max, s.Mean)
+	}
+	for _, name := range sortedKeys(m.Buckets) {
+		s := m.Buckets[name]
+		mean := 0.0
+		if s.Count > 0 {
+			mean = s.Sum / float64(s.Count)
+		}
+		fmt.Fprintf(&b, "buckets    %-36s n=%d sum=%.3f mean=%.3f\n", name, s.Count, s.Sum, mean)
 	}
 	return b.String()
 }

@@ -1,0 +1,318 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A minimal Prometheus text-exposition parser and linter. It exists so CI
+// can scrape the daemon's /metrics and fail on malformed output, and so
+// the golden exposition test validates with the same code the smoke job
+// runs — the writer and the checker cannot drift apart silently.
+
+// PromSample is one parsed exposition line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsePrometheus parses (and lints) a text exposition stream. It returns
+// every sample line and an error describing the first violation found:
+// bad metric or label names, malformed label blocks, unparsable values,
+// samples typed twice, histogram families whose cumulative "le" buckets
+// decrease, or whose "+Inf" bucket disagrees with their _count.
+func ParsePrometheus(r io.Reader) ([]PromSample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var samples []PromSample
+	types := map[string]string{} // family → type
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, types); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := lintHistograms(samples, types); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+func parseComment(line string, types map[string]string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE line", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if prev, ok := types[name]; ok {
+			return fmt.Errorf("family %s typed twice (%s, then %s)", name, prev, typ)
+		}
+		types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("no value on sample line %q", line)
+	}
+	s.Name = rest[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want 'value [timestamp]' after name in %q", line)
+	}
+	v, err := parsePromFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", fields[0], line)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q in %q", fields[1], line)
+		}
+	}
+	return s, nil
+}
+
+func parseLabels(block string) (map[string]string, error) {
+	labels := map[string]string{}
+	rest := block
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair %q missing '='", rest)
+		}
+		name := rest[:eq]
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("label %s value not quoted", name)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+	scan:
+		for i := 0; i < len(rest); i++ {
+			switch rest[i] {
+			case '\\':
+				if i+1 >= len(rest) {
+					return nil, fmt.Errorf("dangling escape in label %s", name)
+				}
+				i++
+				switch rest[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %s", rest[i], name)
+				}
+			case '"':
+				closed = true
+				rest = rest[i+1:]
+				break scan
+			default:
+				val.WriteByte(rest[i])
+			}
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %s", name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, fmt.Errorf("duplicate label %s", name)
+		}
+		labels[name] = val.String()
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return labels, nil
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// lintHistograms checks every declared histogram family: per label set,
+// cumulative bucket counts must be non-decreasing in "le" order, a "+Inf"
+// bucket must exist, and it must equal the family's _count sample.
+func lintHistograms(samples []PromSample, types map[string]string) error {
+	type bucket struct {
+		le float64
+		n  float64
+	}
+	buckets := map[string]map[string][]bucket{} // family → label-set key → buckets
+	counts := map[string]map[string]float64{}
+	for _, s := range samples {
+		var fam, suffix string
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			fam, suffix = strings.TrimSuffix(s.Name, "_bucket"), "_bucket"
+		case strings.HasSuffix(s.Name, "_count"):
+			fam, suffix = strings.TrimSuffix(s.Name, "_count"), "_count"
+		default:
+			continue
+		}
+		if types[fam] != "histogram" {
+			continue
+		}
+		key := labelKey(s.Labels, "le")
+		switch suffix {
+		case "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s bucket without le label", fam)
+			}
+			le, err := parsePromFloat(leStr)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", fam, leStr)
+			}
+			if buckets[fam] == nil {
+				buckets[fam] = map[string][]bucket{}
+			}
+			buckets[fam][key] = append(buckets[fam][key], bucket{le, s.Value})
+		case "_count":
+			if counts[fam] == nil {
+				counts[fam] = map[string]float64{}
+			}
+			counts[fam][key] = s.Value
+		}
+	}
+	for fam, byKey := range buckets {
+		for key, bs := range byKey {
+			sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+			last := bs[len(bs)-1]
+			if !math.IsInf(last.le, 1) {
+				return fmt.Errorf("histogram %s%s has no +Inf bucket", fam, key)
+			}
+			for i := 1; i < len(bs); i++ {
+				if bs[i].n < bs[i-1].n {
+					return fmt.Errorf("histogram %s%s: bucket le=%v count %v < le=%v count %v",
+						fam, key, bs[i].le, bs[i].n, bs[i-1].le, bs[i-1].n)
+				}
+			}
+			if c, ok := counts[fam][key]; ok && c != last.n {
+				return fmt.Errorf("histogram %s%s: +Inf bucket %v != _count %v", fam, key, last.n, c)
+			}
+		}
+	}
+	return nil
+}
+
+// labelKey renders a label set minus the named label, order-independent.
+func labelKey(labels map[string]string, drop string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == drop {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+)
+
+// TraceRing is the bounded retention policy behind /debug/traces: it keeps
+// the K slowest traces seen so far (a min-heap on duration, so the fastest
+// of the keepers is evicted first) plus a uniform reservoir sample of all
+// traffic. The pairing matters: the slow set answers "what do my tail
+// requests spend their time on" while the reservoir keeps the baseline
+// shape visible, so a handful of pathological requests cannot hide what a
+// typical one looks like.
+type TraceRing struct {
+	mu     sync.Mutex
+	slowK  int
+	sampN  int
+	slow   slowHeap
+	sample []*Trace
+	seen   int64
+	rng    uint64 // xorshift64 state for reservoir replacement
+}
+
+// NewTraceRing returns a ring keeping the slowK slowest traces and a
+// uniform sample of sampN. Non-positive values select 32 and 64.
+func NewTraceRing(slowK, sampN int) *TraceRing {
+	if slowK <= 0 {
+		slowK = 32
+	}
+	if sampN <= 0 {
+		sampN = 64
+	}
+	return &TraceRing{slowK: slowK, sampN: sampN, rng: 0x9E3779B97F4A7C15}
+}
+
+// Offer submits a finished trace for retention. Safe for concurrent use.
+func (r *TraceRing) Offer(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seen++
+	// K slowest: push until full, then replace the fastest keeper when the
+	// newcomer is slower.
+	if len(r.slow) < r.slowK {
+		heap.Push(&r.slow, t)
+	} else if t.DurMS > r.slow[0].DurMS {
+		r.slow[0] = t
+		heap.Fix(&r.slow, 0)
+	}
+	// Uniform sample: classic reservoir — keep the i-th trace with
+	// probability sampN/i.
+	if len(r.sample) < r.sampN {
+		r.sample = append(r.sample, t)
+	} else {
+		r.rng ^= r.rng << 13
+		r.rng ^= r.rng >> 7
+		r.rng ^= r.rng << 17
+		if j := int(r.rng % uint64(r.seen)); j < r.sampN {
+			r.sample[j] = t
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Seen returns the number of traces offered so far.
+func (r *TraceRing) Seen() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Snapshot returns the retained traces — slow set and sample merged,
+// deduplicated by trace id — slowest first.
+func (r *TraceRing) Snapshot() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	byID := make(map[string]*Trace, len(r.slow)+len(r.sample))
+	for _, t := range r.slow {
+		byID[t.ID] = t
+	}
+	for _, t := range r.sample {
+		byID[t.ID] = t
+	}
+	r.mu.Unlock()
+	out := make([]*Trace, 0, len(byID))
+	for _, t := range byID {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DurMS != out[j].DurMS {
+			return out[i].DurMS > out[j].DurMS
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// slowHeap is a min-heap of traces by duration.
+type slowHeap []*Trace
+
+func (h slowHeap) Len() int           { return len(h) }
+func (h slowHeap) Less(i, j int) bool { return h[i].DurMS < h[j].DurMS }
+func (h slowHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *slowHeap) Push(x any)        { *h = append(*h, x.(*Trace)) }
+func (h *slowHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

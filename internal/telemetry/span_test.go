@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	ring := NewTraceRing(4, 4)
+	tr := NewTracer(nil, ring)
+
+	ctx, root := tr.Start(context.Background(), "POST /v1/topology")
+	if root == nil {
+		t.Fatal("root span is nil on a live tracer")
+	}
+	if root.TraceID() == "" {
+		t.Fatal("empty trace id")
+	}
+	ctx2, child := StartChild(ctx, "job.run")
+	if child == nil {
+		t.Fatal("StartChild under a traced context returned nil")
+	}
+	_, grand := StartChild(ctx2, "topology.build")
+	grand.SetAttr("n", 100)
+	grand.End()
+	sibling := child.Child("encode")
+	sibling.End()
+	child.End()
+	root.SetAttr("status", 200)
+	root.End()
+
+	traces := ring.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("ring holds %d traces, want 1", len(traces))
+	}
+	tc := traces[0]
+	if tc.Root != "POST /v1/topology" || tc.ID != root.TraceID() {
+		t.Fatalf("trace = %q/%q", tc.Root, tc.ID)
+	}
+	if len(tc.Spans) != 4 {
+		t.Fatalf("trace has %d spans, want 4", len(tc.Spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range tc.Spans {
+		byName[r.Name] = r
+	}
+	rootRec := byName["POST /v1/topology"]
+	if rootRec.Span != 1 || rootRec.Parent != 0 {
+		t.Fatalf("root record = %+v, want span 1 parent 0", rootRec)
+	}
+	if byName["job.run"].Parent != 1 {
+		t.Fatalf("job.run parent = %d, want 1 (root)", byName["job.run"].Parent)
+	}
+	jobID := byName["job.run"].Span
+	if byName["topology.build"].Parent != jobID || byName["encode"].Parent != jobID {
+		t.Fatalf("children of job.run have parents %d and %d, want %d",
+			byName["topology.build"].Parent, byName["encode"].Parent, jobID)
+	}
+	if byName["topology.build"].Attrs["n"] != 100 {
+		t.Fatalf("attrs = %v", byName["topology.build"].Attrs)
+	}
+	// The root is last (end order) and owns the trace duration.
+	if last := tc.Spans[len(tc.Spans)-1]; last.Span != 1 {
+		t.Fatalf("last span is %d, want root", last.Span)
+	}
+	if tc.DurMS != rootRec.DurMS {
+		t.Fatalf("trace dur %v != root dur %v", tc.DurMS, rootRec.DurMS)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.Start(context.Background(), "root")
+	if s != nil {
+		t.Fatal("nil tracer minted a span")
+	}
+	if got := SpanFromContext(ctx); got != nil {
+		t.Fatal("nil tracer left a span in the context")
+	}
+	// All of these must be no-ops, not panics.
+	s.SetAttr("k", 1)
+	s.End()
+	s.End()
+	if s.TraceID() != "" {
+		t.Fatal("nil span has a trace id")
+	}
+	if c := s.Child("x"); c != nil {
+		t.Fatal("nil span minted a child")
+	}
+	ctx2, c := StartChild(context.Background(), "orphan")
+	if c != nil {
+		t.Fatal("StartChild without a parent span minted a span")
+	}
+	if ctx2 != context.Background() {
+		t.Fatal("StartChild without a parent replaced the context")
+	}
+	if tr.Ring() != nil {
+		t.Fatal("nil tracer has a ring")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	ring := NewTraceRing(4, 4)
+	tr := NewTracer(nil, ring)
+	_, root := tr.Start(context.Background(), "r")
+	root.End()
+	root.End() // second End must not re-export the trace
+	if n := ring.Seen(); n != 1 {
+		t.Fatalf("ring saw %d traces after double End, want 1", n)
+	}
+}
+
+func TestTracerExportsSpanEvents(t *testing.T) {
+	sink := &MemorySink{}
+	tel := New(sink)
+	tr := NewTracer(tel, nil)
+	ctx, root := tr.Start(context.Background(), "r")
+	_, child := StartChild(ctx, "c")
+	child.End()
+	root.End()
+	events := sink.Events()
+	if len(events) != 2 {
+		t.Fatalf("sink got %d events, want 2", len(events))
+	}
+	for _, e := range events {
+		if e.Layer != "trace" || e.Kind != "span" || e.Trace != root.TraceID() {
+			t.Fatalf("bad span event: %+v", e)
+		}
+	}
+}
+
+func TestTraceRingRetention(t *testing.T) {
+	ring := NewTraceRing(3, 2)
+	for i := 1; i <= 20; i++ {
+		ring.Offer(&Trace{ID: fmt.Sprintf("t%02d", i), DurMS: float64(i)})
+	}
+	if ring.Seen() != 20 {
+		t.Fatalf("seen %d, want 20", ring.Seen())
+	}
+	snap := ring.Snapshot()
+	// The three slowest (18, 19, 20 ms) must all be retained, slowest first.
+	if len(snap) < 3 || len(snap) > 5 {
+		t.Fatalf("snapshot holds %d traces, want 3..5 (3 slow + ≤2 sampled)", len(snap))
+	}
+	if snap[0].DurMS != 20 || snap[1].DurMS != 19 || snap[2].DurMS != 18 {
+		t.Fatalf("slowest three = %v, %v, %v ms", snap[0].DurMS, snap[1].DurMS, snap[2].DurMS)
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	ring := NewTraceRing(8, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ring.Offer(&Trace{ID: fmt.Sprintf("g%d-%d", g, i), DurMS: float64(i)})
+				if i%50 == 0 {
+					ring.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if ring.Seen() != 1600 {
+		t.Fatalf("seen %d, want 1600", ring.Seen())
+	}
+	snap := ring.Snapshot()
+	if len(snap) == 0 || len(snap) > 16 {
+		t.Fatalf("snapshot holds %d traces, want 1..16", len(snap))
+	}
+	// Every goroutine's 199 ms trace competes for the slow set; the
+	// retained slowest must be 199.
+	if snap[0].DurMS != 199 {
+		t.Fatalf("slowest retained = %v ms, want 199", snap[0].DurMS)
+	}
+}
+
+func TestConcurrentSpansOneTrace(t *testing.T) {
+	ring := NewTraceRing(4, 4)
+	tr := NewTracer(nil, ring)
+	ctx, root := tr.Start(context.Background(), "r")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, s := StartChild(ctx, fmt.Sprintf("child-%d", i))
+			s.SetAttr("i", float64(i))
+			time.Sleep(time.Millisecond)
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	snap := ring.Snapshot()
+	if len(snap) != 1 || len(snap[0].Spans) != 17 {
+		t.Fatalf("got %d traces / %d spans, want 1 / 17", len(snap), len(snap[0].Spans))
+	}
+	ids := map[uint64]bool{}
+	for _, r := range snap[0].Spans {
+		if ids[r.Span] {
+			t.Fatalf("duplicate span id %d", r.Span)
+		}
+		ids[r.Span] = true
+	}
+}
+
+// BenchmarkStartChildUntraced pins the tracing-off fast path: a context
+// without a span must cost one Value lookup and nothing else.
+func BenchmarkStartChildUntraced(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := StartChild(ctx, "noop")
+		s.SetAttr("k", 1)
+		s.End()
+	}
+}

@@ -240,6 +240,7 @@ type registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	bhists   map[string]*BucketHistogram
 }
 
 func newRegistry() *registry {
@@ -247,6 +248,7 @@ func newRegistry() *registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		bhists:   make(map[string]*BucketHistogram),
 	}
 }
 

@@ -189,11 +189,14 @@ func buildTheta(ctx context.Context, pts []geom.Point, cfg Config, workers int) 
 	}
 	tel := cfg.Telemetry
 	stopBuild := tel.StartPhase("topology.build")
+	ctx, spanBuild := telemetry.StartChild(ctx, "topology.build")
+	spanBuild.SetAttr("n", float64(n))
 
 	// Phase 1: every node selects, in each of its sectors, the nearest
 	// node within transmission range. This is purely local given the
 	// positions of in-range nodes (round 1 of the distributed protocol).
 	stopPhase1 := tel.StartPhase("topology.phase1")
+	_, spanP1 := telemetry.StartChild(ctx, "topology.phase1")
 	idx := spatial.NewGrid(pts, cfg.Range)
 	if workers > n {
 		workers = n
@@ -225,6 +228,8 @@ func buildTheta(ctx context.Context, pts []geom.Point, cfg Config, workers int) 
 	if err := ctx.Err(); err != nil {
 		stopPhase1()
 		stopBuild()
+		spanP1.End()
+		spanBuild.End()
 		return nil, err
 	}
 
@@ -238,7 +243,10 @@ func buildTheta(ctx context.Context, pts []geom.Point, cfg Config, workers int) 
 		}
 	}
 	stopPhase1()
+	spanP1.SetAttr("yao_edges", float64(t.Yao.NumEdges()))
+	spanP1.End()
 	stopPhase2 := tel.StartPhase("topology.phase2")
+	_, spanP2 := telemetry.StartChild(ctx, "topology.phase2")
 
 	// Phase 2: every node u admits, per sector, only the nearest node w
 	// that selected u (u ∈ N(w)). In the distributed protocol this is the
@@ -248,6 +256,8 @@ func buildTheta(ctx context.Context, pts []geom.Point, cfg Config, workers int) 
 		if w%cancelStride == 0 && ctx.Err() != nil {
 			stopPhase2()
 			stopBuild()
+			spanP2.End()
+			spanBuild.End()
 			return nil, ctx.Err()
 		}
 		for _, v := range t.NearestOut[w] {
@@ -274,7 +284,11 @@ func buildTheta(ctx context.Context, pts []geom.Point, cfg Config, workers int) 
 		}
 	}
 	stopPhase2()
+	spanP2.End()
 	stopBuild()
+	spanBuild.SetAttr("edges", float64(t.N.NumEdges()))
+	spanBuild.SetAttr("max_degree", float64(t.N.MaxDegree()))
+	spanBuild.End()
 	if tel.Enabled() {
 		tel.Counter("topology.builds").Inc()
 		tel.Gauge("topology.edges").Set(float64(t.N.NumEdges()))

@@ -10,6 +10,10 @@
 # BENCH_MAX_REGRESS (default 0.30 = +30%); B/op and allocs/op changes are
 # warn-only. Baselines are machine-dependent — regenerate on the reference
 # machine (or in CI) rather than mixing hosts.
+#
+# The gate additionally enforces BENCH_RATIOS, within-run ns/op bounds that
+# do not depend on the machine: by default the fully-traced serving path
+# must stay within 5% of the untraced one, pinning observability overhead.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +21,7 @@ MODE="${1:-run}"
 BENCH_PATTERN="${BENCH_PATTERN:-BalancerStepManyDests|MaxBenefit|InterferenceSets|ServeTopology}"
 BENCH_TIME="${BENCH_TIME:-1s}"
 BENCH_MAX_REGRESS="${BENCH_MAX_REGRESS:-0.30}"
+BENCH_RATIOS="${BENCH_RATIOS:-BenchmarkServeTopologyTraced/BenchmarkServeTopologyMetrics<=1.05}"
 BASELINE="BENCH_baseline.json"
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
@@ -35,7 +40,8 @@ gate)
         echo "bench.sh: no $BASELINE to gate against; run 'scripts/bench.sh baseline' first" >&2
         exit 1
     fi
-    go run ./cmd/benchdump -in "$OUT" -baseline "$BASELINE" -max-regress "$BENCH_MAX_REGRESS"
+    go run ./cmd/benchdump -in "$OUT" -baseline "$BASELINE" \
+        -max-regress "$BENCH_MAX_REGRESS" -ratio "$BENCH_RATIOS"
     ;;
 *)
     echo "bench.sh: unknown mode '$MODE' (want run|baseline|gate)" >&2

@@ -13,15 +13,13 @@ import (
 	"testing"
 	"time"
 
+	"toporouting"
 	"toporouting/internal/server"
 )
 
-// BenchmarkServeTopology measures one synchronous topology build through
-// the full serving path: HTTP round-trip, JSON decode, admission queue,
-// worker-pool execution, ΘALG build, JSON encode. It is the end-to-end
-// latency floor of the daemon's hot endpoint.
-func BenchmarkServeTopology(b *testing.B) {
-	s := server.New(server.Config{Workers: 1})
+func benchServeTopology(b *testing.B, cfg server.Config) {
+	b.Helper()
+	s := server.New(cfg)
 	ts := httptest.NewServer(s.Handler())
 	defer func() {
 		ts.Close()
@@ -48,4 +46,39 @@ func BenchmarkServeTopology(b *testing.B) {
 		}
 		resp.Body.Close()
 	}
+}
+
+// BenchmarkServeTopology measures one synchronous topology build through
+// the full serving path: HTTP round-trip, JSON decode, admission queue,
+// worker-pool execution, ΘALG build, JSON encode — with tracing off (nil
+// Tracer). It is the end-to-end latency floor of the daemon's hot endpoint,
+// and the zero-overhead reference the Traced variant is gated against.
+func BenchmarkServeTopology(b *testing.B) {
+	benchServeTopology(b, server.Config{Workers: 1})
+}
+
+// BenchmarkServeTopologyMetrics turns on the metrics scope (counters,
+// gauges, histograms threaded through the build) but not span tracing:
+// the cost of the pre-existing instrumentation, and the reference the
+// Traced variant is measured against.
+func BenchmarkServeTopologyMetrics(b *testing.B) {
+	benchServeTopology(b, server.Config{
+		Workers:   1,
+		Telemetry: toporouting.NewTelemetry(),
+	})
+}
+
+// BenchmarkServeTopologyTraced additionally mints one span tree per
+// request — root span, admission wait, job run, build phases, encode —
+// with ring retention. It differs from BenchmarkServeTopologyMetrics only
+// in the Tracer, so the gate's ratio bound (scripts/bench.sh, -ratio
+// Traced/Metrics ≤ 1.05) isolates and pins the span-tracing overhead,
+// keeping it cheap enough to leave on in production.
+func BenchmarkServeTopologyTraced(b *testing.B) {
+	tel := toporouting.NewTelemetry()
+	benchServeTopology(b, server.Config{
+		Workers:   1,
+		Telemetry: tel,
+		Tracer:    toporouting.NewTracer(tel, toporouting.NewTraceRing(32, 64)),
+	})
 }

@@ -1,6 +1,7 @@
 package toporouting
 
 import (
+	"context"
 	"io"
 
 	"toporouting/internal/telemetry"
@@ -59,3 +60,40 @@ func StartProfiling(cpuProfile, memProfile, pprofAddr string) (stop func() error
 // PublishExpvar exposes the scope's live metrics snapshot under the given
 // expvar name, visible at /debug/vars when a pprof server is running.
 func PublishExpvar(name string, t *Telemetry) { telemetry.PublishExpvar(name, t) }
+
+// Tracer mints request-scoped span trees carried via context.Context; a
+// nil *Tracer (and the nil *Span it returns) disables tracing at zero
+// cost. See internal/telemetry's span documentation.
+type Tracer = telemetry.Tracer
+
+// Span is one timed operation inside a trace; nil spans are inert.
+type Span = telemetry.Span
+
+// Trace is a finished span tree as retained by a TraceRing and served at
+// GET /debug/traces.
+type Trace = telemetry.Trace
+
+// TraceRing retains the K slowest traces plus a uniform sample.
+type TraceRing = telemetry.TraceRing
+
+// NewTracer returns a tracer retaining finished traces in ring (may be
+// nil) and exporting span events through tel's trace sink when tracing.
+func NewTracer(tel *Telemetry, ring *TraceRing) *Tracer { return telemetry.NewTracer(tel, ring) }
+
+// NewTraceRing returns a trace retention ring keeping the slowK slowest
+// traces and a uniform reservoir sample of sampleN (non-positive values
+// select 32 and 64).
+func NewTraceRing(slowK, sampleN int) *TraceRing { return telemetry.NewTraceRing(slowK, sampleN) }
+
+// StartSpan begins a child span of the span carried by ctx (no-op, nil
+// span when ctx carries none) — the hook instrumented layers use.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return telemetry.StartChild(ctx, name)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span { return telemetry.SpanFromContext(ctx) }
+
+// WritePrometheus renders a snapshot of every instrument in t in the
+// Prometheus text exposition format (GET /metrics on toporoutingd).
+func WritePrometheus(w io.Writer, t *Telemetry) error { return telemetry.WritePrometheus(w, t) }
