@@ -12,6 +12,7 @@ package toporouting
 // Run:  go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -419,6 +420,27 @@ func BenchmarkBuildThetaParallel(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				topology.BuildThetaParallel(pts, cfg, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkBuildThetaTiled measures the tile-sharded from-scratch build at
+// the scales it exists for. The transmission range is the standard
+// Θ(√(log n / n)) connectivity radius (a fixed formula — CriticalRange's
+// global MST would dominate setup at these sizes). The n=10⁶ variant lives
+// behind -tags bigbench in bench_big_test.go.
+func BenchmarkBuildThetaTiled(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		pts := benchPoints(n)
+		d := 1.6 * math.Sqrt(math.Log(float64(n))/(math.Pi*float64(n)))
+		cfg := topology.Config{Theta: math.Pi / 6, Range: d}
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := topology.BuildThetaTiled(context.Background(), pts, cfg, topology.TiledConfig{}); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

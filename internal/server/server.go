@@ -424,6 +424,15 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 			}
 			return topologyView(mode, nw, nil, req.IncludeEdges, start), nil
 		}
+	case "tiled":
+		run = func(ctx context.Context) (any, error) {
+			start := time.Now()
+			nw, err := toporouting.BuildNetworkTiledContext(ctx, pts, opts, req.Tiles, req.Workers)
+			if err != nil {
+				return nil, err
+			}
+			return topologyView(mode, nw, nil, req.IncludeEdges, start), nil
+		}
 	case "distributed":
 		run = func(ctx context.Context) (any, error) {
 			start := time.Now()
@@ -442,7 +451,7 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 			return topologyView(mode, nw, view, req.IncludeEdges, start), nil
 		}
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (want centralized, parallel, or distributed)", mode))
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (want centralized, parallel, tiled, or distributed)", mode))
 		return
 	}
 	j := s.newJob("topology", r.Context(), req.TimeoutMS, run)

@@ -97,6 +97,10 @@ func TestTopologyModesAgree(t *testing.T) {
 		if mode == "parallel" {
 			req["workers"] = 4
 		}
+		if mode == "tiled" {
+			req["tiles"] = 4
+			req["workers"] = 2
+		}
 		resp, body := postJSON(t, ts.URL+"/v1/topology", req)
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("mode %s: status %d, body %s", mode, resp.StatusCode, body)
@@ -113,7 +117,7 @@ func TestTopologyModesAgree(t *testing.T) {
 		return tr.Edges
 	}
 	want := edges("centralized")
-	for _, mode := range []string{"parallel", "distributed"} {
+	for _, mode := range []string{"parallel", "tiled", "distributed"} {
 		got := edges(mode)
 		if fmt.Sprint(got) != fmt.Sprint(want) {
 			t.Fatalf("mode %s edges differ from centralized", mode)

@@ -44,3 +44,53 @@ func TestCompactGridEmpty(t *testing.T) {
 		t.Fatal("empty CompactGrid must answer no points")
 	}
 }
+
+// TestCompactGridCoincident pins the zero-area-bounding-box path: all
+// points coincident collapse to a single 1×1-cell grid, radius-0 queries at
+// the point see every index in ascending order, and queries elsewhere see
+// none.
+func TestCompactGridCoincident(t *testing.T) {
+	var cg CompactGrid
+	pts := make([]geom.Point, 25)
+	for i := range pts {
+		pts[i] = geom.Pt(-2.5, 8)
+	}
+	cg.Fill(pts, 0)
+	var got []int
+	cg.ForEachWithin(geom.Pt(-2.5, 8), 0, func(j int) { got = append(got, j) })
+	if len(got) != len(pts) || !slices.IsSorted(got) {
+		t.Fatalf("coincident: got %v, want 0..%d ascending", got, len(pts)-1)
+	}
+	got = got[:0]
+	cg.ForEachWithin(geom.Pt(0, 0), 1, func(j int) { got = append(got, j) })
+	if len(got) != 0 {
+		t.Fatalf("distant query returned %v", got)
+	}
+}
+
+// TestCompactGridOneCell forces every point into a single cell with an
+// oversized cellSize and checks queries still filter by exact distance.
+func TestCompactGridOneCell(t *testing.T) {
+	var cg CompactGrid
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]geom.Point, 100)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	cg.Fill(pts, 100) // cell far larger than the bbox: one bucket
+	for q := 0; q < 25; q++ {
+		p := geom.Pt(rng.Float64()*1.5-0.25, rng.Float64()*1.5-0.25)
+		r := rng.Float64()
+		var want []int
+		for j, pj := range pts {
+			if geom.Dist2(p, pj) <= r*r {
+				want = append(want, j)
+			}
+		}
+		var got []int
+		cg.ForEachWithin(p, r, func(j int) { got = append(got, j) })
+		if !slices.Equal(got, want) {
+			t.Fatalf("query %d: got %v, want %v", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package spatial
+
+import (
+	"math"
+
+	"toporouting/internal/geom"
+)
+
+// PointStore is a flat structure-of-arrays point container: X and Y
+// coordinates live in two contiguous arrays instead of an array of Point
+// structs. Sequential scans (grid fills, neighborhood sweeps) then touch
+// half the cache lines per coordinate axis, which is what keeps a tile's
+// working set cache-resident in the tile-sharded topology builder.
+//
+// The store has two coordinate modes:
+//
+//   - float64 (default): coordinates round-trip bit-exactly, so algorithms
+//     whose results are pinned to the global float64 positions (ΘALG
+//     tie-breaks, interference discs) read exactly what was appended.
+//   - float32 (compact): halves the resident coordinate bytes for
+//     memory-bound snapshots; At returns the float32 rounding of what was
+//     appended, within one half-ulp of relative error ≈ 2⁻²⁴ per
+//     coordinate. Not for bit-identity paths.
+//
+// A zero PointStore is an empty float64-mode store. The store reuses its
+// backing arrays across Reset/Append cycles, so steady-state refills
+// allocate nothing once grown.
+type PointStore struct {
+	xs, ys     []float64
+	xs32, ys32 []float32
+	compact    bool
+}
+
+// NewPointStore returns an empty store; compact selects float32 mode.
+func NewPointStore(compact bool) *PointStore {
+	return &PointStore{compact: compact}
+}
+
+// Compact reports whether the store is in float32 mode.
+func (s *PointStore) Compact() bool { return s.compact }
+
+// Len returns the number of stored points.
+func (s *PointStore) Len() int {
+	if s.compact {
+		return len(s.xs32)
+	}
+	return len(s.xs)
+}
+
+// Reset empties the store, retaining capacity.
+func (s *PointStore) Reset() {
+	s.xs, s.ys = s.xs[:0], s.ys[:0]
+	s.xs32, s.ys32 = s.xs32[:0], s.ys32[:0]
+}
+
+// Append adds p and returns its index.
+func (s *PointStore) Append(p geom.Point) int {
+	if s.compact {
+		s.xs32 = append(s.xs32, float32(p.X))
+		s.ys32 = append(s.ys32, float32(p.Y))
+		return len(s.xs32) - 1
+	}
+	s.xs = append(s.xs, p.X)
+	s.ys = append(s.ys, p.Y)
+	return len(s.xs) - 1
+}
+
+// X returns the i-th stored X coordinate (rounded through float32 in
+// compact mode).
+func (s *PointStore) X(i int) float64 {
+	if s.compact {
+		return float64(s.xs32[i])
+	}
+	return s.xs[i]
+}
+
+// Y returns the i-th stored Y coordinate.
+func (s *PointStore) Y(i int) float64 {
+	if s.compact {
+		return float64(s.ys32[i])
+	}
+	return s.ys[i]
+}
+
+// At returns the i-th stored point.
+func (s *PointStore) At(i int) geom.Point { return geom.Point{X: s.X(i), Y: s.Y(i)} }
+
+// Dist2 returns the squared distance from p to the i-th stored point. In
+// float64 mode it is bit-identical to geom.Dist2(p, At(i)).
+func (s *PointStore) Dist2(p geom.Point, i int) float64 {
+	dx, dy := p.X-s.X(i), p.Y-s.Y(i)
+	return dx*dx + dy*dy
+}
+
+// SoAGrid is CompactGrid's CSR bucket layout over a PointStore instead of a
+// []geom.Point slice: bucket offsets plus one contiguous index array,
+// filled by a counting sort that reuses its backing arrays across Fill
+// calls. It is the per-tile index of the tile-sharded topology builder —
+// each tile refills one grid over its owned+halo working set, so
+// steady-state tile processing allocates nothing.
+//
+// Visit order matches Grid and CompactGrid: bucket-major, ascending point
+// index within each bucket.
+type SoAGrid struct {
+	st         *PointStore
+	cell       float64
+	minX, minY float64
+	cols, rows int
+	start      []int32 // bucket b occupies idx[start[b]:start[b+1]]
+	idx        []int32
+	cur        []int32 // fill cursors, retained as scratch
+}
+
+// Fill (re)indexes the store's points with the given cell size. A
+// non-positive cellSize selects the NewGrid heuristic (bounding-box area /
+// n, clamped). The grid keeps a reference to st; callers must not append to
+// the store while the grid is in use.
+func (g *SoAGrid) Fill(st *PointStore, cellSize float64) {
+	g.st = st
+	n := st.Len()
+	if n == 0 {
+		g.cell = 1
+		g.cols, g.rows = 0, 0
+		return
+	}
+	minX, minY := st.X(0), st.Y(0)
+	maxX, maxY := minX, minY
+	for i := 1; i < n; i++ {
+		x, y := st.X(i), st.Y(i)
+		if x < minX {
+			minX = x
+		} else if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		} else if y > maxY {
+			maxY = y
+		}
+	}
+	w, h := maxX-minX, maxY-minY
+	if cellSize <= 0 {
+		area := w * h
+		if area <= 0 {
+			cellSize = 1
+		} else {
+			cellSize = math.Sqrt(area / float64(n))
+		}
+		if cellSize <= 0 {
+			cellSize = 1
+		}
+	}
+	g.cell = cellSize
+	g.minX, g.minY = minX, minY
+	g.cols = int(w/cellSize) + 1
+	g.rows = int(h/cellSize) + 1
+
+	cells := g.cols * g.rows
+	g.start = growInt32(g.start, cells+1)
+	g.cur = growInt32(g.cur, cells)
+	g.idx = growInt32(g.idx, n)
+	counts := g.cur
+	clear(counts)
+	for i := 0; i < n; i++ {
+		counts[g.cellIndex(st.X(i), st.Y(i))]++
+	}
+	g.start[0] = 0
+	for c := 0; c < cells; c++ {
+		g.start[c+1] = g.start[c] + counts[c]
+		counts[c] = g.start[c] // reuse as fill cursor
+	}
+	for i := 0; i < n; i++ {
+		c := g.cellIndex(st.X(i), st.Y(i))
+		g.idx[counts[c]] = int32(i)
+		counts[c]++
+	}
+}
+
+func (g *SoAGrid) cellIndex(x, y float64) int {
+	col := int((x - g.minX) / g.cell)
+	row := int((y - g.minY) / g.cell)
+	if col < 0 {
+		col = 0
+	} else if col >= g.cols {
+		col = g.cols - 1
+	}
+	if row < 0 {
+		row = 0
+	} else if row >= g.rows {
+		row = g.rows - 1
+	}
+	return row*g.cols + col
+}
+
+// ForEachWithin calls fn(j) for every stored point j with |p, At(j)| ≤ r,
+// in deterministic order (bucket-major, ascending index within buckets).
+// It is safe for concurrent use by multiple goroutines once filled.
+func (g *SoAGrid) ForEachWithin(p geom.Point, r float64, fn func(j int)) {
+	if g.cols == 0 || r < 0 {
+		return
+	}
+	r2 := r * r
+	c0 := clampCell(int(math.Floor((p.X-r-g.minX)/g.cell)), g.cols)
+	c1 := clampCell(int(math.Floor((p.X+r-g.minX)/g.cell)), g.cols)
+	r0 := clampCell(int(math.Floor((p.Y-r-g.minY)/g.cell)), g.rows)
+	r1 := clampCell(int(math.Floor((p.Y+r-g.minY)/g.cell)), g.rows)
+	for row := r0; row <= r1; row++ {
+		base := row * g.cols
+		for col := c0; col <= c1; col++ {
+			b := base + col
+			for _, j := range g.idx[g.start[b]:g.start[b+1]] {
+				if g.st.Dist2(p, int(j)) <= r2 {
+					fn(int(j))
+				}
+			}
+		}
+	}
+}

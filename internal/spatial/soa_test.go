@@ -1,0 +1,153 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"toporouting/internal/geom"
+)
+
+// TestPointStoreFloat64RoundTrip pins the float64 mode's bit-exactness
+// contract: At returns exactly what Append stored, including negative
+// zeros and denormals, and Dist2 matches geom.Dist2 bit-for-bit.
+func TestPointStoreFloat64RoundTrip(t *testing.T) {
+	st := NewPointStore(false)
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(math.Copysign(0, -1), 1),
+		geom.Pt(1e-308, -1e-308), geom.Pt(0.1+0.2, 0.3),
+		geom.Pt(-1e15, 1e15),
+	}
+	for i, p := range pts {
+		if got := st.Append(p); got != i {
+			t.Fatalf("Append returned %d, want %d", got, i)
+		}
+	}
+	if st.Compact() {
+		t.Fatal("default store must not be compact")
+	}
+	q := geom.Pt(0.25, -0.75)
+	for i, p := range pts {
+		got := st.At(i)
+		if math.Float64bits(got.X) != math.Float64bits(p.X) || math.Float64bits(got.Y) != math.Float64bits(p.Y) {
+			t.Fatalf("point %d: stored (%x,%x), want (%x,%x)", i,
+				math.Float64bits(got.X), math.Float64bits(got.Y),
+				math.Float64bits(p.X), math.Float64bits(p.Y))
+		}
+		if d, want := st.Dist2(q, i), geom.Dist2(q, p); math.Float64bits(d) != math.Float64bits(want) {
+			t.Fatalf("point %d: Dist2 %v, want %v (bit-exact)", i, d, want)
+		}
+	}
+}
+
+// TestPointStoreFloat32Tolerance bounds the compact mode's rounding: each
+// coordinate comes back within half an ulp of float32, i.e. a relative
+// error of at most 2⁻²⁴, and values exactly representable in float32
+// round-trip exactly.
+func TestPointStoreFloat32Tolerance(t *testing.T) {
+	st := NewPointStore(true)
+	if !st.Compact() {
+		t.Fatal("store must report compact mode")
+	}
+	rng := rand.New(rand.NewSource(42))
+	const relBound = 1.0 / (1 << 24) // half-ulp relative error of float32
+	for i := 0; i < 1000; i++ {
+		p := geom.Pt((rng.Float64()*2-1)*1e3, (rng.Float64()*2-1)*1e-3)
+		j := st.Append(p)
+		got := st.At(j)
+		for _, c := range [][2]float64{{got.X, p.X}, {got.Y, p.Y}} {
+			if err := math.Abs(c[0] - c[1]); err > relBound*math.Abs(c[1]) {
+				t.Fatalf("point %v came back %v: error %g exceeds relative bound %g", p, got, err, relBound)
+			}
+		}
+	}
+	// Exactly representable values survive unchanged.
+	st.Reset()
+	if st.Len() != 0 {
+		t.Fatal("Reset must empty the store")
+	}
+	exact := []geom.Point{geom.Pt(0.5, -0.25), geom.Pt(3, -1024), geom.Pt(0, 0.125)}
+	for _, p := range exact {
+		st.Append(p)
+	}
+	for i, p := range exact {
+		if got := st.At(i); got != p {
+			t.Fatalf("float32-exact point %v came back %v", p, got)
+		}
+	}
+}
+
+// TestSoAGridMatchesGrid checks that SoAGrid answers range queries
+// identically to Grid — same points, same deterministic visit order — and
+// that refilling reuses the arrays without leaking stale state.
+func TestSoAGridMatchesGrid(t *testing.T) {
+	var sg SoAGrid
+	st := NewPointStore(false)
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		pts := make([]geom.Point, n)
+		st.Reset()
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+			st.Append(pts[i])
+		}
+		ref := NewGrid(pts, 0)
+		sg.Fill(st, 0) // refilled every seed: exercises reuse
+		for q := 0; q < 50; q++ {
+			p := geom.Pt(rng.Float64()*12-1, rng.Float64()*12-1)
+			r := rng.Float64() * 3
+			var want, got []int
+			ref.ForEachWithin(p, r, func(j int) { want = append(want, j) })
+			sg.ForEachWithin(p, r, func(j int) { got = append(got, j) })
+			if !slices.Equal(got, want) {
+				t.Fatalf("seed %d query %d: SoAGrid %v, Grid %v", seed, q, got, want)
+			}
+		}
+	}
+}
+
+// TestSoAGridEdgeCases covers the degenerate fills: an empty store, all
+// points coincident in one cell, and a single point.
+func TestSoAGridEdgeCases(t *testing.T) {
+	var sg SoAGrid
+	st := NewPointStore(false)
+
+	sg.Fill(st, 0)
+	called := false
+	sg.ForEachWithin(geom.Pt(0, 0), 5, func(int) { called = true })
+	if called {
+		t.Fatal("empty SoAGrid must answer no points")
+	}
+
+	// All points in one cell: a near-coincident cluster, zero-area bbox.
+	st.Reset()
+	for i := 0; i < 20; i++ {
+		st.Append(geom.Pt(3, 4))
+	}
+	sg.Fill(st, 0)
+	var got []int
+	sg.ForEachWithin(geom.Pt(3, 4), 0, func(j int) { got = append(got, j) })
+	if len(got) != 20 {
+		t.Fatalf("coincident cluster: got %d of 20 points at r=0", len(got))
+	}
+	if !slices.IsSorted(got) {
+		t.Fatalf("visit order not ascending: %v", got)
+	}
+	got = got[:0]
+	sg.ForEachWithin(geom.Pt(100, 100), 1, func(j int) { got = append(got, j) })
+	if len(got) != 0 {
+		t.Fatalf("far query returned %v", got)
+	}
+
+	st.Reset()
+	st.Append(geom.Pt(-7, 2))
+	sg.Fill(st, 0)
+	got = got[:0]
+	sg.ForEachWithin(geom.Pt(-7, 2.5), 1, func(j int) { got = append(got, j) })
+	if !slices.Equal(got, []int{0}) {
+		t.Fatalf("single point: got %v", got)
+	}
+	sg.ForEachWithin(geom.Pt(-7, 2.5), -1, func(j int) { t.Fatal("negative radius must visit nothing") })
+}

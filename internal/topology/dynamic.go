@@ -116,6 +116,27 @@ func NewDynamic(pts []geom.Point, cfg Config) *Dynamic {
 	}
 }
 
+// NewDynamicFrom wraps an already-built topology — typically a
+// BuildThetaTiled result, whose tables are bit-identical to BuildTheta's —
+// as a churn-maintenance handle without rebuilding it. The handle takes
+// ownership of t: its tables and graphs mutate in place across Apply
+// calls. Positions are copied first, so the slice the topology was built
+// over stays untouched. Like NewDynamic it rejects per-node Orientations,
+// which swap-renumbering does not support.
+func NewDynamicFrom(t *Topology) *Dynamic {
+	if t.Cfg.Orientations != nil {
+		panic("topology: NewDynamicFrom does not support per-node orientations")
+	}
+	own := append([]geom.Point(nil), t.Pts...)
+	t.Pts = own
+	return &Dynamic{
+		t:    t,
+		idx:  spatial.NewDynGrid(own, t.Cfg.Range),
+		tel:  t.Cfg.Telemetry,
+		mark: make([]int32, len(own)),
+	}
+}
+
 // Topology returns the maintained topology. Callers must treat it as
 // read-only; it remains valid (and mutates) across Apply calls.
 func (d *Dynamic) Topology() *Topology { return d.t }

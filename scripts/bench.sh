@@ -18,7 +18,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-run}"
-BENCH_PATTERN="${BENCH_PATTERN:-BalancerStepManyDests|MaxBenefit|InterferenceSets|ServeTopology}"
+BENCH_PATTERN="${BENCH_PATTERN:-BalancerStepManyDests|MaxBenefit|InterferenceSets|ServeTopology|BuildThetaTiled}"
 BENCH_TIME="${BENCH_TIME:-1s}"
 BENCH_MAX_REGRESS="${BENCH_MAX_REGRESS:-0.30}"
 BENCH_RATIOS="${BENCH_RATIOS:-BenchmarkServeTopologyTraced/BenchmarkServeTopologyMetrics<=1.05}"

@@ -73,6 +73,12 @@ type SimulationOptions struct {
 	// Workers > 0 caps the worker pool of full topology rebuilds
 	// (BuildNetworkParallel semantics); 0 keeps the sequential builder.
 	Workers int
+	// Tiles > 0 routes full topology rebuilds through the tile-sharded
+	// builder (BuildNetworkTiled semantics) with a Tiles×Tiles grid; the
+	// built topology is identical, only peak memory and wall-clock change.
+	// Ignored under ChurnEvery and DistFaults, which build incrementally
+	// or via the protocol engine.
+	Tiles int
 	// Seed drives all randomness.
 	Seed int64
 	// Telemetry, when non-nil, records step-level metrics across every
@@ -179,6 +185,7 @@ func toSimConfig(opts SimulationOptions) (sim.Config, error) {
 		Churn:     sim.Churn{Every: opts.ChurnEvery, Moves: opts.ChurnMoves, StepSize: opts.ChurnStep},
 		Dist:      opts.DistFaults,
 		Workers:   opts.Workers,
+		Tiles:     opts.Tiles,
 		Seed:      opts.Seed,
 		Telemetry: opts.Telemetry,
 	}, nil

@@ -169,6 +169,43 @@ func BuildNetworkContext(ctx context.Context, points []Point, opts Options, work
 	}, nil
 }
 
+// BuildNetworkTiled is BuildNetwork with the tile-sharded builder: the
+// point set's bounding box is cut into tiles×tiles tiles, each built
+// independently over a halo of boundary nodes (the 2D locality radius of
+// the paper's Section 2) by a pool of workers, then stitched. The topology
+// is bit-identical to BuildNetwork's for every tile grid and worker count;
+// what changes is peak memory — per-worker cache-sized working sets
+// instead of one shared arena — which is what admits million-node builds.
+// tiles ≤ 0 selects a density heuristic, workers ≤ 0 selects GOMAXPROCS.
+func BuildNetworkTiled(points []Point, opts Options, tiles, workers int) (*Network, error) {
+	return BuildNetworkTiledContext(context.Background(), points, opts, tiles, workers)
+}
+
+// BuildNetworkTiledContext is BuildNetworkTiled under a cancellation
+// context: tile workers check ctx between row batches, so a caller whose
+// request was cancelled stops the build promptly and receives ctx.Err().
+func BuildNetworkTiledContext(ctx context.Context, points []Point, opts Options, tiles, workers int) (*Network, error) {
+	if len(points) < 2 {
+		return nil, errors.New("toporouting: need at least two points")
+	}
+	o, err := opts.withDefaults(points)
+	if err != nil {
+		return nil, err
+	}
+	top, err := topology.BuildThetaTiled(ctx, points,
+		topology.Config{Theta: o.Theta, Range: o.Range, Telemetry: o.Telemetry},
+		topology.TiledConfig{Tiles: tiles, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Network{
+		opts:    o,
+		top:     top,
+		gstar:   unitdisk.Build(points, o.Range),
+		workers: workers,
+	}, nil
+}
+
 // ChurnEvent is one dynamic-topology event: a node joining, leaving, or
 // moving.
 type ChurnEvent = topology.Event
