@@ -19,12 +19,15 @@
 // the traced serving path costs more than 1.05× the untraced one. Multiple
 // comma-separated clauses are allowed; a clause naming a benchmark absent
 // from the run fails rather than silently passing.
-// B/op and allocs/op regressions are reported but warn-only — allocation
+// B/op and allocs/op regressions are warn-only by default — allocation
 // counts are deterministic yet intentionally allowed to move when a change
-// trades memory for time; the alloc-sensitive paths pin themselves with
-// ReportAllocs assertions in tests instead. Benchmarks present on only one
-// side are reported and skipped, so adding or retiring a benchmark never
-// blocks a PR by itself.
+// trades memory for time. -alloc-strict takes a regexp of benchmark names
+// for which that leniency is wrong: matching benchmarks FAIL the gate when
+// B/op or allocs/op regress beyond -max-regress, the contract for serving
+// hot paths (the pooled session snapshot/delta encoders) whose allocation
+// profile is the optimization. Benchmarks present on only one side are
+// reported and skipped, so adding or retiring a benchmark never blocks a
+// PR by itself.
 package main
 
 import (
@@ -107,7 +110,9 @@ func sortedNames(m map[string]Result) []string {
 }
 
 // gate compares run against base and returns the number of hard failures.
-func gate(w io.Writer, base, run map[string]Result, maxRegress float64) int {
+// Benchmarks matching allocStrict (when non-nil) additionally fail — rather
+// than warn — on B/op and allocs/op regressions beyond maxRegress.
+func gate(w io.Writer, base, run map[string]Result, maxRegress float64, allocStrict *regexp.Regexp) int {
 	failures := 0
 	for _, name := range sortedNames(run) {
 		got := run[name]
@@ -129,12 +134,24 @@ func gate(w io.Writer, base, run map[string]Result, maxRegress float64) int {
 		}
 		fmt.Fprintf(w, "%s %-55s %12.0f ns/op  baseline %12.0f  (%+.1f%%)\n",
 			status, name, got.NsPerOp, want.NsPerOp, 100*ratio)
+		strict := allocStrict != nil && allocStrict.MatchString(name)
+		level, note := "warn ", "warn-only"
+		if strict {
+			level, note = "FAIL ", "alloc-strict"
+		}
 		if want.AllocsPerOp > 0 && got.AllocsPerOp > want.AllocsPerOp*(1+maxRegress) {
-			fmt.Fprintf(w, "warn  %-55s allocs/op %g vs baseline %g (warn-only)\n",
-				name, got.AllocsPerOp, want.AllocsPerOp)
-		} else if want.BytesPerOp > 0 && got.BytesPerOp > want.BytesPerOp*(1+maxRegress) {
-			fmt.Fprintf(w, "warn  %-55s B/op %g vs baseline %g (warn-only)\n",
-				name, got.BytesPerOp, want.BytesPerOp)
+			fmt.Fprintf(w, "%s %-55s allocs/op %g vs baseline %g (%s)\n",
+				level, name, got.AllocsPerOp, want.AllocsPerOp, note)
+			if strict {
+				failures++
+			}
+		}
+		if want.BytesPerOp > 0 && got.BytesPerOp > want.BytesPerOp*(1+maxRegress) {
+			fmt.Fprintf(w, "%s %-55s B/op %g vs baseline %g (%s)\n",
+				level, name, got.BytesPerOp, want.BytesPerOp, note)
+			if strict {
+				failures++
+			}
 		}
 	}
 	for _, name := range sortedNames(base) {
@@ -208,7 +225,17 @@ func run() error {
 	baseline := flag.String("baseline", "", "compare against this JSON baseline and gate on ns/op regressions")
 	maxRegress := flag.Float64("max-regress", 0.30, "maximum tolerated relative ns/op regression before failing")
 	ratios := flag.String("ratio", "", `within-run ns/op bounds, e.g. "BenchA/BenchB<=1.05" (comma-separated)`)
+	allocStrict := flag.String("alloc-strict", "", "regexp of benchmark names whose B/op and allocs/op regressions fail the gate instead of warning")
 	flag.Parse()
+
+	var allocStrictRe *regexp.Regexp
+	if *allocStrict != "" {
+		var err error
+		allocStrictRe, err = regexp.Compile(*allocStrict)
+		if err != nil {
+			return fmt.Errorf("-alloc-strict: %w", err)
+		}
+	}
 
 	src := io.Reader(os.Stdin)
 	if *in != "" {
@@ -244,8 +271,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if failures := gate(os.Stdout, base, results, *maxRegress); failures > 0 {
-			return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% ns/op", failures, 100**maxRegress)
+		if failures := gate(os.Stdout, base, results, *maxRegress, allocStrictRe); failures > 0 {
+			return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", failures, 100**maxRegress)
 		}
 	}
 	if *ratios != "" {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -54,7 +55,7 @@ func TestGate(t *testing.T) {
 		"BenchmarkNew": {NsPerOp: 7},                      // no baseline: skipped
 	}
 	var sb strings.Builder
-	if failures := gate(&sb, base, run, 0.30); failures != 1 {
+	if failures := gate(&sb, base, run, 0.30, nil); failures != 1 {
 		t.Fatalf("gate reported %d failures, want 1\n%s", failures, sb.String())
 	}
 	out := sb.String()
@@ -62,5 +63,39 @@ func TestGate(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("gate output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestGateAllocStrict(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkSessionDelta":  {NsPerOp: 1000, BytesPerOp: 5000, AllocsPerOp: 50},
+		"BenchmarkServeTopology": {NsPerOp: 1000, BytesPerOp: 5000, AllocsPerOp: 50},
+	}
+	run := map[string]Result{
+		"BenchmarkSessionDelta":  {NsPerOp: 1000, BytesPerOp: 9000, AllocsPerOp: 90}, // both regress
+		"BenchmarkServeTopology": {NsPerOp: 1000, BytesPerOp: 9000, AllocsPerOp: 50}, // B/op regresses, unmatched
+	}
+	strict := regexp.MustCompile(`^BenchmarkSession`)
+	var sb strings.Builder
+	// SessionDelta fails twice (allocs + bytes); ServeTopology only warns.
+	if failures := gate(&sb, base, run, 0.30, strict); failures != 2 {
+		t.Fatalf("strict gate reported %d failures, want 2\n%s", failures, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "alloc-strict") {
+		t.Errorf("output missing alloc-strict marker:\n%s", out)
+	}
+	if !strings.Contains(out, "warn-only") {
+		t.Errorf("unmatched benchmark lost its warn-only leniency:\n%s", out)
+	}
+
+	// Within bounds: no failures even under strict matching.
+	sb.Reset()
+	ok := map[string]Result{
+		"BenchmarkSessionDelta":  {NsPerOp: 1000, BytesPerOp: 5200, AllocsPerOp: 52},
+		"BenchmarkServeTopology": {NsPerOp: 1000, BytesPerOp: 5000, AllocsPerOp: 50},
+	}
+	if failures := gate(&sb, base, ok, 0.30, strict); failures != 0 {
+		t.Fatalf("in-bounds strict gate reported %d failures\n%s", failures, sb.String())
 	}
 }

@@ -5,8 +5,8 @@
 // Usage:
 //
 //	loadgen [-addr http://localhost:8080] [-rps 50] [-duration 10s]
-//	        [-endpoint topology|simulate|interference] [-n 60] [-dist uniform]
-//	        [-steps 50] [-mode centralized] [-timeout-ms 5000]
+//	        [-endpoint topology|simulate|interference|session] [-n 60]
+//	        [-dist uniform] [-steps 50] [-mode centralized] [-timeout-ms 5000]
 //	        [-strict] [-json] [-slo "p99<50ms,err<1%"]
 //
 // Open-loop means the schedule never waits for responses: a request fires
@@ -14,6 +14,15 @@
 // slowdowns surface as latency and shed load (429), not as a silently
 // reduced offered rate. 429 responses count as "shed", not as errors — they
 // are the server's backpressure working as designed.
+//
+// -endpoint session exercises the hosted-session subsystem instead of the
+// stateless endpoints: it creates one session (-n nodes, -mode build mode),
+// streams move events at -rps, interleaves a conditional GET (If-None-Match
+// with the last seen ETag) every 16th tick, and deletes the session at the
+// end. The report gains a "session" section with the event count, the
+// 304/delta/full breakdown of the reads, and the delta-hit ratio — the
+// fraction of reads the generation-numbered delta ring answered without a
+// full snapshot. Latency percentiles cover both event applies and reads.
 //
 // -strict exits non-zero when any 5xx was observed or no request succeeded,
 // which makes loadgen usable as a CI smoke gate. -slo goes further: it
@@ -48,7 +57,7 @@ func main() {
 // report is the end-of-run summary (also the -json shape).
 type report struct {
 	Requests    int            `json:"requests"`
-	OK          int            `json:"ok"`         // 2xx
+	OK          int            `json:"ok"`         // 2xx (and 304 in session mode)
 	Shed        int            `json:"shed"`       // 429
 	ClientErr   int            `json:"client_err"` // other 4xx
 	ServerErr   int            `json:"server_err"` // 5xx
@@ -57,6 +66,45 @@ type report struct {
 	LatencyMS   latencySummary `json:"latency_ms"`
 	OfferedRPS  float64        `json:"offered_rps"`
 	AchievedRPS float64        `json:"achieved_rps"` // 2xx per second
+	Session     *sessionReport `json:"session,omitempty"`
+}
+
+// sample is one request's outcome; status 0 means a transport error.
+type sample struct {
+	status    int
+	latencyMS float64
+}
+
+// summarize folds raw samples into the report. 304 counts as success: in
+// session mode it is the delta protocol's cheapest (and desired) answer.
+func summarize(samples []sample, offeredRPS, elapsedS float64) report {
+	rep := report{Statuses: make(map[string]int), OfferedRPS: offeredRPS}
+	var lats []float64
+	for _, s := range samples {
+		rep.Requests++
+		switch {
+		case s.status == 0:
+			rep.Transport++
+		case s.status < 300 || s.status == http.StatusNotModified:
+			rep.OK++
+			lats = append(lats, s.latencyMS)
+		case s.status == http.StatusTooManyRequests:
+			rep.Shed++
+		case s.status < 500:
+			rep.ClientErr++
+		default:
+			rep.ServerErr++
+		}
+		if s.status != 0 {
+			rep.Statuses[fmt.Sprint(s.status)]++
+		}
+	}
+	rep.AchievedRPS = float64(rep.OK) / elapsedS
+	sum := stats.Summarize(lats)
+	rep.LatencyMS = latencySummary{
+		Mean: sum.Mean, P50: sum.P50, P90: sum.P90, P95: sum.P95, P99: sum.P99, Max: sum.Max,
+	}
+	return rep
 }
 
 type latencySummary struct {
@@ -73,7 +121,7 @@ func run() error {
 		addr      = flag.String("addr", "http://localhost:8080", "toporoutingd base URL")
 		rps       = flag.Float64("rps", 50, "target request rate (open loop)")
 		duration  = flag.Duration("duration", 10*time.Second, "run length")
-		endpoint  = flag.String("endpoint", "topology", "topology | simulate | interference")
+		endpoint  = flag.String("endpoint", "topology", "topology | simulate | interference | session")
 		n         = flag.Int("n", 60, "nodes per request")
 		dist      = flag.String("dist", "uniform", "point distribution")
 		steps     = flag.Int("steps", 50, "simulation steps (simulate endpoint)")
@@ -95,80 +143,63 @@ func run() error {
 		}
 	}
 
-	path, body, err := buildRequest(*endpoint, *n, *dist, *steps, *mode, *timeoutMS)
-	if err != nil {
-		return err
-	}
-	url := *addr + path
 	client := &http.Client{Timeout: time.Duration(*timeoutMS)*time.Millisecond + 5*time.Second}
 
-	type sample struct {
-		status    int // 0 = transport error
-		latencyMS float64
-	}
-	var (
-		mu      sync.Mutex
-		samples []sample
-		wg      sync.WaitGroup
-	)
-	interval := time.Duration(float64(time.Second) / *rps)
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	deadline := time.After(*duration)
-	start := time.Now()
+	var rep report
+	if *endpoint == "session" {
+		samples, sess, elapsed, err := runSession(client, sessionOpts{
+			addr: *addr, rps: *rps, duration: *duration,
+			n: *n, dist: *dist, mode: *mode, timeoutMS: *timeoutMS,
+		})
+		if err != nil {
+			return err
+		}
+		rep = summarize(samples, *rps, elapsed)
+		rep.Session = sess
+	} else {
+		path, body, err := buildRequest(*endpoint, *n, *dist, *steps, *mode, *timeoutMS)
+		if err != nil {
+			return err
+		}
+		url := *addr + path
 
-fire:
-	for {
-		select {
-		case <-deadline:
-			break fire
-		case <-ticker.C:
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-				lat := float64(time.Since(t0)) / float64(time.Millisecond)
-				st := 0
-				if err == nil {
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					st = resp.StatusCode
-				}
-				mu.Lock()
-				samples = append(samples, sample{status: st, latencyMS: lat})
-				mu.Unlock()
-			}()
-		}
-	}
-	wg.Wait()
-	elapsed := time.Since(start).Seconds()
+		var (
+			mu      sync.Mutex
+			samples []sample
+			wg      sync.WaitGroup
+		)
+		interval := time.Duration(float64(time.Second) / *rps)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		deadline := time.After(*duration)
+		start := time.Now()
 
-	rep := report{Statuses: make(map[string]int), OfferedRPS: *rps}
-	var lats []float64
-	for _, s := range samples {
-		rep.Requests++
-		switch {
-		case s.status == 0:
-			rep.Transport++
-		case s.status < 300:
-			rep.OK++
-			lats = append(lats, s.latencyMS)
-		case s.status == http.StatusTooManyRequests:
-			rep.Shed++
-		case s.status < 500:
-			rep.ClientErr++
-		default:
-			rep.ServerErr++
+	fire:
+		for {
+			select {
+			case <-deadline:
+				break fire
+			case <-ticker.C:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					t0 := time.Now()
+					resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+					lat := float64(time.Since(t0)) / float64(time.Millisecond)
+					st := 0
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						st = resp.StatusCode
+					}
+					mu.Lock()
+					samples = append(samples, sample{status: st, latencyMS: lat})
+					mu.Unlock()
+				}()
+			}
 		}
-		if s.status != 0 {
-			rep.Statuses[fmt.Sprint(s.status)]++
-		}
-	}
-	rep.AchievedRPS = float64(rep.OK) / elapsed
-	sum := stats.Summarize(lats)
-	rep.LatencyMS = latencySummary{
-		Mean: sum.Mean, P50: sum.P50, P90: sum.P90, P95: sum.P95, P99: sum.P99, Max: sum.Max,
+		wg.Wait()
+		rep = summarize(samples, *rps, time.Since(start).Seconds())
 	}
 
 	if *jsonOut {
@@ -220,7 +251,7 @@ func buildRequest(endpoint string, n int, dist string, steps int, mode string, t
 		path = "/v1/interference"
 		req = map[string]any{"dist": dist, "n": n, "timeout_ms": timeoutMS}
 	default:
-		return "", nil, fmt.Errorf("unknown endpoint %q (want topology, simulate, or interference)", endpoint)
+		return "", nil, fmt.Errorf("unknown endpoint %q (want topology, simulate, interference, or session)", endpoint)
 	}
 	body, err := json.Marshal(req)
 	return path, body, err
@@ -244,4 +275,10 @@ func printReport(rep report) {
 	fmt.Printf("latency ms mean=%.1f p50=%.1f p90=%.1f p95=%.1f p99=%.1f max=%.1f\n",
 		rep.LatencyMS.Mean, rep.LatencyMS.P50, rep.LatencyMS.P90,
 		rep.LatencyMS.P95, rep.LatencyMS.P99, rep.LatencyMS.Max)
+	if s := rep.Session; s != nil {
+		fmt.Printf("session    %s gen=%d events=%d rejected=%d\n",
+			s.ID, s.FinalGen, s.Events, s.EventErrors)
+		fmt.Printf("reads      %d (304=%d delta=%d full=%d) delta-hit %.3f\n",
+			s.Gets, s.NotModified, s.DeltaServed, s.FullServed, s.DeltaHitRatio)
+	}
 }

@@ -10,19 +10,31 @@
 //	             [-max-nodes 50000] [-max-steps 10000000] [-job-ttl 10m]
 //	             [-grace 10s] [-trace trace.jsonl] [-expvar toporouting]
 //	             [-log text|json|off] [-trace-slow 32] [-trace-sample 64]
+//	             [-max-sessions 256] [-max-tenant-sessions 8]
+//	             [-session-rate 1000] [-session-ring 256] [-session-ttl 10m]
 //
 // Endpoints:
 //
-//	POST /v1/topology      build a topology; {"mode":"centralized|parallel|distributed", ...}
-//	POST /v1/simulate      run a simulation; {"async":true} returns 202 + job id
-//	POST /v1/interference  interference number of a built topology
-//	GET  /v1/jobs/{id}     poll an async job
-//	GET  /healthz          liveness
-//	GET  /readyz           readiness (503 while draining)
-//	GET  /metrics          Prometheus text exposition (?format=json for the JSON snapshot)
-//	GET  /debug/traces     retained request traces (slowest + uniform sample)
-//	GET  /debug/vars       expvar (live telemetry under the -expvar name)
-//	GET  /debug/pprof/     net/http/pprof
+//	POST /v1/topology              build a topology; {"mode":"centralized|parallel|distributed", ...}
+//	POST /v1/simulate              run a simulation; {"async":true} returns 202 + job id
+//	POST /v1/interference          interference number of a built topology
+//	GET  /v1/jobs/{id}             poll an async job
+//	POST /v1/sessions              host a topology as a churn session (201 + id)
+//	POST /v1/sessions/{id}/events  stream NDJSON join/leave/move events; per-event echo
+//	GET  /v1/sessions/{id}         snapshot, or delta/304 with If-None-Match: <gen>
+//	GET  /v1/sessions/{id}/watch   live deltas over SSE
+//	DELETE /v1/sessions/{id}       end the session
+//	GET  /healthz                  liveness
+//	GET  /readyz                   readiness (503 while draining)
+//	GET  /metrics                  Prometheus text exposition (?format=json for the JSON snapshot)
+//	GET  /debug/traces             retained request traces (slowest + uniform sample)
+//	GET  /debug/vars               expvar (live telemetry under the -expvar name)
+//	GET  /debug/pprof/             net/http/pprof
+//
+// Sessions are multi-tenant: the X-Tenant-ID header (default "default")
+// scopes lookups and quotas — session count per tenant, a shared event-rate
+// token bucket, and idle-TTL eviction. Quota rejections answer 429 with
+// Retry-After.
 //
 // Every /v1 request is traced as a span tree — admission wait, worker
 // pickup, build phases, simulation steps, response encode — and logged as
@@ -59,6 +71,7 @@ import (
 
 	"toporouting"
 	"toporouting/internal/server"
+	"toporouting/internal/session"
 )
 
 func main() {
@@ -84,6 +97,12 @@ func run() error {
 		logFormat      = flag.String("log", "text", "request log format: text, json, or off")
 		traceSlow      = flag.Int("trace-slow", 32, "retain this many slowest request traces")
 		traceSample    = flag.Int("trace-sample", 64, "retain a uniform sample of this many request traces")
+
+		maxSessions       = flag.Int("max-sessions", 256, "hosted-session cap across all tenants")
+		maxTenantSessions = flag.Int("max-tenant-sessions", 8, "hosted-session cap per tenant")
+		sessionRate       = flag.Float64("session-rate", 1000, "per-tenant event rate limit, events/sec (negative = unlimited)")
+		sessionRing       = flag.Int("session-ring", 256, "delta generations retained per session")
+		sessionTTL        = flag.Duration("session-ttl", 10*time.Minute, "evict sessions idle this long (negative = never)")
 	)
 	flag.Parse()
 
@@ -127,6 +146,13 @@ func run() error {
 		Tracer:         tracer,
 		Logger:         logger,
 		Sink:           sink,
+		Sessions: session.Config{
+			MaxSessions:          *maxSessions,
+			MaxSessionsPerTenant: *maxTenantSessions,
+			EventRate:            *sessionRate,
+			DeltaRing:            *sessionRing,
+			IdleTTL:              *sessionTTL,
+		},
 	})
 
 	httpSrv := &http.Server{

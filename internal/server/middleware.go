@@ -33,6 +33,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap lets http.NewResponseController reach the underlying writer's
+// Flush through this wrapper — the streaming session endpoints need it.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 func (w *statusWriter) Write(p []byte) (int, error) {
 	if w.code == 0 {
 		w.code = http.StatusOK

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"toporouting"
+	"toporouting/internal/session"
 	"toporouting/internal/telemetry"
 )
 
@@ -68,6 +69,10 @@ type Config struct {
 	// Sink, when non-nil, is closed (flushing buffered trace events to
 	// disk) at the end of Shutdown.
 	Sink io.Closer
+	// Sessions parameterizes the hosted-session registry (quotas, delta
+	// ring depth, idle TTL). Its Telemetry and MaxNodes default to the
+	// server's own when unset.
+	Sessions session.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +96,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobTTL <= 0 {
 		c.JobTTL = 10 * time.Minute
+	}
+	if c.Sessions.Telemetry == nil {
+		c.Sessions.Telemetry = c.Telemetry
+	}
+	if c.Sessions.MaxNodes <= 0 {
+		c.Sessions.MaxNodes = c.MaxNodes
 	}
 	return c
 }
@@ -117,8 +128,9 @@ type Server struct {
 	// bits), the drain-rate estimate behind the Retry-After computation.
 	avgRunBits atomic.Uint64
 
-	jobs  *jobStore
-	start time.Time
+	jobs     *jobStore
+	registry *session.Registry
+	start    time.Time
 
 	shutdownOnce sync.Once
 	shutdownDone chan struct{}
@@ -138,6 +150,7 @@ func New(cfg Config) *Server {
 		stop:         make(chan struct{}),
 		shutdownDone: make(chan struct{}),
 		jobs:         newJobStore(cfg.JobTTL),
+		registry:     session.NewRegistry(cfg.Sessions),
 		start:        time.Now(),
 	}
 	s.mux = s.routes()
@@ -161,6 +174,11 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/interference", s.instrument("/v1/interference", s.handleInterference))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
+	mux.HandleFunc("POST /v1/sessions", s.instrument("/v1/sessions", s.handleSessionCreate))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("/v1/sessions/{id}", s.handleSessionGet))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("/v1/sessions/{id}", s.handleSessionDelete))
+	mux.HandleFunc("POST /v1/sessions/{id}/events", s.instrument("/v1/sessions/{id}/events", s.handleSessionEvents))
+	mux.HandleFunc("GET /v1/sessions/{id}/watch", s.instrument("/v1/sessions/{id}/watch", s.handleSessionWatch))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -646,6 +664,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	tel.Gauge("server.workers").Set(float64(s.cfg.Workers))
 	tel.Gauge("server.in_flight").Set(float64(s.active.Load()))
 	tel.Gauge("server.uptime_seconds").Set(time.Since(s.start).Seconds())
+	tel.Gauge("session.live").Set(float64(s.registry.Live()))
 	_ = toporouting.WritePrometheus(w, tel)
 }
 
@@ -707,6 +726,10 @@ wait:
 	close(s.stop)
 	s.wg.Wait()
 	s.baseCancel()
+	// Sessions close after the job pool has drained (a session create may
+	// be in flight until then) and before the sink flushes, so the final
+	// applies and watcher disconnects are observable in the trace output.
+	s.registry.Close()
 	if s.cfg.Sink != nil {
 		if err := s.cfg.Sink.Close(); err != nil && !forced {
 			return fmt.Errorf("server: flushing sink: %w", err)

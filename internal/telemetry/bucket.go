@@ -23,6 +23,11 @@ type BucketHistogram struct {
 // between a cached topology build and a Monte-Carlo simulate request.
 var DefLatencyBuckets = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 
+// DefCountBuckets is a bucket layout for small-integer size distributions —
+// nodes touched by a repair, delta records per response — spanning the
+// single-node fix to a whole large instance in 1-2.5-5 decades.
+var DefCountBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000}
+
 func newBucketHistogram(bounds []float64) *BucketHistogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)

@@ -110,16 +110,20 @@ func TestParsePrometheusRejects(t *testing.T) {
 func TestParsePrometheusAccepts(t *testing.T) {
 	in := "# HELP m a comment\n# TYPE m gauge\n" +
 		`m{a="x\"y",b="z"} +Inf 1700000000000` + "\n" +
+		`m{endpoint="/v1/sessions/{id}"} 2` + "\n" + // braces inside a quoted value
 		"m2 NaN\nm3 -1.5e3\n"
 	samples, err := ParsePrometheus(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(samples) != 3 {
-		t.Fatalf("got %d samples, want 3", len(samples))
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(samples))
 	}
 	if samples[0].Labels["a"] != `x"y` {
 		t.Fatalf("unescaped label = %q", samples[0].Labels["a"])
+	}
+	if samples[1].Labels["endpoint"] != "/v1/sessions/{id}" {
+		t.Fatalf("braced label value = %q", samples[1].Labels["endpoint"])
 	}
 }
 

@@ -104,7 +104,7 @@ func parseSample(line string) (PromSample, error) {
 	}
 	rest = rest[i:]
 	if rest[0] == '{' {
-		end := strings.IndexByte(rest, '}')
+		end := labelBlockEnd(rest)
 		if end < 0 {
 			return s, fmt.Errorf("unterminated label block in %q", line)
 		}
@@ -130,6 +130,29 @@ func parseSample(line string) (PromSample, error) {
 		}
 	}
 	return s, nil
+}
+
+// labelBlockEnd returns the index of the '}' closing the label block that
+// starts at s[0] == '{', or -1 if it never closes. Braces inside quoted
+// label values don't count — route templates like "/v1/sessions/{id}"
+// appear verbatim as endpoint labels.
+func labelBlockEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
 }
 
 func parseLabels(block string) (map[string]string, error) {

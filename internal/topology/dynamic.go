@@ -68,6 +68,25 @@ type UpdateStats struct {
 	Duration time.Duration
 }
 
+// EdgeObserver receives the final-topology (N-graph) edge mutations a
+// repair performs, in the id space current at notification time. Observers
+// see exactly the edges whose presence changed — an edge removed and
+// re-added within one repair is reported twice (remove, then add), and the
+// caller nets them out if it wants set deltas.
+//
+// Structural mutations are NOT reported: a Leave's swap-removal (edges
+// incident to the departing node vanish; the last node's edges are
+// relabeled to the vacated id) and a Join's isolated new node follow
+// mechanically from the event itself, so a consumer maintaining a mirror
+// replays them from the event and takes only the repair's edge churn from
+// the observer. This is what keeps a delta small: the locality argument
+// bounds repair churn to the 2D-ball, while swap-relabel may touch edges
+// arbitrarily far away — which the mirror can relabel locally for free.
+type EdgeObserver interface {
+	EdgeAdded(u, v int)
+	EdgeRemoved(u, v int)
+}
+
 // Dynamic maintains a ΘALG topology under node churn. Where BuildTheta
 // recomputes all n nodes, Apply repairs only the neighborhood the paper's
 // locality argument implies: a node's phase-1 selection depends on
@@ -89,6 +108,7 @@ type Dynamic struct {
 	t   *Topology
 	idx *spatial.DynGrid
 	tel *telemetry.Telemetry
+	obs EdgeObserver
 
 	mark    []int32 // per-node visit stamp for ball dedup
 	stamp   int32
@@ -140,6 +160,11 @@ func NewDynamicFrom(t *Topology) *Dynamic {
 // Topology returns the maintained topology. Callers must treat it as
 // read-only; it remains valid (and mutates) across Apply calls.
 func (d *Dynamic) Topology() *Topology { return d.t }
+
+// SetEdgeObserver installs obs to receive the repair-phase N-edge
+// mutations of subsequent Apply calls (nil removes it). See EdgeObserver
+// for what is and is not reported.
+func (d *Dynamic) SetEdgeObserver(obs EdgeObserver) { d.obs = obs }
 
 // N returns the current node count.
 func (d *Dynamic) N() int { return len(d.t.Pts) }
@@ -306,12 +331,12 @@ func (d *Dynamic) repair(centers []geom.Point) UpdateStats {
 	for _, u := range d.p1 {
 		d.t.phase1Row(int(u), d.idx)
 	}
-	d.fixEdges(d.t.Yao, d.p1, d.t.NearestOut, d.yaoSupported)
+	d.fixEdges(d.t.Yao, d.p1, d.t.NearestOut, d.yaoSupported, nil)
 
 	for _, u := range d.p2 {
 		d.t.admitRow(int(u), d.idx)
 	}
-	d.fixEdges(d.t.N, d.p2, d.t.AdmitIn, d.admitSupported)
+	d.fixEdges(d.t.N, d.p2, d.t.AdmitIn, d.admitSupported, d.obs)
 
 	return UpdateStats{Phase1: len(d.p1), Touched: len(d.p2)}
 }
@@ -350,19 +375,29 @@ func (d *Dynamic) admitSupported(u, v int) bool {
 // (already recomputed) sector tables: drop incident edges the tables no
 // longer support, then add every edge the nodes' own rows assert. Edges
 // with both endpoints outside nodes are untouched — their rows did not
-// change, so their support did not either.
-func (d *Dynamic) fixEdges(g *graph.Graph, nodes []int32, rows [][]int32, supported func(u, v int) bool) {
+// change, so their support did not either. A non-nil obs is told about
+// every actual presence change: removals are always real (the neighbor
+// snapshot lists only present edges, and an edge already dropped via its
+// other endpoint no longer appears), and adds are screened with HasEdge so
+// re-asserting a surviving edge stays silent.
+func (d *Dynamic) fixEdges(g *graph.Graph, nodes []int32, rows [][]int32, supported func(u, v int) bool, obs EdgeObserver) {
 	for _, u := range nodes {
 		d.nbrs = append(d.nbrs[:0], g.Neighbors(int(u))...)
 		for _, v := range d.nbrs {
 			if !supported(int(u), int(v)) {
 				g.RemoveEdge(int(u), int(v))
+				if obs != nil {
+					obs.EdgeRemoved(int(u), int(v))
+				}
 			}
 		}
 	}
 	for _, u := range nodes {
 		for _, v := range rows[u] {
 			if v >= 0 {
+				if obs != nil && !g.HasEdge(int(u), int(v)) {
+					obs.EdgeAdded(int(u), int(v))
+				}
 				g.AddEdge(int(u), int(v))
 			}
 		}

@@ -7,21 +7,28 @@
 #   scripts/bench.sh run        # just print the bench output (default)
 #
 # The gate fails when any benchmark's ns/op regresses by more than
-# BENCH_MAX_REGRESS (default 0.30 = +30%); B/op and allocs/op changes are
-# warn-only. Baselines are machine-dependent — regenerate on the reference
-# machine (or in CI) rather than mixing hosts.
+# BENCH_MAX_REGRESS (default 0.30 = +30%). B/op and allocs/op changes are
+# warn-only EXCEPT for benchmarks matching BENCH_ALLOC_STRICT — the serving
+# benchmarks, whose pooled encode buffers are the optimization: an
+# allocation regression there fails the gate. Baselines are
+# machine-dependent — regenerate on the reference machine (or in CI) rather
+# than mixing hosts.
 #
 # The gate additionally enforces BENCH_RATIOS, within-run ns/op bounds that
-# do not depend on the machine: by default the fully-traced serving path
-# must stay within 5% of the untraced one, pinning observability overhead.
+# do not depend on the machine: the fully-traced serving path must stay
+# within 5% of the untraced one (pinning observability overhead), and the
+# hosted-session event path must stay at least 5x faster than rebuilding
+# the same n=2000 topology per request (the dynamic-repair payoff the
+# sessions subsystem exists to serve).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-run}"
-BENCH_PATTERN="${BENCH_PATTERN:-BalancerStepManyDests|MaxBenefit|InterferenceSets|ServeTopology|BuildThetaTiled}"
+BENCH_PATTERN="${BENCH_PATTERN:-BalancerStepManyDests|MaxBenefit|InterferenceSets|ServeTopology|BuildThetaTiled|Session}"
 BENCH_TIME="${BENCH_TIME:-1s}"
 BENCH_MAX_REGRESS="${BENCH_MAX_REGRESS:-0.30}"
-BENCH_RATIOS="${BENCH_RATIOS:-BenchmarkServeTopologyTraced/BenchmarkServeTopologyMetrics<=1.05}"
+BENCH_RATIOS="${BENCH_RATIOS:-BenchmarkServeTopologyTraced/BenchmarkServeTopologyMetrics<=1.05,BenchmarkSessionApplyEvent/BenchmarkServeTopologyN2000<=0.2}"
+BENCH_ALLOC_STRICT="${BENCH_ALLOC_STRICT:-^Benchmark(ServeTopology|Session)}"
 BASELINE="BENCH_baseline.json"
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
@@ -41,7 +48,8 @@ gate)
         exit 1
     fi
     go run ./cmd/benchdump -in "$OUT" -baseline "$BASELINE" \
-        -max-regress "$BENCH_MAX_REGRESS" -ratio "$BENCH_RATIOS"
+        -max-regress "$BENCH_MAX_REGRESS" -ratio "$BENCH_RATIOS" \
+        -alloc-strict "$BENCH_ALLOC_STRICT"
     ;;
 *)
     echo "bench.sh: unknown mode '$MODE' (want run|baseline|gate)" >&2
