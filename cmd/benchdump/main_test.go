@@ -99,3 +99,24 @@ func TestGateAllocStrict(t *testing.T) {
 		t.Fatalf("in-bounds strict gate reported %d failures\n%s", failures, sb.String())
 	}
 }
+
+// TestGateAllocStrictCoversCacheBench pins that the repo's default strict
+// pattern (scripts/bench.sh BENCH_ALLOC_STRICT) covers the response-cache
+// benchmark: an allocation regression on the cache-hit path — the whole
+// point of serving memoized bytes — must fail the gate, not warn.
+func TestGateAllocStrictCoversCacheBench(t *testing.T) {
+	strict := regexp.MustCompile(`^Benchmark(ServeTopology|Session)`)
+	if !strict.MatchString("BenchmarkServeTopologyCacheHit") {
+		t.Fatal("default alloc-strict pattern no longer matches BenchmarkServeTopologyCacheHit")
+	}
+	base := map[string]Result{
+		"BenchmarkServeTopologyCacheHit": {NsPerOp: 100, BytesPerOp: 2000, AllocsPerOp: 20},
+	}
+	run := map[string]Result{
+		"BenchmarkServeTopologyCacheHit": {NsPerOp: 100, BytesPerOp: 2000, AllocsPerOp: 40},
+	}
+	var sb strings.Builder
+	if failures := gate(&sb, base, run, 0.30, strict); failures != 1 {
+		t.Fatalf("cache-hit alloc regression reported %d failures, want 1\n%s", failures, sb.String())
+	}
+}

@@ -7,6 +7,7 @@
 //	loadgen [-addr http://localhost:8080] [-rps 50] [-duration 10s]
 //	        [-endpoint topology|simulate|interference|session] [-n 60]
 //	        [-dist uniform] [-steps 50] [-mode centralized] [-timeout-ms 5000]
+//	        [-keyspace 0] [-zipf 1.2]
 //	        [-strict] [-json] [-slo "p99<50ms,err<1%"]
 //
 // Open-loop means the schedule never waits for responses: a request fires
@@ -24,6 +25,16 @@
 // fraction of reads the generation-numbered delta ring answered without a
 // full snapshot. Latency percentiles cover both event applies and reads.
 //
+// -keyspace N switches the stateless endpoints (topology, interference)
+// into repeated-pointset mode: each request draws one of N distinct point
+// seeds from a Zipf distribution with exponent -zipf (> 1; heavier skew =
+// hotter keys), so the same request bodies recur the way production
+// traffic does and the server's digest-keyed response cache has something
+// to hit. Per key, the last seen ETag is replayed as If-None-Match, so a
+// warm key is answered 304 without a body. The report gains a "cache"
+// section — hit/miss/coalesced/304 counts from the X-Cache and status
+// answers, and the hit ratio (everything the server did not rebuild).
+//
 // -strict exits non-zero when any 5xx was observed or no request succeeded,
 // which makes loadgen usable as a CI smoke gate. -slo goes further: it
 // asserts service-level objectives against the final report — latency
@@ -38,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -67,6 +79,19 @@ type report struct {
 	OfferedRPS  float64        `json:"offered_rps"`
 	AchievedRPS float64        `json:"achieved_rps"` // 2xx per second
 	Session     *sessionReport `json:"session,omitempty"`
+	Cache       *cacheReport   `json:"cache,omitempty"`
+}
+
+// cacheReport is the keyspace-mode accounting of the server's response
+// cache, assembled from X-Cache headers and 304 answers.
+type cacheReport struct {
+	Hits        int `json:"hits"`
+	Misses      int `json:"misses"`
+	Coalesced   int `json:"coalesced"`
+	NotModified int `json:"not_modified"`
+	// HitRatio is the fraction of cache-answered requests the server did
+	// not have to rebuild: (hits + coalesced + 304) / all of the above.
+	HitRatio float64 `json:"hit_ratio"`
 }
 
 // sample is one request's outcome; status 0 means a transport error.
@@ -127,6 +152,8 @@ func run() error {
 		steps     = flag.Int("steps", 50, "simulation steps (simulate endpoint)")
 		mode      = flag.String("mode", "centralized", "topology build mode")
 		timeoutMS = flag.Int("timeout-ms", 5000, "per-request timeout_ms")
+		keyspace  = flag.Int("keyspace", 0, "repeated-pointset mode: draw seeds from this many distinct keys (0 = off)")
+		zipfS     = flag.Float64("zipf", 1.2, "Zipf exponent for keyspace draws (> 1; larger = hotter keys)")
 		strict    = flag.Bool("strict", false, "exit non-zero on any 5xx or zero successes")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 		slo       = flag.String("slo", "", `assert SLOs and exit non-zero on violation, e.g. "p99<50ms,err<1%"`)
@@ -156,8 +183,19 @@ func run() error {
 		}
 		rep = summarize(samples, *rps, elapsed)
 		rep.Session = sess
+	} else if *keyspace > 0 {
+		samples, cr, elapsed, err := runKeyspace(client, keyspaceOpts{
+			addr: *addr, endpoint: *endpoint, dist: *dist, mode: *mode,
+			rps: *rps, duration: *duration, n: *n, keys: *keyspace,
+			timeoutMS: *timeoutMS, zipfS: *zipfS,
+		})
+		if err != nil {
+			return err
+		}
+		rep = summarize(samples, *rps, elapsed)
+		rep.Cache = cr
 	} else {
-		path, body, err := buildRequest(*endpoint, *n, *dist, *steps, *mode, *timeoutMS)
+		path, body, err := buildRequest(*endpoint, *n, *dist, *steps, *mode, *timeoutMS, 0)
 		if err != nil {
 			return err
 		}
@@ -231,7 +269,7 @@ func run() error {
 
 // buildRequest assembles the request body once; every fired request reuses
 // it (same points seed → the server does identical work per request).
-func buildRequest(endpoint string, n int, dist string, steps int, mode string, timeoutMS int) (string, []byte, error) {
+func buildRequest(endpoint string, n int, dist string, steps int, mode string, timeoutMS int, seed int64) (string, []byte, error) {
 	var (
 		path string
 		req  map[string]any
@@ -239,22 +277,123 @@ func buildRequest(endpoint string, n int, dist string, steps int, mode string, t
 	switch endpoint {
 	case "topology":
 		path = "/v1/topology"
-		req = map[string]any{"mode": mode, "dist": dist, "n": n, "timeout_ms": timeoutMS}
+		req = map[string]any{"mode": mode, "dist": dist, "n": n, "seed": seed, "timeout_ms": timeoutMS}
 	case "simulate":
 		path = "/v1/simulate"
 		req = map[string]any{
-			"dist": dist, "n": n, "steps": steps,
+			"dist": dist, "n": n, "seed": seed, "steps": steps,
 			"router":     map[string]any{"buffer": 100},
 			"timeout_ms": timeoutMS,
 		}
 	case "interference":
 		path = "/v1/interference"
-		req = map[string]any{"dist": dist, "n": n, "timeout_ms": timeoutMS}
+		req = map[string]any{"dist": dist, "n": n, "seed": seed, "timeout_ms": timeoutMS}
 	default:
 		return "", nil, fmt.Errorf("unknown endpoint %q (want topology, simulate, interference, or session)", endpoint)
 	}
 	body, err := json.Marshal(req)
 	return path, body, err
+}
+
+type keyspaceOpts struct {
+	addr, endpoint, dist, mode string
+	rps                        float64
+	duration                   time.Duration
+	n, keys, timeoutMS         int
+	zipfS                      float64
+}
+
+// runKeyspace fires the open-loop schedule over a Zipf-skewed key set so
+// identical requests recur: per tick one key is drawn, its pre-marshalled
+// body is posted, and the key's last ETag rides along as If-None-Match.
+// Cache outcomes are read back from X-Cache and the 304 status.
+func runKeyspace(client *http.Client, o keyspaceOpts) ([]sample, *cacheReport, float64, error) {
+	if o.endpoint != "topology" && o.endpoint != "interference" {
+		return nil, nil, 0, fmt.Errorf("-keyspace needs a cached endpoint (topology or interference), got %q", o.endpoint)
+	}
+	if o.zipfS <= 1 {
+		return nil, nil, 0, fmt.Errorf("-zipf exponent must be > 1, got %v", o.zipfS)
+	}
+	bodies := make([][]byte, o.keys)
+	var path string
+	for k := range bodies {
+		p, body, err := buildRequest(o.endpoint, o.n, o.dist, 0, o.mode, o.timeoutMS, int64(k))
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		path, bodies[k] = p, body
+	}
+	url := o.addr + path
+	zipf := rand.NewZipf(rand.New(rand.NewSource(1)), o.zipfS, 1, uint64(o.keys-1))
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		etags   = make([]string, o.keys)
+		cr      cacheReport
+		wg      sync.WaitGroup
+	)
+	ticker := time.NewTicker(time.Duration(float64(time.Second) / o.rps))
+	defer ticker.Stop()
+	deadline := time.After(o.duration)
+	start := time.Now()
+
+fire:
+	for {
+		select {
+		case <-deadline:
+			break fire
+		case <-ticker.C:
+			k := int(zipf.Uint64()) // drawn on the schedule goroutine: Zipf is not concurrency-safe
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(bodies[k]))
+				if err != nil {
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				mu.Lock()
+				if e := etags[k]; e != "" {
+					req.Header.Set("If-None-Match", e)
+				}
+				mu.Unlock()
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				lat := float64(time.Since(t0)) / float64(time.Millisecond)
+				st := 0
+				var xc, etag string
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					st = resp.StatusCode
+					xc = resp.Header.Get("X-Cache")
+					etag = resp.Header.Get("ETag")
+				}
+				mu.Lock()
+				samples = append(samples, sample{status: st, latencyMS: lat})
+				if etag != "" {
+					etags[k] = etag
+				}
+				switch {
+				case st == http.StatusNotModified:
+					cr.NotModified++
+				case xc == "hit":
+					cr.Hits++
+				case xc == "coalesced":
+					cr.Coalesced++
+				case xc == "miss":
+					cr.Misses++
+				}
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	if total := cr.Hits + cr.Misses + cr.Coalesced + cr.NotModified; total > 0 {
+		cr.HitRatio = float64(cr.Hits+cr.Coalesced+cr.NotModified) / float64(total)
+	}
+	return samples, &cr, time.Since(start).Seconds(), nil
 }
 
 func printReport(rep report) {
@@ -275,6 +414,10 @@ func printReport(rep report) {
 	fmt.Printf("latency ms mean=%.1f p50=%.1f p90=%.1f p95=%.1f p99=%.1f max=%.1f\n",
 		rep.LatencyMS.Mean, rep.LatencyMS.P50, rep.LatencyMS.P90,
 		rep.LatencyMS.P95, rep.LatencyMS.P99, rep.LatencyMS.Max)
+	if c := rep.Cache; c != nil {
+		fmt.Printf("cache      hit=%d miss=%d coalesced=%d 304=%d hit-ratio %.3f\n",
+			c.Hits, c.Misses, c.Coalesced, c.NotModified, c.HitRatio)
+	}
 	if s := rep.Session; s != nil {
 		fmt.Printf("session    %s gen=%d events=%d rejected=%d\n",
 			s.ID, s.FinalGen, s.Events, s.EventErrors)

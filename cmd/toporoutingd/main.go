@@ -8,6 +8,7 @@
 //	toporoutingd [-addr :8080] [-queue 64] [-workers 0]
 //	             [-default-timeout 30s] [-max-timeout 5m]
 //	             [-max-nodes 50000] [-max-steps 10000000] [-job-ttl 10m]
+//	             [-cache on|off] [-cache-bytes 67108864]
 //	             [-grace 10s] [-trace trace.jsonl] [-expvar toporouting]
 //	             [-log text|json|off] [-trace-slow 32] [-trace-sample 64]
 //	             [-max-sessions 256] [-max-tenant-sessions 8]
@@ -43,6 +44,14 @@
 // plus a -trace-sample uniform sample are retained in memory and served
 // at /debug/traces; with -trace set, finished spans also stream to the
 // JSONL sink alongside step-level events.
+//
+// Stateless topology and interference responses are memoized in a
+// byte-bounded, digest-keyed cache: ΘALG output is a pure function of the
+// request, so a repeat request is answered from the exact cached bytes
+// (X-Cache: hit) or coalesced onto an in-flight identical build. The cache
+// key doubles as a strong ETag; If-None-Match answers 304 Not Modified
+// without building. -cache-bytes sizes the cache (default 64 MiB),
+// -cache off disables it entirely.
 //
 // Load is shed explicitly: requests queue on a bounded admission queue
 // drained by a fixed worker pool, and a full queue answers 429 with
@@ -91,6 +100,8 @@ func run() error {
 		maxNodes       = flag.Int("max-nodes", 50000, "per-request node cap")
 		maxSteps       = flag.Int("max-steps", 10_000_000, "per-request steps×runs cap")
 		jobTTL         = flag.Duration("job-ttl", 10*time.Minute, "retention of finished async jobs")
+		cacheMode      = flag.String("cache", "on", "digest-keyed response cache: on or off")
+		cacheBytes     = flag.Int64("cache-bytes", 64<<20, "response cache size bound in bytes")
 		grace          = flag.Duration("grace", 10*time.Second, "drain grace period on SIGTERM")
 		trace          = flag.String("trace", "", "stream JSONL trace events to this file")
 		expvarName     = flag.String("expvar", "toporouting", "expvar name for the live telemetry snapshot")
@@ -105,6 +116,18 @@ func run() error {
 		sessionTTL        = flag.Duration("session-ttl", 10*time.Minute, "evict sessions idle this long (negative = never)")
 	)
 	flag.Parse()
+
+	effCacheBytes := *cacheBytes
+	switch *cacheMode {
+	case "on":
+		if effCacheBytes <= 0 {
+			effCacheBytes = -1 // -cache on with a non-positive size is still off
+		}
+	case "off":
+		effCacheBytes = -1
+	default:
+		return fmt.Errorf("unknown -cache mode %q (want on or off)", *cacheMode)
+	}
 
 	var logger *slog.Logger
 	switch *logFormat {
@@ -142,6 +165,7 @@ func run() error {
 		MaxNodes:       *maxNodes,
 		MaxSteps:       *maxSteps,
 		JobTTL:         *jobTTL,
+		CacheBytes:     effCacheBytes,
 		Telemetry:      tel,
 		Tracer:         tracer,
 		Logger:         logger,

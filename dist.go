@@ -5,7 +5,6 @@ import (
 	"errors"
 
 	"toporouting/internal/dist"
-	"toporouting/internal/unitdisk"
 )
 
 // FaultPlan configures fault injection for the asynchronous distributed
@@ -70,8 +69,7 @@ func BuildNetworkDistributedAsyncContext(ctx context.Context, points []Point, op
 	}
 	rep := DistReport{Stats: out.Stats, Certificate: out.Certify()}
 	return &Network{
-		opts:  o,
-		top:   out.Top,
-		gstar: unitdisk.Build(points, o.Range),
+		opts: o,
+		top:  out.Top,
 	}, rep, nil
 }

@@ -109,7 +109,7 @@ func ReadPointsFrom(r io.Reader) ([]Point, error) { return fileio.ReadPoints(r) 
 // (topoctl -svg).
 func (nw *Network) WriteSVG(w io.Writer, highlight []int) error {
 	return viz.Render(w, nw.top.Pts, []viz.Layer{
-		{G: nw.gstar, Stroke: "#bbbbbb", Width: 0.6, Opacity: 0.5},
+		{G: nw.transmissionGraph(), Stroke: "#bbbbbb", Width: 0.6, Opacity: 0.5},
 		{G: nw.top.N, Stroke: "#1f77b4", Width: 1.4},
 	}, viz.Options{Path: highlight})
 }

@@ -1,0 +1,47 @@
+package graph
+
+// Slab is reusable backing storage for bounded-degree graphs built on a hot
+// path: one flat adjacency array plus a row table, both recycled across
+// builds. NewIn carves a graph out of the slab in O(n) with zero
+// steady-state allocations; a row that outgrows its carved capacity spills
+// to the heap transparently (append reallocates just that row), so slab
+// graphs are always correct and the per-node capacity is purely a
+// performance hint.
+//
+// A graph carved from a slab aliases the slab's memory: it is valid only
+// until the next NewIn on the same slab, and callers must not retain it (or
+// hand it to code that does) past that point. Use Graph.Clone to keep one.
+type Slab struct {
+	flat []int32
+	rows [][]int32
+}
+
+// NewIn returns an empty graph on n nodes whose adjacency rows are carved
+// from the slab, each with capacity perNode. The previous graph carved from
+// s is invalidated. perNode must be positive.
+func (s *Slab) NewIn(n, perNode int) *Graph {
+	if n < 0 || perNode <= 0 {
+		panic("graph: NewIn needs n >= 0 and perNode > 0")
+	}
+	need := n * perNode
+	if cap(s.flat) < need {
+		s.flat = make([]int32, need)
+	}
+	flat := s.flat[:need]
+	if cap(s.rows) < n {
+		s.rows = make([][]int32, n)
+	}
+	rows := s.rows[:n]
+	for i := range rows {
+		// Full slice expressions cap each row at its carve, so an append
+		// beyond perNode reallocates that row instead of clobbering the next.
+		rows[i] = flat[i*perNode : i*perNode : (i+1)*perNode]
+	}
+	return &Graph{n: n, adj: rows}
+}
+
+// Footprint returns the slab's retained backing size in bytes, for pool
+// retention caps.
+func (s *Slab) Footprint() int {
+	return 4*cap(s.flat) + 24*cap(s.rows)
+}

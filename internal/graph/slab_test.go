@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+)
+
+// TestSlabGraphEquivalence builds random edge sets twice — once with New,
+// once carved from a reused Slab — and requires identical observable state,
+// including rows that spill past the slab's per-node capacity.
+func TestSlabGraphEquivalence(t *testing.T) {
+	var slab Slab
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		ref := New(n)
+		got := slab.NewIn(n, 2) // tiny capacity: force frequent spills
+		for e := 0; e < 3*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			ref.AddEdge(u, v)
+			got.AddEdge(u, v)
+		}
+		if !reflect.DeepEqual(ref.Edges(), got.Edges()) {
+			t.Fatalf("trial %d: slab graph edges diverge", trial)
+		}
+		if ref.MaxDegree() != got.MaxDegree() || ref.NumEdges() != got.NumEdges() {
+			t.Fatalf("trial %d: degree/edge counts diverge", trial)
+		}
+		for u := 0; u < n; u++ {
+			// slices.Equal: an isolated node is nil in one representation and
+			// an empty carve in the other; both mean "no neighbors".
+			if !slices.Equal(ref.Neighbors(u), got.Neighbors(u)) {
+				t.Fatalf("trial %d: adjacency of %d diverges", trial, u)
+			}
+		}
+	}
+}
+
+// TestSlabReuseInvalidatesPrior pins the aliasing contract: carving a new
+// graph reuses the backing arrays, so the old graph's rows are garbage and
+// the new graph starts empty.
+func TestSlabReuseInvalidatesPrior(t *testing.T) {
+	var slab Slab
+	g1 := slab.NewIn(4, 4)
+	g1.AddEdge(0, 1)
+	g2 := slab.NewIn(4, 4)
+	if g2.NumEdges() != 0 {
+		t.Fatalf("fresh carve has %d edges, want 0", g2.NumEdges())
+	}
+	g2.AddEdge(2, 3)
+	if !g2.HasEdge(2, 3) || g2.HasEdge(0, 1) {
+		t.Fatal("carved graph state wrong after reuse")
+	}
+	if slab.Footprint() == 0 {
+		t.Fatal("slab retains no backing after use")
+	}
+}

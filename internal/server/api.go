@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"toporouting"
 )
@@ -127,6 +128,84 @@ type topologyResponse struct {
 	Edges       [][2]int        `json:"edges,omitempty"`
 	DistReport  *distReportView `json:"dist_report,omitempty"`
 	ElapsedMS   float64         `json:"elapsed_ms"`
+}
+
+// topologyResult is the internal success payload of a topology job: the
+// built network plus the response scalars, streamed to JSON by
+// encodeTopologyResult without materializing a topologyResponse (or its
+// edge slice). When the build used a pooled arena the network aliases arena
+// memory, so release must run only after encoding.
+type topologyResult struct {
+	mode         string
+	nw           *toporouting.Network
+	dist         *distReportView
+	includeEdges bool
+	elapsedMS    float64
+	ar           *toporouting.BuildArena
+}
+
+// release returns the build arena (if any) to the pool. The network must
+// not be read afterwards.
+func (v *topologyResult) release() {
+	if v.ar != nil {
+		putArena(v.ar)
+		v.ar = nil
+	}
+}
+
+// interferenceResult is the internal success payload of an interference
+// job. All values are extracted inside the job (the arena is released
+// before the job returns), so encoding never touches topology memory.
+type interferenceResult struct {
+	n, numEdges, interference int
+	transmissionEdges         int
+	transmissionInterference  int
+	elapsedMS                 float64
+}
+
+// Request structs are pooled per endpoint: the struct is zeroed at put time
+// (so a pooled value decodes like a fresh one — absent JSON fields cannot
+// leak a previous request's values) while the Points backing array keeps
+// its capacity for the next decode.
+var (
+	topoReqPool = sync.Pool{New: func() any { return new(topologyRequest) }}
+	intfReqPool = sync.Pool{New: func() any { return new(interferenceRequest) }}
+	simReqPool  = sync.Pool{New: func() any { return new(simulateRequest) }}
+)
+
+func putTopologyReq(r *topologyRequest) {
+	pts := r.Points[:0]
+	*r = topologyRequest{}
+	r.Points = pts
+	topoReqPool.Put(r)
+}
+
+func putInterferenceReq(r *interferenceRequest) {
+	pts := r.Points[:0]
+	*r = interferenceRequest{}
+	r.Points = pts
+	intfReqPool.Put(r)
+}
+
+func putSimulateReq(r *simulateRequest) {
+	pts := r.Points[:0]
+	*r = simulateRequest{}
+	r.Points = pts
+	simReqPool.Put(r)
+}
+
+// arenaPool recycles topology build arenas across stateless requests; the
+// footprint cap keeps one giant request from pinning its arena forever.
+var arenaPool = sync.Pool{New: func() any { return toporouting.NewBuildArena() }}
+
+const maxPooledArena = 8 << 20
+
+func getArena() *toporouting.BuildArena { return arenaPool.Get().(*toporouting.BuildArena) }
+
+func putArena(ar *toporouting.BuildArena) {
+	if ar.Footprint() <= maxPooledArena {
+		arenaPool.Put(ar)
+	}
 }
 
 // interferenceRequest is the body of POST /v1/interference.

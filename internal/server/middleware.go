@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -19,9 +20,12 @@ import (
 // so scrapes and probes do not pollute the request series.
 
 // statusWriter captures the response code and body size for metrics and
-// logging without changing handler behavior.
+// logging without changing handler behavior. It also carries the server and
+// request id so response-encode failures can be accounted at the write site.
 type statusWriter struct {
 	http.ResponseWriter
+	srv   *Server
+	reqID string
 	code  int
 	bytes int
 }
@@ -46,6 +50,25 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// noteEncodeError records a response-encode or body-write failure instead
+// of dropping it silently: counted in server.encode_errors and logged with
+// the request id. Writes outside the instrumented /v1 surface (no
+// statusWriter, so no request id or server reference) stay unaccounted.
+func noteEncodeError(w http.ResponseWriter, err error) {
+	sw, ok := w.(*statusWriter)
+	if !ok {
+		return
+	}
+	if tel := sw.srv.cfg.Telemetry; tel.Enabled() {
+		tel.Counter("server.encode_errors").Inc()
+	}
+	if lg := sw.srv.cfg.Logger; lg != nil {
+		lg.LogAttrs(context.Background(), slog.LevelError, "response encode failed",
+			slog.String("request_id", sw.reqID),
+			slog.String("error", err.Error()))
+	}
+}
+
 // instrument wraps a /v1 handler with tracing, RED metrics, and request
 // logging. endpoint is the route pattern (label-safe: "/v1/jobs/{id}", not
 // the concrete path, so label cardinality stays bounded).
@@ -54,7 +77,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		t0 := time.Now()
 		reqID := fmt.Sprintf("req-%08d", s.reqSeq.Add(1))
 		ctx, span := s.cfg.Tracer.Start(r.Context(), r.Method+" "+endpoint)
-		sw := &statusWriter{ResponseWriter: w}
+		sw := &statusWriter{ResponseWriter: w, srv: s, reqID: reqID}
 		sw.Header().Set("X-Request-ID", reqID)
 		traceID := span.TraceID()
 		if traceID != "" {

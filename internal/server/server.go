@@ -33,6 +33,7 @@ import (
 	"toporouting"
 	"toporouting/internal/session"
 	"toporouting/internal/telemetry"
+	"toporouting/internal/topocache"
 )
 
 // Config parameterizes a Server. The zero value serves with sane defaults.
@@ -53,6 +54,11 @@ type Config struct {
 	MaxSteps int
 	// JobTTL is how long finished async jobs stay pollable; 0 selects 10m.
 	JobTTL time.Duration
+	// CacheBytes bounds the digest-keyed response cache memoizing encoded
+	// /v1/topology and /v1/interference bodies (ΘALG output is a pure
+	// function of the request, so a hit returns the exact bytes a rebuild
+	// would). 0 selects 64 MiB; negative disables caching.
+	CacheBytes int64
 	// Telemetry, when non-nil, is threaded into every build and simulation
 	// and additionally records server-level counters (admitted, shed,
 	// completed) and queue-wait/run-time histograms. GET /metrics serves it
@@ -97,6 +103,9 @@ func (c Config) withDefaults() Config {
 	if c.JobTTL <= 0 {
 		c.JobTTL = 10 * time.Minute
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
 	if c.Sessions.Telemetry == nil {
 		c.Sessions.Telemetry = c.Telemetry
 	}
@@ -130,6 +139,7 @@ type Server struct {
 
 	jobs     *jobStore
 	registry *session.Registry
+	cache    *topocache.Cache // nil when caching is disabled
 	start    time.Time
 
 	shutdownOnce sync.Once
@@ -152,6 +162,9 @@ func New(cfg Config) *Server {
 		jobs:         newJobStore(cfg.JobTTL),
 		registry:     session.NewRegistry(cfg.Sessions),
 		start:        time.Now(),
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = topocache.New(cfg.CacheBytes, cfg.Telemetry)
 	}
 	s.mux = s.routes()
 	s.wg.Add(cfg.Workers)
@@ -353,20 +366,27 @@ func (s *Server) admit(j *job) error {
 	}
 }
 
-// runSync admits the job and blocks until it finishes, mapping admission
-// failures to backpressure responses. It returns false when it already
-// wrote an error response.
-func (s *Server) runSync(w http.ResponseWriter, j *job) bool {
+// runJob wires a synchronous job, admits it, and blocks for its outcome:
+// the run's result on success, the admission or job error otherwise.
+// writeRunError maps every error it can return to a response.
+func (s *Server) runJob(parent context.Context, kind string, timeoutMS int, run func(context.Context) (any, error)) (any, error) {
+	j := s.newJob(kind, parent, timeoutMS, run)
 	if err := s.admit(j); err != nil {
 		j.cancel()
-		s.writeAdmissionError(w, err)
-		return false
+		return nil, err
 	}
 	<-j.done
-	return true
+	j.mu.Lock()
+	result, err := j.result, j.err
+	j.mu.Unlock()
+	return result, err
 }
 
-func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+// writeRunError renders a failed runJob: backpressure shedding (429 with a
+// derived Retry-After, 503 while draining), an expired request deadline
+// (504), a cancelled request (client gone or drain forcing, 503), and 500
+// for everything else.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errQueueFull):
 		// Retry-After is derived from the queue ahead of the client and
@@ -377,24 +397,6 @@ func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
 	case errors.Is(err, errDraining):
 		writeError(w, http.StatusServiceUnavailable, "server draining")
-	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
-	}
-}
-
-// writeJobOutcome renders a finished synchronous job: 200 with its result,
-// 504 when its deadline expired, 499-equivalent (client gone) or 503 when
-// cancelled, 500 otherwise. Encoding the success response is the last leg
-// of a traced request, so it gets its own span.
-func writeJobOutcome(ctx context.Context, w http.ResponseWriter, j *job) {
-	j.mu.Lock()
-	result, err := j.result, j.err
-	j.mu.Unlock()
-	switch {
-	case err == nil:
-		_, span := telemetry.StartChild(ctx, "encode")
-		writeJSON(w, http.StatusOK, result)
-		span.End()
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
 	case errors.Is(err, context.Canceled):
@@ -406,9 +408,76 @@ func writeJobOutcome(ctx context.Context, w http.ResponseWriter, j *job) {
 	}
 }
 
+// buildEncoded runs the job and streams its result into a pooled encode
+// state. Encoding the success response is the last leg of a traced request,
+// so it keeps its own span. The caller owns the returned state and must
+// return it with putEncodeState.
+func (s *Server) buildEncoded(ctx context.Context, kind string, timeoutMS int, run func(context.Context) (any, error), encode func(*encodeState, any) error) (*encodeState, error) {
+	v, err := s.runJob(ctx, kind, timeoutMS, run)
+	if err != nil {
+		return nil, err
+	}
+	_, span := telemetry.StartChild(ctx, "encode")
+	defer span.End()
+	st := getEncodeState()
+	if err := encode(st, v); err != nil {
+		putEncodeState(st)
+		return nil, err
+	}
+	return st, nil
+}
+
+// serveStateless is the shared serving path of the stateless endpoints.
+// With the cache enabled and a digestable request, the canonical digest is
+// the cache key and the strong ETag: an If-None-Match match answers 304
+// before any build (sound because the response is a pure function of the
+// digest), a miss builds once under singleflight, and the exact encoded
+// bytes are memoized. digestReq nil (or the cache disabled) bypasses the
+// cache entirely: build, stream, done — the pre-cache behavior, byte for
+// byte, with no ETag or X-Cache headers.
+func (s *Server) serveStateless(w http.ResponseWriter, r *http.Request, endpoint, kind string, digestReq any, timeoutMS int, run func(context.Context) (any, error), encode func(*encodeState, any) error) {
+	if s.cache != nil && digestReq != nil {
+		if key, ok := requestDigest(endpoint, digestReq); ok {
+			etag := topocache.ETagFor(key)
+			if inmMatches(r.Header.Get("If-None-Match"), etag) {
+				s.cache.NoteNotModified()
+				w.Header().Set("ETag", etag)
+				w.Header().Set("X-Cache", "hit")
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			entry, src, err := s.cache.GetOrBuild(r.Context(), key, func() (*topocache.Entry, error) {
+				st, err := s.buildEncoded(r.Context(), kind, timeoutMS, run, encode)
+				if err != nil {
+					return nil, err
+				}
+				body := append([]byte(nil), st.out...)
+				putEncodeState(st)
+				return &topocache.Entry{Body: body, ETag: etag}, nil
+			})
+			if err != nil {
+				s.writeRunError(w, err)
+				return
+			}
+			w.Header().Set("ETag", entry.ETag)
+			w.Header().Set("X-Cache", src.String())
+			writeBody(w, http.StatusOK, entry.Body)
+			return
+		}
+	}
+	st, err := s.buildEncoded(r.Context(), kind, timeoutMS, run, encode)
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	writeBody(w, http.StatusOK, st.out)
+	putEncodeState(st)
+}
+
 func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
-	var req topologyRequest
-	if !decodeJSON(w, r, &req) {
+	req := topoReqPool.Get().(*topologyRequest)
+	defer putTopologyReq(req)
+	if !decodeJSON(w, r, req) {
 		return
 	}
 	pts, err := req.resolve(s.cfg.MaxNodes)
@@ -424,6 +493,10 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 		Theta: req.Theta, Range: req.Range, Kappa: req.Kappa, Delta: req.Delta,
 		Telemetry: s.cfg.Telemetry,
 	}
+	// The run closures capture locals, never req: the pooled request struct
+	// is recycled when the handler returns, and a queue-retired job must not
+	// read it.
+	includeEdges := req.IncludeEdges
 	var run func(context.Context) (any, error)
 	switch mode {
 	case "centralized", "parallel":
@@ -436,25 +509,35 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 		}
 		run = func(ctx context.Context) (any, error) {
 			start := time.Now()
-			nw, err := toporouting.BuildNetworkContext(ctx, pts, opts, workers)
+			ar := getArena()
+			nw, err := toporouting.BuildNetworkArenaContext(ctx, pts, opts, workers, ar)
 			if err != nil {
+				putArena(ar)
 				return nil, err
 			}
-			return topologyView(mode, nw, nil, req.IncludeEdges, start), nil
+			return &topologyResult{
+				mode: mode, nw: nw, includeEdges: includeEdges, ar: ar,
+				elapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+			}, nil
 		}
 	case "tiled":
+		tiles, workers := req.Tiles, req.Workers
 		run = func(ctx context.Context) (any, error) {
 			start := time.Now()
-			nw, err := toporouting.BuildNetworkTiledContext(ctx, pts, opts, req.Tiles, req.Workers)
+			nw, err := toporouting.BuildNetworkTiledContext(ctx, pts, opts, tiles, workers)
 			if err != nil {
 				return nil, err
 			}
-			return topologyView(mode, nw, nil, req.IncludeEdges, start), nil
+			return &topologyResult{
+				mode: mode, nw: nw, includeEdges: includeEdges,
+				elapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+			}, nil
 		}
 	case "distributed":
+		plan, buildSeed := req.Faults.plan(), req.BuildSeed
 		run = func(ctx context.Context) (any, error) {
 			start := time.Now()
-			nw, rep, err := toporouting.BuildNetworkDistributedAsyncContext(ctx, pts, opts, req.Faults.plan(), req.BuildSeed)
+			nw, rep, err := toporouting.BuildNetworkDistributedAsyncContext(ctx, pts, opts, plan, buildSeed)
 			if err != nil {
 				return nil, err
 			}
@@ -466,40 +549,34 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 				Crashes:   rep.Stats.Crashes,
 				Converged: rep.Certificate.Holds(),
 			}
-			return topologyView(mode, nw, view, req.IncludeEdges, start), nil
+			return &topologyResult{
+				mode: mode, nw: nw, dist: view, includeEdges: includeEdges,
+				elapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+			}, nil
 		}
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (want centralized, parallel, tiled, or distributed)", mode))
 		return
 	}
-	j := s.newJob("topology", r.Context(), req.TimeoutMS, run)
-	if s.runSync(w, j) {
-		writeJobOutcome(r.Context(), w, j)
-	}
+	// Digest the parsed request with response-neutral fields normalized:
+	// timeout_ms never changes the body, and the empty mode is the default.
+	dreq := *req
+	dreq.TimeoutMS = 0
+	dreq.Mode = mode
+	s.serveStateless(w, r, "topology", "topology", &dreq, req.TimeoutMS, run, encodeTopology)
 }
 
-func topologyView(mode string, nw *toporouting.Network, dist *distReportView, includeEdges bool, start time.Time) topologyResponse {
-	resp := topologyResponse{
-		Mode:        mode,
-		N:           nw.N(),
-		NumEdges:    nw.NumEdges(),
-		MaxDegree:   nw.MaxDegree(),
-		DegreeBound: nw.DegreeBound(),
-		Connected:   nw.Connected(),
-		Theta:       nw.Options().Theta,
-		Range:       nw.Options().Range,
-		DistReport:  dist,
-		ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
-	}
-	if includeEdges {
-		resp.Edges = nw.Edges()
-	}
-	return resp
+func encodeTopology(st *encodeState, v any) error {
+	res := v.(*topologyResult)
+	encodeTopologyResult(st, res)
+	res.release()
+	return nil
 }
 
 func (s *Server) handleInterference(w http.ResponseWriter, r *http.Request) {
-	var req interferenceRequest
-	if !decodeJSON(w, r, &req) {
+	req := intfReqPool.Get().(*interferenceRequest)
+	defer putInterferenceReq(req)
+	if !decodeJSON(w, r, req) {
 		return
 	}
 	pts, err := req.resolve(s.cfg.MaxNodes)
@@ -511,36 +588,44 @@ func (s *Server) handleInterference(w http.ResponseWriter, r *http.Request) {
 		Theta: req.Theta, Range: req.Range, Delta: req.Delta,
 		Telemetry: s.cfg.Telemetry,
 	}
+	includeTransmission, workers := req.IncludeTransmission, req.Workers
 	run := func(ctx context.Context) (any, error) {
 		start := time.Now()
-		nw, err := toporouting.BuildNetworkContext(ctx, pts, opts, req.Workers)
+		ar := getArena()
+		// All response values are extracted here, inside the job, so the
+		// arena can be released before the result leaves the closure.
+		defer putArena(ar)
+		nw, err := toporouting.BuildNetworkArenaContext(ctx, pts, opts, workers, ar)
 		if err != nil {
 			return nil, err
 		}
-		resp := interferenceResponse{
-			N:            nw.N(),
-			NumEdges:     nw.NumEdges(),
-			Interference: nw.InterferenceNumber(),
+		res := &interferenceResult{
+			n:            nw.N(),
+			numEdges:     nw.NumEdges(),
+			interference: nw.InterferenceNumber(),
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if req.IncludeTransmission {
-			resp.TransmissionEdges = len(nw.TransmissionEdges())
-			resp.TransmissionInterference = nw.TransmissionInterferenceNumber()
+		if includeTransmission {
+			res.transmissionEdges = len(nw.TransmissionEdges())
+			res.transmissionInterference = nw.TransmissionInterferenceNumber()
 		}
-		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
-		return resp, nil
+		res.elapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+		return res, nil
 	}
-	j := s.newJob("interference", r.Context(), req.TimeoutMS, run)
-	if s.runSync(w, j) {
-		writeJobOutcome(r.Context(), w, j)
-	}
+	dreq := *req
+	dreq.TimeoutMS = 0
+	s.serveStateless(w, r, "interference", "interference", &dreq, req.TimeoutMS, run, func(st *encodeState, v any) error {
+		encodeInterferenceResult(st, v.(*interferenceResult))
+		return nil
+	})
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	var req simulateRequest
-	if !decodeJSON(w, r, &req) {
+	req := simReqPool.Get().(*simulateRequest)
+	defer putSimulateReq(req)
+	if !decodeJSON(w, r, req) {
 		return
 	}
 	pts, err := req.resolve(s.cfg.MaxNodes)
@@ -566,6 +651,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	simSeed, simWorkers := req.SimSeed, req.Workers
 	run := func(ctx context.Context) (any, error) {
 		start := time.Now()
 		var results []toporouting.SimulationResult
@@ -578,10 +664,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		} else {
 			seeds := make([]int64, runs)
 			for i := range seeds {
-				seeds[i] = req.SimSeed + int64(i)
+				seeds[i] = simSeed + int64(i)
 			}
 			var err error
-			results, err = toporouting.SimulateMonteCarloContext(ctx, opts, seeds, req.Workers)
+			results, err = toporouting.SimulateMonteCarloContext(ctx, opts, seeds, simWorkers)
 			if err != nil {
 				return nil, err
 			}
@@ -597,7 +683,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		j := s.newJob("simulate", s.baseCtx, req.TimeoutMS, run)
 		if err := s.admit(j); err != nil {
 			j.cancel()
-			s.writeAdmissionError(w, err)
+			s.writeRunError(w, err)
 			return
 		}
 		s.jobs.put(j)
@@ -608,10 +694,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	j := s.newJob("simulate", r.Context(), req.TimeoutMS, run)
-	if s.runSync(w, j) {
-		writeJobOutcome(r.Context(), w, j)
-	}
+	// Simulation results are deterministic per seed but bulky and rarely
+	// repeated; they stream through the pooled encoder without the cache.
+	s.serveStateless(w, r, "simulate", "simulate", nil, req.TimeoutMS, run, encodeJSONValue)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -745,9 +830,17 @@ wait:
 // size, and 50000 points encode well under this.
 const maxBodyBytes = 16 << 20
 
+// decodeJSON reads the whole body into a pooled buffer and unmarshals it —
+// no per-request decoder or read buffer. Unmarshal (unlike a Decoder) also
+// rejects trailing garbage after the JSON value.
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err := dec.Decode(dst); err != nil {
+	buf := getEncodeBuf()
+	defer putEncodeBuf(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBodyBytes)); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return false
+	}
+	if err := json.Unmarshal(buf.Bytes(), dst); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
 		return false
 	}
@@ -757,7 +850,19 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		noteEncodeError(w, err)
+	}
+}
+
+// writeBody writes a fully encoded JSON body with an exact Content-Length.
+func writeBody(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	if _, err := w.Write(body); err != nil {
+		noteEncodeError(w, err)
+	}
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {

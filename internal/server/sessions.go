@@ -151,15 +151,15 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
 		}, nil
 	}
-	j := s.newJob("session.create", r.Context(), req.TimeoutMS, run)
-	if !s.runSync(w, j) {
-		return
-	}
-	j.mu.Lock()
-	result, jerr := j.result, j.err
-	j.mu.Unlock()
+	result, jerr := s.runJob(r.Context(), "session.create", req.TimeoutMS, run)
 	if jerr != nil {
-		writeSessionError(w, jerr)
+		// Admission sentinels carry backpressure semantics (Retry-After);
+		// everything else is a session-layer error.
+		if errors.Is(jerr, errQueueFull) || errors.Is(jerr, errDraining) {
+			s.writeRunError(w, jerr)
+		} else {
+			writeSessionError(w, jerr)
+		}
 		return
 	}
 	resp := result.(sessionCreateResponse)

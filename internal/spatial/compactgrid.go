@@ -103,6 +103,12 @@ func growInt32(s []int32, n int) []int32 {
 // Len returns the number of indexed points.
 func (g *CompactGrid) Len() int { return len(g.pts) }
 
+// Footprint returns the grid's retained backing size in bytes (excluding
+// the caller-owned point slice), for pool retention caps.
+func (g *CompactGrid) Footprint() int {
+	return 4 * (cap(g.start) + cap(g.idx) + cap(g.cur))
+}
+
 func (g *CompactGrid) cellIndex(p geom.Point) int {
 	col := int((p.X - g.min.X) / g.cell)
 	row := int((p.Y - g.min.Y) / g.cell)

@@ -1,0 +1,256 @@
+// Package topocache is a byte-bounded, digest-keyed LRU for serving-layer
+// responses. ΘALG output is a pure function of the point set and the build
+// parameters, so a response cache keyed on a canonical digest of the
+// request is semantically exact — a hit returns the same bytes a fresh
+// build would produce, not an approximation. The cache stores fully encoded
+// response bodies (not built topologies): bytes are immutable, shareable
+// across concurrent readers, and make the memory bound exact.
+//
+// Concurrent identical misses collapse via singleflight: one leader builds,
+// followers wait on the leader's result. A follower whose leader fails with
+// a context error (the leader's own deadline or disconnect, not a property
+// of the request) takes over and builds, so one abandoned client cannot
+// poison the outcome for patient ones.
+package topocache
+
+import (
+	"container/list"
+	"context"
+	"encoding/hex"
+	"errors"
+	"sync"
+
+	"toporouting/internal/telemetry"
+)
+
+// Key is the canonical request digest (SHA-256).
+type Key [32]byte
+
+// ETagFor returns the strong entity tag derived from a key. The digest is a
+// pure function of the request, so the tag can be computed — and matched
+// against If-None-Match — before any build happens.
+func ETagFor(k Key) string {
+	return `"` + hex.EncodeToString(k[:]) + `"`
+}
+
+// Entry is one cached response: the exact bytes of a successful body and
+// the digest-derived strong ETag. Body is immutable after insertion.
+type Entry struct {
+	Body []byte
+	ETag string
+}
+
+// Source reports how GetOrBuild produced its entry.
+type Source int
+
+const (
+	// Miss: this call ran the build.
+	Miss Source = iota
+	// Hit: served from the cache.
+	Hit
+	// Coalesced: waited on a concurrent identical build (a hit that cost
+	// one build's latency but no build's work).
+	Coalesced
+)
+
+// String returns the X-Cache header value for the source.
+func (s Source) String() string {
+	switch s {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// entryOverhead approximates per-entry bookkeeping (map slot, list element,
+// item, Entry header) charged against the byte bound alongside the body.
+const entryOverhead = 200
+
+type item struct {
+	key Key
+	e   *Entry
+}
+
+type flight struct {
+	done chan struct{}
+	e    *Entry
+	err  error
+}
+
+// Cache is the byte-bounded LRU with singleflight. Construct with New; the
+// zero value is not usable.
+type Cache struct {
+	mu     sync.Mutex
+	max    int64
+	bytes  int64
+	lru    *list.List // front = most recently used
+	items  map[Key]*list.Element
+	flight map[Key]*flight
+
+	tel *telemetry.Telemetry
+	// Counters/gauges are resolved once: hits, misses, evictions,
+	// not_modified; bytes and entries gauges track occupancy.
+	hits, misses, evictions, notModified *telemetry.Counter
+	gBytes, gEntries                     *telemetry.Gauge
+}
+
+// New returns a cache bounded at maxBytes of stored body bytes (plus fixed
+// per-entry overhead). tel, when enabled, receives topocache.{hits, misses,
+// evictions, not_modified} counters and topocache.{bytes, entries} gauges.
+func New(maxBytes int64, tel *telemetry.Telemetry) *Cache {
+	c := &Cache{
+		max:    maxBytes,
+		lru:    list.New(),
+		items:  make(map[Key]*list.Element),
+		flight: make(map[Key]*flight),
+		tel:    tel,
+	}
+	if tel.Enabled() {
+		c.hits = tel.Counter("topocache.hits")
+		c.misses = tel.Counter("topocache.misses")
+		c.evictions = tel.Counter("topocache.evictions")
+		c.notModified = tel.Counter("topocache.not_modified")
+		c.gBytes = tel.Gauge("topocache.bytes")
+		c.gEntries = tel.Gauge("topocache.entries")
+	}
+	return c
+}
+
+// NoteNotModified counts an If-None-Match short-circuit (a 304 served from
+// the digest alone, before any cache lookup).
+func (c *Cache) NoteNotModified() {
+	if c.notModified != nil {
+		c.notModified.Inc()
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Bytes returns the accounted size of the cache (bodies + overhead).
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Get returns the cached entry for key, if present, marking it recently
+// used.
+func (c *Cache) Get(key Key) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*item).e, true
+}
+
+// GetOrBuild returns the entry for key, running build on a miss. Concurrent
+// calls with the same key collapse to one build. Build errors are returned
+// to the leader and (except leader-context errors, see the package comment)
+// shared with followers; errors are never cached, so the next request
+// retries. ctx cancels only this caller's wait — an in-flight build keeps
+// its own context.
+func (c *Cache) GetOrBuild(ctx context.Context, key Key, build func() (*Entry, error)) (*Entry, Source, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.lru.MoveToFront(el)
+			e := el.Value.(*item).e
+			c.mu.Unlock()
+			if c.hits != nil {
+				c.hits.Inc()
+			}
+			return e, Hit, nil
+		}
+		f, inflight := c.flight[key]
+		if !inflight {
+			f = &flight{done: make(chan struct{})}
+			c.flight[key] = f
+			c.mu.Unlock()
+
+			e, err := build()
+			c.mu.Lock()
+			delete(c.flight, key)
+			if err == nil {
+				c.insertLocked(key, e)
+			}
+			c.mu.Unlock()
+			f.e, f.err = e, err
+			close(f.done)
+			if c.misses != nil {
+				c.misses.Inc()
+			}
+			return e, Miss, err
+		}
+		c.mu.Unlock()
+
+		select {
+		case <-ctx.Done():
+			return nil, Miss, ctx.Err()
+		case <-f.done:
+		}
+		if f.err == nil {
+			if c.hits != nil {
+				c.hits.Inc()
+			}
+			return f.e, Coalesced, nil
+		}
+		if isContextErr(f.err) && ctx.Err() == nil {
+			continue // leader abandoned; take over as the new leader
+		}
+		return nil, Miss, f.err
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// insertLocked stores the entry and evicts from the LRU tail until the byte
+// bound holds. An entry larger than the whole bound is not stored (the
+// response was still served; it is just not worth the cache).
+func (c *Cache) insertLocked(key Key, e *Entry) {
+	sz := int64(len(e.Body)) + entryOverhead
+	if sz > c.max {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		// Racing inserts are prevented by the flight map, but stay safe:
+		// replace and reaccount.
+		old := el.Value.(*item)
+		c.bytes -= int64(len(old.e.Body)) + entryOverhead
+		old.e = e
+		c.bytes += sz
+		c.lru.MoveToFront(el)
+	} else {
+		c.items[key] = c.lru.PushFront(&item{key: key, e: e})
+		c.bytes += sz
+	}
+	for c.bytes > c.max {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		it := tail.Value.(*item)
+		c.lru.Remove(tail)
+		delete(c.items, it.key)
+		c.bytes -= int64(len(it.e.Body)) + entryOverhead
+		if c.evictions != nil {
+			c.evictions.Inc()
+		}
+	}
+	if c.gBytes != nil {
+		c.gBytes.Set(float64(c.bytes))
+		c.gEntries.Set(float64(len(c.items)))
+	}
+}

@@ -1,0 +1,178 @@
+package topocache
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"toporouting/internal/telemetry"
+)
+
+func keyOf(s string) Key { return sha256.Sum256([]byte(s)) }
+
+func entryOf(n int) *Entry {
+	return &Entry{Body: make([]byte, n), ETag: "x"}
+}
+
+// TestLRUEvictionAtByteBound pins the byte accounting: inserts evict from
+// the LRU tail exactly when bodies + per-entry overhead exceed the bound,
+// recently-used entries survive, and the eviction counter matches.
+func TestLRUEvictionAtByteBound(t *testing.T) {
+	tel := telemetry.New(nil)
+	// Room for three 1000-byte bodies (+overhead) but not four.
+	c := New(3*(1000+entryOverhead)+1, tel)
+	build := func(n int) func() (*Entry, error) {
+		return func() (*Entry, error) { return entryOf(n), nil }
+	}
+	for i := 0; i < 3; i++ {
+		if _, src, err := c.GetOrBuild(context.Background(), keyOf(fmt.Sprint(i)), build(1000)); err != nil || src != Miss {
+			t.Fatalf("insert %d: src=%v err=%v", i, src, err)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	// Touch key 0 so key 1 is the LRU victim.
+	if _, ok := c.Get(keyOf("0")); !ok {
+		t.Fatal("key 0 missing before eviction")
+	}
+	if _, _, err := c.GetOrBuild(context.Background(), keyOf("3"), build(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(keyOf("1")); ok {
+		t.Fatal("LRU victim (key 1) survived eviction")
+	}
+	for _, k := range []string{"0", "2", "3"} {
+		if _, ok := c.Get(keyOf(k)); !ok {
+			t.Fatalf("key %s evicted, want retained", k)
+		}
+	}
+	if got := tel.Counter("topocache.evictions").Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if c.Bytes() > 3*(1000+entryOverhead)+1 {
+		t.Fatalf("bytes %d exceed the bound", c.Bytes())
+	}
+
+	// An entry larger than the whole bound is served but never stored.
+	big := keyOf("big")
+	if _, _, err := c.GetOrBuild(context.Background(), big, build(1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(big); ok {
+		t.Fatal("oversize entry was stored")
+	}
+}
+
+// TestSingleflightCollapse runs many concurrent identical misses and
+// requires exactly one build; everyone gets the same entry.
+func TestSingleflightCollapse(t *testing.T) {
+	c := New(1<<20, nil)
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	build := func() (*Entry, error) {
+		builds.Add(1)
+		<-gate // hold the flight open until all followers queue up
+		return entryOf(64), nil
+	}
+	const k = 16
+	var wg sync.WaitGroup
+	results := make([]*Entry, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, _, err := c.GetOrBuild(context.Background(), keyOf("k"), build)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = e
+		}(i)
+	}
+	// Release the leader once there is no way to release deterministically
+	// without peeking: closing the gate lets the one leader finish whether
+	// followers have arrived or not; any follower arriving later hits.
+	close(gate)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builds = %d, want 1", n)
+	}
+	for i := 1; i < k; i++ {
+		if results[i] != results[0] {
+			t.Fatal("followers got a different entry than the leader")
+		}
+	}
+}
+
+// TestErrorsNotCached pins that build errors are shared with followers but
+// never stored, and that a follower takes over after a leader context error.
+func TestErrorsNotCached(t *testing.T) {
+	c := New(1<<20, nil)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrBuild(context.Background(), keyOf("e"), func() (*Entry, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Next call must rebuild (error was not cached) and can succeed.
+	e, src, err := c.GetOrBuild(context.Background(), keyOf("e"), func() (*Entry, error) { return entryOf(8), nil })
+	if err != nil || src != Miss || e == nil {
+		t.Fatalf("retry after error: src=%v err=%v", src, err)
+	}
+
+	// Leader cancelled mid-build: the follower becomes the new leader
+	// instead of inheriting context.Canceled.
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var followerSrc Source
+	var followerErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _, _ = c.GetOrBuild(context.Background(), keyOf("c"), func() (*Entry, error) {
+			close(leaderIn)
+			<-release
+			return nil, context.Canceled
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		<-leaderIn
+		var e *Entry
+		e, followerSrc, followerErr = c.GetOrBuild(context.Background(), keyOf("c"), func() (*Entry, error) {
+			return entryOf(8), nil
+		})
+		_ = e
+	}()
+	<-leaderIn
+	close(release)
+	wg.Wait()
+	if followerErr != nil || followerSrc != Miss {
+		t.Fatalf("follower takeover: src=%v err=%v, want a fresh Miss build", followerSrc, followerErr)
+	}
+}
+
+// TestWaiterContextCancel pins that a follower's own dead context aborts
+// the wait without affecting the in-flight build.
+func TestWaiterContextCancel(t *testing.T) {
+	c := New(1<<20, nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = c.GetOrBuild(context.Background(), keyOf("w"), func() (*Entry, error) {
+			close(started)
+			<-release
+			return entryOf(8), nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.GetOrBuild(ctx, keyOf("w"), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+}

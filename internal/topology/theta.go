@@ -114,6 +114,42 @@ func (t *Topology) phase1Row(u int, idx withinIndex) {
 	})
 }
 
+// phase1Scanner runs phase1Row's selection loop over a node range with one
+// hoisted visitor instead of a fresh closure per row: the per-row closures
+// were one heap allocation per node, the dominant allocation of an
+// otherwise arena-backed build. The selection logic is phase1Row's exactly;
+// rows are assumed pre-initialized to -1 (fresh sector tables are).
+type phase1Scanner struct {
+	t   *Topology
+	u   int
+	row []int32
+}
+
+func (s *phase1Scanner) visit(v int) {
+	if v == s.u {
+		return
+	}
+	sec := s.t.SectorOf(s.u, v)
+	if s.row[sec] < 0 || closer(s.t.Pts, s.u, v, int(s.row[sec])) {
+		s.row[sec] = int32(v)
+	}
+}
+
+// scan processes rows [lo, hi), checking ctx every cancelStride rows. It
+// returns early (with rows partially filled) once the context dies; callers
+// check ctx.Err() after all ranges complete, as buildTheta always has.
+func (s *phase1Scanner) scan(ctx context.Context, lo, hi int, idx withinIndex) {
+	t := s.t
+	fn := s.visit
+	for u := lo; u < hi; u++ {
+		if u%cancelStride == 0 && ctx.Err() != nil {
+			return
+		}
+		s.u, s.row = u, t.NearestOut[u]
+		idx.ForEachWithin(t.Pts[u], t.Cfg.Range, fn)
+	}
+}
+
 // admitRow recomputes node u's phase-2 admissions in place by gathering:
 // per sector of u, the nearest in-range w that selected u in phase 1. This
 // is the per-node (gather) formulation of the scatter loop in buildTheta —
@@ -169,23 +205,40 @@ const cancelStride = 256
 // worker count — workers own disjoint node ranges and phase 1 is
 // embarrassingly parallel (each row reads only immutable positions).
 func buildTheta(ctx context.Context, pts []geom.Point, cfg Config, workers int) (*Topology, error) {
+	return buildThetaArena(ctx, pts, cfg, workers, nil)
+}
+
+// buildThetaArena is buildTheta with optional reusable backing storage: a
+// nil arena allocates everything fresh (the historical behavior), a non-nil
+// one recycles the spatial index, sector tables, graph slabs, and the
+// distinctness map across builds. Both paths run the same phase loops over
+// the same data layout, so outputs are bit-identical.
+func buildThetaArena(ctx context.Context, pts []geom.Point, cfg Config, workers int, ar *BuildArena) (*Topology, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Range <= 0 {
 		panic(fmt.Sprintf("topology: non-positive range %v", cfg.Range))
 	}
-	checkDistinct(pts)
 	sectors := geom.NewSectors(cfg.Theta)
 	n := len(pts)
 	k := sectors.Count()
+	if ar != nil {
+		checkDistinctIn(pts, ar.distinctScratch(n))
+	} else {
+		checkDistinct(pts)
+	}
 	if cfg.Orientations != nil && len(cfg.Orientations) != n {
 		panic(fmt.Sprintf("topology: %d orientations for %d points", len(cfg.Orientations), n))
 	}
 	t := &Topology{
-		Pts:        pts,
-		Cfg:        cfg,
-		Sectors:    sectors,
-		NearestOut: newSectorTable(n, k),
-		AdmitIn:    newSectorTable(n, k),
+		Pts:     pts,
+		Cfg:     cfg,
+		Sectors: sectors,
+	}
+	if ar != nil {
+		t.NearestOut, t.AdmitIn = ar.sectorTables(n, k)
+	} else {
+		t.NearestOut = newSectorTable(n, k)
+		t.AdmitIn = newSectorTable(n, k)
 	}
 	tel := cfg.Telemetry
 	stopBuild := tel.StartPhase("topology.build")
@@ -197,7 +250,17 @@ func buildTheta(ctx context.Context, pts []geom.Point, cfg Config, workers int) 
 	// positions of in-range nodes (round 1 of the distributed protocol).
 	stopPhase1 := tel.StartPhase("topology.phase1")
 	_, spanP1 := telemetry.StartChild(ctx, "topology.phase1")
-	idx := spatial.NewGrid(pts, cfg.Range)
+	var idx withinIndex
+	if ar != nil {
+		// CompactGrid refills in place with the same bucket-major,
+		// ascending-index visit order as NewGrid (order never matters for the
+		// result — closer is a strict total order — but keeping it identical
+		// keeps the two paths trivially comparable).
+		ar.grid.Fill(pts, cfg.Range)
+		idx = &ar.grid
+	} else {
+		idx = spatial.NewGrid(pts, cfg.Range)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -208,22 +271,14 @@ func buildTheta(ctx context.Context, pts []geom.Point, cfg Config, workers int) 
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				for u := lo; u < hi; u++ {
-					if u%cancelStride == 0 && ctx.Err() != nil {
-						return
-					}
-					t.phase1Row(u, idx)
-				}
+				sc := phase1Scanner{t: t}
+				sc.scan(ctx, lo, hi, idx)
 			}(lo, hi)
 		}
 		wg.Wait()
 	} else {
-		for u := 0; u < n; u++ {
-			if u%cancelStride == 0 && ctx.Err() != nil {
-				break
-			}
-			t.phase1Row(u, idx)
-		}
+		sc := phase1Scanner{t: t}
+		sc.scan(ctx, 0, n, idx)
 	}
 	if err := ctx.Err(); err != nil {
 		stopPhase1()
@@ -233,8 +288,16 @@ func buildTheta(ctx context.Context, pts []geom.Point, cfg Config, workers int) 
 		return nil, err
 	}
 
-	// Yao graph N₁: undirected closure of the phase-1 selections.
-	t.Yao = graph.New(n)
+	// Yao graph N₁: undirected closure of the phase-1 selections. The slab
+	// carve sizes rows at 2k: the final topology N never exceeds that
+	// (Lemma 2.1 bounds its degree by 4π/θ = 2k) and Yao rows rarely do
+	// (out-degree ≤ k; a high in-degree row spills to the heap, which is
+	// correct and merely allocates).
+	if ar != nil {
+		t.Yao = ar.yao.NewIn(n, 2*k)
+	} else {
+		t.Yao = graph.New(n)
+	}
 	for u := 0; u < n; u++ {
 		for _, v := range t.NearestOut[u] {
 			if v >= 0 {
@@ -275,7 +338,11 @@ func buildTheta(ctx context.Context, pts []geom.Point, cfg Config, workers int) 
 	}
 
 	// Final topology: an edge for every admission, in either direction.
-	t.N = graph.New(n)
+	if ar != nil {
+		t.N = ar.fin.NewIn(n, 2*k)
+	} else {
+		t.N = graph.New(n)
+	}
 	for u := 0; u < n; u++ {
 		for _, w := range t.AdmitIn[u] {
 			if w >= 0 {
@@ -311,7 +378,12 @@ func buildTheta(ctx context.Context, pts []geom.Point, cfg Config, workers int) 
 // deterministic tie-break relaxes uniqueness, but zero-distance pairs make
 // the sector geometry — and hence the θ-path recursion — ill-defined).
 func checkDistinct(pts []geom.Point) {
-	seen := make(map[geom.Point]int, len(pts))
+	checkDistinctIn(pts, make(map[geom.Point]int, len(pts)))
+}
+
+// checkDistinctIn is checkDistinct into a caller-provided (cleared) map, so
+// arena builds recycle the map's buckets instead of reallocating them.
+func checkDistinctIn(pts []geom.Point, seen map[geom.Point]int) {
 	for i, p := range pts {
 		if j, dup := seen[p]; dup {
 			panic(fmt.Sprintf("topology: nodes %d and %d share position (%v, %v); ΘALG requires distinct positions", j, i, p.X, p.Y))

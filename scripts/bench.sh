@@ -19,7 +19,9 @@
 # within 5% of the untraced one (pinning observability overhead), and the
 # hosted-session event path must stay at least 5x faster than rebuilding
 # the same n=2000 topology per request (the dynamic-repair payoff the
-# sessions subsystem exists to serve).
+# sessions subsystem exists to serve), and a response-cache hit must answer
+# in at most a tenth of the cold build-and-encode path (the memoization
+# payoff the digest-keyed cache exists to serve).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,7 +29,7 @@ MODE="${1:-run}"
 BENCH_PATTERN="${BENCH_PATTERN:-BalancerStepManyDests|MaxBenefit|InterferenceSets|ServeTopology|BuildThetaTiled|Session}"
 BENCH_TIME="${BENCH_TIME:-1s}"
 BENCH_MAX_REGRESS="${BENCH_MAX_REGRESS:-0.30}"
-BENCH_RATIOS="${BENCH_RATIOS:-BenchmarkServeTopologyTraced/BenchmarkServeTopologyMetrics<=1.05,BenchmarkSessionApplyEvent/BenchmarkServeTopologyN2000<=0.2}"
+BENCH_RATIOS="${BENCH_RATIOS:-BenchmarkServeTopologyTraced/BenchmarkServeTopologyMetrics<=1.05,BenchmarkSessionApplyEvent/BenchmarkServeTopologyN2000<=0.2,BenchmarkServeTopologyCacheHit/BenchmarkServeTopology<=0.1}"
 BENCH_ALLOC_STRICT="${BENCH_ALLOC_STRICT:-^Benchmark(ServeTopology|Session)}"
 BASELINE="BENCH_baseline.json"
 OUT="$(mktemp)"

@@ -57,11 +57,22 @@ func benchServeTopology(b *testing.B, cfg server.Config, body []byte) {
 }
 
 // BenchmarkServeTopology measures one synchronous topology build through
-// the full serving path: HTTP round-trip, JSON decode, admission queue,
-// worker-pool execution, ΘALG build, JSON encode — with tracing off (nil
-// Tracer). It is the end-to-end latency floor of the daemon's hot endpoint,
-// and the zero-overhead reference the Traced variant is gated against.
+// the full serving path: HTTP round-trip, pooled JSON decode, admission
+// queue, worker-pool execution, arena-backed ΘALG build, streaming JSON
+// encode — with tracing off (nil Tracer) and the response cache disabled,
+// so every iteration pays the full cold path. It is the end-to-end latency
+// floor of the daemon's hot endpoint, the zero-overhead reference the
+// Traced variant is gated against, and the denominator of the CacheHit
+// ratio gate.
 func BenchmarkServeTopology(b *testing.B) {
+	benchServeTopology(b, server.Config{Workers: 1, CacheBytes: -1}, []byte(`{"dist":"uniform","n":200,"seed":1}`))
+}
+
+// BenchmarkServeTopologyCacheHit repeats one request against the default
+// digest-keyed response cache: after the first build, every iteration is a
+// digest + LRU lookup + memoized byte write. Gated against the cold path
+// (bench.sh ratio: CacheHit/ServeTopology ≤ 0.1).
+func BenchmarkServeTopologyCacheHit(b *testing.B) {
 	benchServeTopology(b, server.Config{Workers: 1}, []byte(`{"dist":"uniform","n":200,"seed":1}`))
 }
 
@@ -70,17 +81,19 @@ func BenchmarkServeTopology(b *testing.B) {
 // (bench.sh ratio: SessionApplyEvent/ServeTopologyN2000 ≤ 0.2, i.e. the
 // session path must stay at least 5x faster than rebuilding).
 func BenchmarkServeTopologyN2000(b *testing.B) {
-	benchServeTopology(b, server.Config{Workers: 1}, []byte(`{"dist":"uniform","n":2000,"seed":1}`))
+	benchServeTopology(b, server.Config{Workers: 1, CacheBytes: -1}, []byte(`{"dist":"uniform","n":2000,"seed":1}`))
 }
 
 // BenchmarkServeTopologyMetrics turns on the metrics scope (counters,
 // gauges, histograms threaded through the build) but not span tracing:
 // the cost of the pre-existing instrumentation, and the reference the
-// Traced variant is measured against.
+// Traced variant is measured against. Cache off: this measures the cold
+// path's instrumentation, not cache lookups.
 func BenchmarkServeTopologyMetrics(b *testing.B) {
 	benchServeTopology(b, server.Config{
-		Workers:   1,
-		Telemetry: toporouting.NewTelemetry(),
+		Workers:    1,
+		CacheBytes: -1,
+		Telemetry:  toporouting.NewTelemetry(),
 	}, []byte(`{"dist":"uniform","n":200,"seed":1}`))
 }
 
@@ -93,9 +106,10 @@ func BenchmarkServeTopologyMetrics(b *testing.B) {
 func BenchmarkServeTopologyTraced(b *testing.B) {
 	tel := toporouting.NewTelemetry()
 	benchServeTopology(b, server.Config{
-		Workers:   1,
-		Telemetry: tel,
-		Tracer:    toporouting.NewTracer(tel, toporouting.NewTraceRing(32, 64)),
+		Workers:    1,
+		CacheBytes: -1,
+		Telemetry:  tel,
+		Tracer:     toporouting.NewTracer(tel, toporouting.NewTraceRing(32, 64)),
 	}, []byte(`{"dist":"uniform","n":200,"seed":1}`))
 }
 

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"toporouting/internal/geom"
 	"toporouting/internal/graph"
@@ -93,13 +94,26 @@ func (o Options) withDefaults(pts []Point) (Options, error) {
 
 // Network is a built topology: the bounded-degree graph N of ΘALG over a
 // point set, together with the transmission graph G* it was carved from.
+// G* is materialized lazily on first use — no /v1/topology field needs it,
+// so a build that only reports N never pays the dense unit-disk scan.
 type Network struct {
-	opts  Options
-	top   *topology.Topology
-	gstar *graph.Graph
+	opts Options
+	top  *topology.Topology
+	// gstarOnce guards the lazy G* build; access through transmissionGraph.
+	gstarOnce sync.Once
+	gstarG    *graph.Graph
 	// workers is the pool cap the network was built with (0 = sequential);
 	// interference-set computations inherit it.
 	workers int
+}
+
+// transmissionGraph returns the unit-disk transmission graph G*, building
+// it on first use. Safe for concurrent use.
+func (nw *Network) transmissionGraph() *graph.Graph {
+	nw.gstarOnce.Do(func() {
+		nw.gstarG = unitdisk.Build(nw.top.Pts, nw.opts.Range)
+	})
+	return nw.gstarG
 }
 
 // BuildNetwork runs ΘALG over the given points. It returns an error for
@@ -115,9 +129,8 @@ func BuildNetwork(points []Point, opts Options) (*Network, error) {
 	}
 	top := topology.BuildTheta(points, topology.Config{Theta: o.Theta, Range: o.Range, Telemetry: o.Telemetry})
 	return &Network{
-		opts:  o,
-		top:   top,
-		gstar: unitdisk.Build(points, o.Range),
+		opts: o,
+		top:  top,
 	}, nil
 }
 
@@ -137,7 +150,6 @@ func BuildNetworkParallel(points []Point, opts Options, workers int) (*Network, 
 	return &Network{
 		opts:    o,
 		top:     top,
-		gstar:   unitdisk.Build(points, o.Range),
 		workers: workers,
 	}, nil
 }
@@ -164,7 +176,49 @@ func BuildNetworkContext(ctx context.Context, points []Point, opts Options, work
 	return &Network{
 		opts:    o,
 		top:     top,
-		gstar:   unitdisk.Build(points, o.Range),
+		workers: workers,
+	}, nil
+}
+
+// BuildArena is reusable backing storage for BuildNetworkArenaContext: the
+// spatial index, sector tables, adjacency slabs, and validation scratch of
+// a ΘALG build, recycled across builds. Serving layers pool arenas to make
+// the per-request build path effectively allocation-free. An arena is not
+// safe for concurrent builds; the zero value (via NewBuildArena) is ready
+// to use.
+type BuildArena struct {
+	a topology.BuildArena
+}
+
+// NewBuildArena returns an empty arena.
+func NewBuildArena() *BuildArena { return new(BuildArena) }
+
+// Footprint approximates the arena's retained backing size in bytes, so
+// pools can drop arenas that grew serving an outsized request.
+func (ar *BuildArena) Footprint() int { return ar.a.Footprint() }
+
+// BuildNetworkArenaContext is BuildNetworkContext building into ar's
+// reusable storage. The resulting network is bit-identical to
+// BuildNetworkContext's; only allocation behavior differs. The returned
+// Network aliases the arena's memory: it is valid only until the next build
+// with ar, and must not be retained past that point (the lazily built
+// transmission graph G* is heap-allocated and exempt, but the topology
+// and its graphs are not).
+func BuildNetworkArenaContext(ctx context.Context, points []Point, opts Options, workers int, ar *BuildArena) (*Network, error) {
+	if len(points) < 2 {
+		return nil, errors.New("toporouting: need at least two points")
+	}
+	o, err := opts.withDefaults(points)
+	if err != nil {
+		return nil, err
+	}
+	top, err := topology.BuildThetaArena(ctx, points, topology.Config{Theta: o.Theta, Range: o.Range, Telemetry: o.Telemetry}, workers, &ar.a)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{
+		opts:    o,
+		top:     top,
 		workers: workers,
 	}, nil
 }
@@ -201,7 +255,6 @@ func BuildNetworkTiledContext(ctx context.Context, points []Point, opts Options,
 	return &Network{
 		opts:    o,
 		top:     top,
-		gstar:   unitdisk.Build(points, o.Range),
 		workers: workers,
 	}, nil
 }
@@ -329,10 +382,10 @@ func (dn *DynamicNetwork) MaxDegree() int { return dn.dyn.Topology().N.MaxDegree
 // Connected reports whether the current topology is connected.
 func (dn *DynamicNetwork) Connected() bool { return dn.dyn.Topology().N.Connected() }
 
-// Snapshot materializes the current state as an immutable Network (with a
-// freshly built transmission graph G*), for stretch and interference
-// evaluation. The snapshot copies the positions, so later churn does not
-// affect it; building G* is a global operation, so snapshot at evaluation
+// Snapshot materializes the current state as an immutable Network, for
+// stretch and interference evaluation. The snapshot copies the positions,
+// so later churn does not affect it. The transmission graph G* is built
+// lazily on first use — a global operation, so snapshot at evaluation
 // points rather than per event.
 func (dn *DynamicNetwork) Snapshot() *Network {
 	pts := append([]Point(nil), dn.dyn.Points()...)
@@ -348,7 +401,6 @@ func (dn *DynamicNetwork) Snapshot() *Network {
 			NearestOut: cloneTable(top.NearestOut),
 			AdmitIn:    cloneTable(top.AdmitIn),
 		},
-		gstar: unitdisk.Build(pts, dn.opts.Range),
 	}
 }
 
@@ -376,9 +428,8 @@ func BuildNetworkDistributed(points []Point, opts Options) (*Network, ProtocolSt
 	}
 	top, st := topology.BuildThetaDistributed(points, topology.Config{Theta: o.Theta, Range: o.Range, Telemetry: o.Telemetry})
 	return &Network{
-		opts:  o,
-		top:   top,
-		gstar: unitdisk.Build(points, o.Range),
+		opts: o,
+		top:  top,
 	}, st, nil
 }
 
@@ -410,13 +461,18 @@ func (nw *Network) NumEdges() int { return nw.top.N.NumEdges() }
 // G* (all pairs within range) as [u, v] pairs with u < v, sorted. G* is
 // typically far denser than N.
 func (nw *Network) TransmissionEdges() [][2]int {
-	es := nw.gstar.Edges()
+	es := nw.transmissionGraph().Edges()
 	out := make([][2]int, len(es))
 	for i, e := range es {
 		out[i] = [2]int{e.U, e.V}
 	}
 	return out
 }
+
+// Neighbors returns node u's adjacency list in N as node ids, in insertion
+// order. Callers must not mutate the slice; for an arena-built network it
+// aliases arena memory and is valid only until the arena's next build.
+func (nw *Network) Neighbors(u int) []int32 { return nw.top.N.Neighbors(u) }
 
 // Degree returns the degree of node v in N.
 func (nw *Network) Degree(v int) int { return nw.top.N.Degree(v) }
@@ -433,7 +489,7 @@ func (nw *Network) Connected() bool { return nw.top.N.Connected() }
 
 // TransmissionGraphConnected reports whether the underlying G* is
 // connected (the paper's standing assumption).
-func (nw *Network) TransmissionGraphConnected() bool { return nw.gstar.Connected() }
+func (nw *Network) TransmissionGraphConnected() bool { return nw.transmissionGraph().Connected() }
 
 // StretchSummary reports a stretch evaluation.
 type StretchSummary struct {
@@ -450,7 +506,7 @@ type StretchSummary struct {
 // network's κ (Theorem 2.2 claims O(1)). maxSources bounds the number of
 // shortest-path trees (0 = exact, all sources).
 func (nw *Network) EnergyStretch(maxSources int) StretchSummary {
-	r := stretch.Evaluate(nw.top.N, nw.gstar, nw.top.Pts, stretch.Energy, stretch.Options{
+	r := stretch.Evaluate(nw.top.N, nw.transmissionGraph(), nw.top.Pts, stretch.Energy, stretch.Options{
 		Kappa:   nw.opts.Kappa,
 		Sources: headSources(nw.N(), maxSources),
 	})
@@ -460,7 +516,7 @@ func (nw *Network) EnergyStretch(maxSources int) StretchSummary {
 // DistanceStretch measures the distance-stretch of N relative to G*
 // (Theorem 2.7 claims O(1) for civilized point sets).
 func (nw *Network) DistanceStretch(maxSources int) StretchSummary {
-	r := stretch.Evaluate(nw.top.N, nw.gstar, nw.top.Pts, stretch.Distance, stretch.Options{
+	r := stretch.Evaluate(nw.top.N, nw.transmissionGraph(), nw.top.Pts, stretch.Distance, stretch.Options{
 		Sources: headSources(nw.N(), maxSources),
 	})
 	return StretchSummary{Max: r.Max, Mean: r.Mean, P95: r.P95, Pairs: r.Pairs}
@@ -497,7 +553,7 @@ func (nw *Network) InterferenceNumber() int {
 func (nw *Network) TransmissionInterferenceNumber() int {
 	m := interference.NewModel(nw.opts.Delta)
 	m.Workers = nw.workers
-	edges := nw.gstar.Edges()
+	edges := nw.transmissionGraph().Edges()
 	if len(edges) > 2000 {
 		return m.NumberSampled(nw.top.Pts, edges, 500)
 	}
