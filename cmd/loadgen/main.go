@@ -7,7 +7,7 @@
 //	loadgen [-addr http://localhost:8080] [-rps 50] [-duration 10s]
 //	        [-endpoint topology|simulate|interference|session] [-n 60]
 //	        [-dist uniform] [-steps 50] [-mode centralized] [-timeout-ms 5000]
-//	        [-keyspace 0] [-zipf 1.2]
+//	        [-keyspace 0] [-zipf 1.2] [-tenants 0]
 //	        [-strict] [-json] [-slo "p99<50ms,err<1%"]
 //
 // Open-loop means the schedule never waits for responses: a request fires
@@ -24,6 +24,17 @@
 // 304/delta/full breakdown of the reads, and the delta-hit ratio — the
 // fraction of reads the generation-numbered delta ring answered without a
 // full snapshot. Latency percentiles cover both event applies and reads.
+//
+// -tenants K (with -endpoint session) fans the schedule out across K
+// tenants, one hosted session each, with per-tick tenant draws from a Zipf
+// distribution (exponent -zipf) so hot tenants dominate the way real
+// multi-tenant traffic does. Every acked event's echoed generation is
+// recorded, and at the end each session's final generation is audited
+// against the highest acked one: the report's "cluster" section carries
+// acked/failed/lost event counts and the replica/primary read split (from
+// X-Session-Source). lost_events must stay zero across a forced shard kill
+// — requests that fail during the failover window count as failed, never
+// lost — which is what the cluster CI smoke asserts.
 //
 // -keyspace N switches the stateless endpoints (topology, interference)
 // into repeated-pointset mode: each request draws one of N distinct point
@@ -80,6 +91,7 @@ type report struct {
 	AchievedRPS float64        `json:"achieved_rps"` // 2xx per second
 	Session     *sessionReport `json:"session,omitempty"`
 	Cache       *cacheReport   `json:"cache,omitempty"`
+	Cluster     *clusterReport `json:"cluster,omitempty"`
 }
 
 // cacheReport is the keyspace-mode accounting of the server's response
@@ -153,7 +165,8 @@ func run() error {
 		mode      = flag.String("mode", "centralized", "topology build mode")
 		timeoutMS = flag.Int("timeout-ms", 5000, "per-request timeout_ms")
 		keyspace  = flag.Int("keyspace", 0, "repeated-pointset mode: draw seeds from this many distinct keys (0 = off)")
-		zipfS     = flag.Float64("zipf", 1.2, "Zipf exponent for keyspace draws (> 1; larger = hotter keys)")
+		zipfS     = flag.Float64("zipf", 1.2, "Zipf exponent for keyspace/tenant draws (> 1; larger = hotter keys)")
+		tenants   = flag.Int("tenants", 0, "multi-tenant session mode: one session per tenant, Zipf-skewed traffic (0 = off)")
 		strict    = flag.Bool("strict", false, "exit non-zero on any 5xx or zero successes")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 		slo       = flag.String("slo", "", `assert SLOs and exit non-zero on violation, e.g. "p99<50ms,err<1%"`)
@@ -173,7 +186,20 @@ func run() error {
 	client := &http.Client{Timeout: time.Duration(*timeoutMS)*time.Millisecond + 5*time.Second}
 
 	var rep report
-	if *endpoint == "session" {
+	if *tenants > 0 {
+		if *endpoint != "session" {
+			return fmt.Errorf("-tenants needs -endpoint session, got %q", *endpoint)
+		}
+		samples, cr, elapsed, err := runMultiTenant(client, sessionOpts{
+			addr: *addr, rps: *rps, duration: *duration,
+			n: *n, dist: *dist, mode: *mode, timeoutMS: *timeoutMS,
+		}, *tenants, *zipfS)
+		if err != nil {
+			return err
+		}
+		rep = summarize(samples, *rps, elapsed)
+		rep.Cluster = cr
+	} else if *endpoint == "session" {
 		samples, sess, elapsed, err := runSession(client, sessionOpts{
 			addr: *addr, rps: *rps, duration: *duration,
 			n: *n, dist: *dist, mode: *mode, timeoutMS: *timeoutMS,
@@ -423,5 +449,10 @@ func printReport(rep report) {
 			s.ID, s.FinalGen, s.Events, s.EventErrors)
 		fmt.Printf("reads      %d (304=%d delta=%d full=%d) delta-hit %.3f\n",
 			s.Gets, s.NotModified, s.DeltaServed, s.FullServed, s.DeltaHitRatio)
+	}
+	if c := rep.Cluster; c != nil {
+		fmt.Printf("cluster    tenants=%d sessions=%d acked=%d failed=%d lost=%d\n",
+			c.Tenants, c.Sessions, c.AckedEvents, c.FailedEvents, c.LostEvents)
+		fmt.Printf("sources    replica=%d primary=%d\n", c.ReplicaReads, c.PrimaryReads)
 	}
 }

@@ -35,6 +35,7 @@ type sessionOpts struct {
 	dist      string
 	mode      string
 	timeoutMS int
+	tenant    string // X-Tenant-ID; empty = server default
 }
 
 // getEvery: one tick in 16 is a conditional read instead of an event, so a
@@ -81,7 +82,7 @@ fire:
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					readOnce(client, base, &mu, &samples, sr, &etag)
+					readOnce(client, base, opts.tenant, &mu, &samples, sr, &etag)
 				}()
 				continue
 			}
@@ -94,7 +95,7 @@ fire:
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				s, gen, rejected := postEvent(client, base+"/events", line)
+				s, gen, rejected := postEvent(client, base+"/events", opts.tenant, line)
 				mu.Lock()
 				samples = append(samples, s)
 				if s.status == http.StatusOK {
@@ -116,13 +117,13 @@ fire:
 	// Quiescent read pair: the first GET syncs to the live generation
 	// (delta or full), the second must come back 304 — so a healthy run
 	// always shows not_modified > 0, which the CI smoke asserts.
-	readOnce(client, base, &mu, &samples, sr, &etag)
-	readOnce(client, base, &mu, &samples, sr, &etag)
+	readOnce(client, base, opts.tenant, &mu, &samples, sr, &etag)
+	readOnce(client, base, opts.tenant, &mu, &samples, sr, &etag)
 
 	if hit := sr.NotModified + sr.DeltaServed; sr.Gets > 0 {
 		sr.DeltaHitRatio = float64(hit) / float64(sr.Gets)
 	}
-	if err := deleteSession(client, base); err != nil {
+	if err := deleteSession(client, base, opts.tenant); err != nil {
 		return nil, nil, 0, err
 	}
 	return samples, sr, elapsed, nil
@@ -130,11 +131,11 @@ fire:
 
 // readOnce issues one conditional GET with the last seen ETag and folds the
 // outcome into the shared report under mu.
-func readOnce(client *http.Client, base string, mu *sync.Mutex, samples *[]sample, sr *sessionReport, etag *string) {
+func readOnce(client *http.Client, base, tenant string, mu *sync.Mutex, samples *[]sample, sr *sessionReport, etag *string) {
 	mu.Lock()
 	since := *etag
 	mu.Unlock()
-	s, newTag, outcome, gen := conditionalGet(client, base, since)
+	s, newTag, outcome, gen, _ := conditionalGet(client, base, tenant, since)
 	mu.Lock()
 	defer mu.Unlock()
 	*samples = append(*samples, s)
@@ -171,7 +172,13 @@ func createSession(client *http.Client, opts sessionOpts) (id, etag string, err 
 	if err != nil {
 		return "", "", err
 	}
-	resp, err := client.Post(opts.addr+"/v1/sessions", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, opts.addr+"/v1/sessions", bytes.NewReader(body))
+	if err != nil {
+		return "", "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	setTenant(req, opts.tenant)
+	resp, err := client.Do(req)
 	if err != nil {
 		return "", "", fmt.Errorf("create session: %w", err)
 	}
@@ -190,11 +197,25 @@ func createSession(client *http.Client, opts sessionOpts) (id, etag string, err 
 	return created.ID, fmt.Sprint(created.Gen), nil
 }
 
+// setTenant stamps the X-Tenant-ID header when a tenant is set; without it
+// the server scopes the request to its default tenant.
+func setTenant(req *http.Request, tenant string) {
+	if tenant != "" {
+		req.Header.Set("X-Tenant-ID", tenant)
+	}
+}
+
 // postEvent streams one event and reads its echoed ApplyResult, so the
 // latency sample is the full apply round-trip, not just the POST.
-func postEvent(client *http.Client, url string, line []byte) (s sample, gen int64, rejected bool) {
+func postEvent(client *http.Client, url, tenant string, line []byte) (s sample, gen int64, rejected bool) {
 	t0 := time.Now()
-	resp, err := client.Post(url, "application/x-ndjson", bytes.NewReader(append(line, '\n')))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(append(line, '\n')))
+	if err != nil {
+		return sample{status: 0, latencyMS: msSince(t0)}, 0, false
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	setTenant(req, tenant)
+	resp, err := client.Do(req)
 	if err != nil {
 		return sample{status: 0, latencyMS: msSince(t0)}, 0, false
 	}
@@ -214,19 +235,23 @@ func postEvent(client *http.Client, url string, line []byte) (s sample, gen int6
 
 // conditionalGet issues GET with If-None-Match and classifies the answer:
 // 304, a delta body (has "records"), or a full snapshot (has "points").
-func conditionalGet(client *http.Client, url, since string) (s sample, etag, outcome string, gen int64) {
+// source echoes the X-Session-Source header ("primary" / "replica" in
+// sharded deployments, empty otherwise).
+func conditionalGet(client *http.Client, url, tenant, since string) (s sample, etag, outcome string, gen int64, source string) {
 	t0 := time.Now()
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
-		return sample{status: 0, latencyMS: msSince(t0)}, "", "", 0
+		return sample{status: 0, latencyMS: msSince(t0)}, "", "", 0, ""
 	}
 	req.Header.Set("If-None-Match", since)
+	setTenant(req, tenant)
 	resp, err := client.Do(req)
 	if err != nil {
-		return sample{status: 0, latencyMS: msSince(t0)}, "", "", 0
+		return sample{status: 0, latencyMS: msSince(t0)}, "", "", 0, ""
 	}
 	defer resp.Body.Close()
 	s = sample{status: resp.StatusCode, latencyMS: 0} // latency set below, after body drain
+	source = resp.Header.Get("X-Session-Source")
 	switch resp.StatusCode {
 	case http.StatusNotModified:
 		outcome = "not_modified"
@@ -237,7 +262,7 @@ func conditionalGet(client *http.Client, url, since string) (s sample, etag, out
 			Points  json.RawMessage `json:"points"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-			return sample{status: 0, latencyMS: msSince(t0)}, "", "", 0
+			return sample{status: 0, latencyMS: msSince(t0)}, "", "", 0, source
 		}
 		gen = body.Gen
 		if body.Points != nil {
@@ -249,14 +274,15 @@ func conditionalGet(client *http.Client, url, since string) (s sample, etag, out
 	}
 	io.Copy(io.Discard, resp.Body)
 	s.latencyMS = msSince(t0)
-	return s, etag, outcome, gen
+	return s, etag, outcome, gen, source
 }
 
-func deleteSession(client *http.Client, url string) error {
+func deleteSession(client *http.Client, url, tenant string) error {
 	req, err := http.NewRequest(http.MethodDelete, url, nil)
 	if err != nil {
 		return err
 	}
+	setTenant(req, tenant)
 	resp, err := client.Do(req)
 	if err != nil {
 		return fmt.Errorf("delete session: %w", err)

@@ -13,6 +13,7 @@
 //	             [-log text|json|off] [-trace-slow 32] [-trace-sample 64]
 //	             [-max-sessions 256] [-max-tenant-sessions 8]
 //	             [-session-rate 1000] [-session-ring 256] [-session-ttl 10m]
+//	             [-shards 1] [-replicas 0] [-staleness-gens 64]
 //
 // Endpoints:
 //
@@ -36,6 +37,16 @@
 // scopes lookups and quotas — session count per tenant, a shared event-rate
 // token bucket, and idle-TTL eviction. Quota rejections answer 429 with
 // Retry-After.
+//
+// With -shards > 1 the session layer runs sharded: tenants map to registry
+// shards by consistent hashing, -replicas read replicas per session tail
+// each delta stream by generation cursor (serving conditional GETs and
+// watches while within -staleness-gens of the acked stream; the
+// X-Session-Source response header reports which side answered), and a
+// dead shard's sessions fail over from their replica logs with zero acked
+// events lost. GET /debug/cluster reports placement; POST
+// /debug/cluster/kill?shard=N hard-stops a shard (fault injection — the
+// in-process equivalent of SIGKILLing its host).
 //
 // Every /v1 request is traced as a span tree — admission wait, worker
 // pickup, build phases, simulation steps, response encode — and logged as
@@ -114,6 +125,9 @@ func run() error {
 		sessionRate       = flag.Float64("session-rate", 1000, "per-tenant event rate limit, events/sec (negative = unlimited)")
 		sessionRing       = flag.Int("session-ring", 256, "delta generations retained per session")
 		sessionTTL        = flag.Duration("session-ttl", 10*time.Minute, "evict sessions idle this long (negative = never)")
+		shards            = flag.Int("shards", 1, "session registry shards (tenants map by consistent hashing)")
+		replicas          = flag.Int("replicas", 0, "read replicas per hosted session (clamped to shards-1)")
+		stalenessGens     = flag.Int("staleness-gens", 64, "replica read staleness budget in generations")
 	)
 	flag.Parse()
 
@@ -177,6 +191,9 @@ func run() error {
 			DeltaRing:            *sessionRing,
 			IdleTTL:              *sessionTTL,
 		},
+		Shards:               *shards,
+		Replicas:             *replicas,
+		ReplicaStalenessGens: *stalenessGens,
 	})
 
 	httpSrv := &http.Server{

@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"toporouting/internal/pointset"
+	"toporouting/internal/session"
+	"toporouting/internal/telemetry"
+)
+
+func testCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.Session.IdleTTL == 0 {
+		cfg.Session.IdleTTL = -1
+	}
+	if cfg.Session.EventRate == 0 {
+		cfg.Session.EventRate = -1
+	}
+	c := New(cfg)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func clusterCreate(t *testing.T, c *Cluster, tenant string, n int, seed int64) *session.Session {
+	t.Helper()
+	s, err := c.Create(context.Background(), tenant, pointset.Generate(pointset.KindUniform, n, seed), session.BuildSpec{})
+	if err != nil {
+		t.Fatalf("Create(%s): %v", tenant, err)
+	}
+	return s
+}
+
+// firstMirror returns the session's first mirror (white-box: the tests live
+// in the package so they can reach placement state the API hides).
+func firstMirror(t *testing.T, c *Cluster, id string) *replica {
+	t.Helper()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rt := c.routes[id]
+	if rt == nil || len(rt.mirrors) == 0 {
+		t.Fatalf("session %s has no mirrors", id)
+	}
+	return rt.mirrors[0]
+}
+
+func waitCaughtUp(t *testing.T, m *replica) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.lag() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never caught up (lag %d)", m.lag())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestClusterCreateGetDeleteAcrossShards(t *testing.T) {
+	c := testCluster(t, Config{Shards: 3, Replicas: 1})
+	handles := map[string]*session.Session{}
+	for i := 0; i < 6; i++ {
+		tn := fmt.Sprintf("tenant-%d", i)
+		handles[tn] = clusterCreate(t, c, tn, 60, int64(i))
+	}
+	if got := c.Live(); got != 6 {
+		t.Fatalf("Live = %d, want 6", got)
+	}
+	for tn, s := range handles {
+		if _, err := c.Get(tn, s.ID); err != nil {
+			t.Fatalf("Get(%s, %s): %v", tn, s.ID, err)
+		}
+		if _, err := c.Get("mallory", s.ID); !errors.Is(err, session.ErrNotFound) {
+			t.Fatalf("cross-tenant Get: want ErrNotFound, got %v", err)
+		}
+	}
+	for tn, s := range handles {
+		if err := c.Delete(tn, s.ID); err != nil {
+			t.Fatalf("Delete(%s): %v", tn, err)
+		}
+	}
+	if got := c.Live(); got != 0 {
+		t.Fatalf("Live after deletes = %d, want 0", got)
+	}
+	st := c.Status()
+	for _, row := range st.Shards {
+		if row.Mirrors != 0 {
+			t.Fatalf("shard %d still hosts %d mirrors after deletes", row.ID, row.Mirrors)
+		}
+	}
+}
+
+// TestReplicaReadEquivalence pins the replica read contract: a caught-up
+// mirror serves byte-identical responses to the primary for every cursor —
+// 304, delta, and full snapshot alike — and the cluster reports the source.
+func TestReplicaReadEquivalence(t *testing.T) {
+	c := testCluster(t, Config{Shards: 2, Replicas: 1})
+	s := clusterCreate(t, c, "acme", 80, 9)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 20; i++ {
+		res, err := s.Apply(ctx, session.Event{Op: "move", Node: rng.Intn(80), X: rng.Float64(), Y: rng.Float64()})
+		if err != nil || res.Err != "" {
+			t.Fatalf("apply %d: %v / %s", i, err, res.Err)
+		}
+	}
+	waitCaughtUp(t, firstMirror(t, c, s.ID))
+
+	gen, err := s.Gen(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, since := range []int64{-1, gen, gen - 1, gen - 10, 0} {
+		var want bytes.Buffer
+		wo, wg, err := s.EncodeSince(ctx, since, &want)
+		if err != nil {
+			t.Fatalf("primary EncodeSince(%d): %v", since, err)
+		}
+		var got bytes.Buffer
+		o, g, source, err := c.EncodeSince(ctx, "acme", s.ID, since, &got)
+		if err != nil {
+			t.Fatalf("cluster EncodeSince(%d): %v", since, err)
+		}
+		if source != "replica" {
+			t.Fatalf("since=%d served by %q, want replica", since, source)
+		}
+		if o != wo || g != wg || !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("since=%d replica diverged from primary:\nprimary (%v, %d): %s\nreplica (%v, %d): %s",
+				since, wo, wg, want.Bytes(), o, g, got.Bytes())
+		}
+	}
+}
+
+// TestReplicaStalenessFallback pins the budget: a mirror lagging past
+// StalenessBudget generations must not serve — the read falls back to the
+// primary — and resumes serving once it catches back up.
+func TestReplicaStalenessFallback(t *testing.T) {
+	c := testCluster(t, Config{Shards: 2, Replicas: 1, StalenessBudget: 4})
+	s := clusterCreate(t, c, "acme", 60, 4)
+	ctx := context.Background()
+	m := firstMirror(t, c, s.ID)
+	m.setPaused(true)
+
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		if res, err := s.Apply(ctx, session.Event{Op: "move", Node: rng.Intn(60), X: rng.Float64(), Y: rng.Float64()}); err != nil || res.Err != "" {
+			t.Fatalf("apply %d: %v / %s", i, err, res.Err)
+		}
+	}
+	if lag := m.lag(); lag != 10 {
+		t.Fatalf("paused mirror lag = %d, want 10", lag)
+	}
+	var buf bytes.Buffer
+	if _, _, source, err := c.EncodeSince(ctx, "acme", s.ID, -1, &buf); err != nil || source != "primary" {
+		t.Fatalf("stale read: source=%q err=%v, want primary fallback", source, err)
+	}
+
+	m.setPaused(false)
+	waitCaughtUp(t, m)
+	buf.Reset()
+	if _, _, source, err := c.EncodeSince(ctx, "acme", s.ID, -1, &buf); err != nil || source != "replica" {
+		t.Fatalf("caught-up read: source=%q err=%v, want replica", source, err)
+	}
+}
+
+// TestClusterKillRebalance is the tentpole's crash drill, run under -race:
+// eight tenants stream moves concurrently while the busiest shard is
+// hard-killed mid-run. Every session must survive via promotion from its
+// replica log, and — the invariant everything else exists for — no event
+// the cluster ever acknowledged may be missing afterwards.
+func TestClusterKillRebalance(t *testing.T) {
+	tel := telemetry.New(nil)
+	c := testCluster(t, Config{Shards: 4, Replicas: 2, Session: session.Config{IdleTTL: -1, EventRate: -1, Telemetry: tel}})
+	const (
+		tenants = 8
+		nodes   = 100
+		events  = 200
+	)
+	ids := make([]string, tenants)
+	for i := 0; i < tenants; i++ {
+		ids[i] = clusterCreate(t, c, fmt.Sprintf("tenant-%d", i), nodes, int64(i)).ID
+	}
+
+	maxAcked := make([]int64, tenants)
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tn := fmt.Sprintf("tenant-%d", i)
+			rng := rand.New(rand.NewSource(int64(1000 + i)))
+			for ev := 0; ev < events; ev++ {
+				ok := false
+				for attempt := 0; attempt < 400; attempt++ {
+					s, err := c.Get(tn, ids[i])
+					if err == nil {
+						res, aerr := s.Apply(context.Background(), session.Event{
+							Op: "move", Node: rng.Intn(nodes), X: rng.Float64(), Y: rng.Float64(),
+						})
+						if aerr == nil && res.Err == "" {
+							// Acked: the cluster answered this event. Its
+							// generation is now a floor the session must
+							// never drop below, kill or no kill.
+							if res.Gen > maxAcked[i] {
+								maxAcked[i] = res.Gen
+							}
+							ok = true
+							break
+						}
+					}
+					time.Sleep(2 * time.Millisecond) // failover window; retry
+				}
+				if !ok {
+					t.Errorf("tenant %d: event %d never applied", i, ev)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Let the streams build up, then kill the shard hosting the most
+	// sessions — the worst case the rebalance can face.
+	time.Sleep(100 * time.Millisecond)
+	victim, most := -1, -1
+	for _, row := range c.Status().Shards {
+		if row.Alive && row.Sessions > most {
+			victim, most = row.ID, row.Sessions
+		}
+	}
+	if most < 1 {
+		t.Fatal("no shard hosts a session")
+	}
+	rb, err := c.Kill(victim)
+	if err != nil {
+		t.Fatalf("Kill(%d): %v", victim, err)
+	}
+	if rb.Lost != 0 {
+		t.Fatalf("kill lost %d sessions (moved %d, rereplicated %d) — replica logs must cover every acked event", rb.Lost, rb.Moved, rb.Rereplicated)
+	}
+	if rb.Moved != most {
+		t.Fatalf("moved %d sessions, shard hosted %d", rb.Moved, most)
+	}
+	wg.Wait()
+
+	for i := 0; i < tenants; i++ {
+		tn := fmt.Sprintf("tenant-%d", i)
+		s, err := c.Get(tn, ids[i])
+		if err != nil {
+			t.Fatalf("tenant %d: session gone after rebalance: %v", i, err)
+		}
+		gen, err := s.Gen(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen < maxAcked[i] {
+			t.Fatalf("tenant %d: ACKED EVENT LOST — session at gen %d, acked through %d", i, gen, maxAcked[i])
+		}
+	}
+	if got := tel.Counter("cluster.failovers").Value(); got != 1 {
+		t.Fatalf("failovers counter = %d, want 1", got)
+	}
+	if lost := tel.Counter("cluster.sessions_lost").Value(); lost != 0 {
+		t.Fatalf("sessions_lost counter = %d, want 0", lost)
+	}
+
+	// Guard rails: a dead shard cannot die twice, and the last alive shard
+	// is unkillable.
+	if _, err := c.Kill(victim); err == nil {
+		t.Fatal("second Kill of the same shard succeeded")
+	}
+	alive := c.Status()
+	n := 0
+	for _, row := range alive.Shards {
+		if row.Alive {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("alive shards = %d, want 3", n)
+	}
+}
+
+// TestKillLastShardRefused pins the refusal path without load.
+func TestKillLastShardRefused(t *testing.T) {
+	c := testCluster(t, Config{Shards: 1})
+	if _, err := c.Kill(0); err == nil {
+		t.Fatal("killed the last alive shard")
+	}
+	if _, err := c.Kill(7); err == nil {
+		t.Fatal("killed a shard that does not exist")
+	}
+}

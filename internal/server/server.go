@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"toporouting"
+	"toporouting/internal/cluster"
 	"toporouting/internal/session"
 	"toporouting/internal/telemetry"
 	"toporouting/internal/topocache"
@@ -75,10 +76,22 @@ type Config struct {
 	// Sink, when non-nil, is closed (flushing buffered trace events to
 	// disk) at the end of Shutdown.
 	Sink io.Closer
-	// Sessions parameterizes the hosted-session registry (quotas, delta
+	// Sessions parameterizes the hosted-session registries (quotas, delta
 	// ring depth, idle TTL). Its Telemetry and MaxNodes default to the
 	// server's own when unset.
 	Sessions session.Config
+	// Shards is the number of in-process session-registry shards tenants
+	// hash onto; 0 selects 1 (one registry, the pre-cluster behavior).
+	Shards int
+	// Replicas is the read-replica count per hosted session, clamped to
+	// Shards-1.
+	Replicas int
+	// ReplicaStalenessGens bounds how many generations a replica read may
+	// lag before falling back to the primary; 0 selects 64.
+	ReplicaStalenessGens int
+	// WatchWriteTimeout bounds every SSE watch write so a subscriber that
+	// stops reading cannot stall its handler past drain; 0 selects 5s.
+	WatchWriteTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +125,9 @@ func (c Config) withDefaults() Config {
 	if c.Sessions.MaxNodes <= 0 {
 		c.Sessions.MaxNodes = c.MaxNodes
 	}
+	if c.WatchWriteTimeout <= 0 {
+		c.WatchWriteTimeout = 5 * time.Second
+	}
 	return c
 }
 
@@ -137,10 +153,10 @@ type Server struct {
 	// bits), the drain-rate estimate behind the Retry-After computation.
 	avgRunBits atomic.Uint64
 
-	jobs     *jobStore
-	registry *session.Registry
-	cache    *topocache.Cache // nil when caching is disabled
-	start    time.Time
+	jobs    *jobStore
+	cluster *cluster.Cluster
+	cache   *topocache.Cache // nil when caching is disabled
+	start   time.Time
 
 	shutdownOnce sync.Once
 	shutdownDone chan struct{}
@@ -160,8 +176,13 @@ func New(cfg Config) *Server {
 		stop:         make(chan struct{}),
 		shutdownDone: make(chan struct{}),
 		jobs:         newJobStore(cfg.JobTTL),
-		registry:     session.NewRegistry(cfg.Sessions),
-		start:        time.Now(),
+		cluster: cluster.New(cluster.Config{
+			Shards:          cfg.Shards,
+			Replicas:        cfg.Replicas,
+			StalenessBudget: cfg.ReplicaStalenessGens,
+			Session:         cfg.Sessions,
+		}),
+		start: time.Now(),
 	}
 	if cfg.CacheBytes > 0 {
 		s.cache = topocache.New(cfg.CacheBytes, cfg.Telemetry)
@@ -196,6 +217,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/cluster", s.handleClusterStatus)
+	mux.HandleFunc("POST /debug/cluster/kill", s.handleClusterKill)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -749,7 +772,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	tel.Gauge("server.workers").Set(float64(s.cfg.Workers))
 	tel.Gauge("server.in_flight").Set(float64(s.active.Load()))
 	tel.Gauge("server.uptime_seconds").Set(time.Since(s.start).Seconds())
-	tel.Gauge("session.live").Set(float64(s.registry.Live()))
+	tel.Gauge("session.live").Set(float64(s.cluster.Live()))
 	_ = toporouting.WritePrometheus(w, tel)
 }
 
@@ -814,7 +837,7 @@ wait:
 	// Sessions close after the job pool has drained (a session create may
 	// be in flight until then) and before the sink flushes, so the final
 	// applies and watcher disconnects are observable in the trace output.
-	s.registry.Close()
+	s.cluster.Close()
 	if s.cfg.Sink != nil {
 		if err := s.cfg.Sink.Close(); err != nil && !forced {
 			return fmt.Errorf("server: flushing sink: %w", err)

@@ -138,7 +138,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	run := func(ctx context.Context) (any, error) {
 		start := time.Now()
-		sess, err := s.registry.Create(ctx, tenant, pts, spec)
+		sess, err := s.cluster.Create(ctx, tenant, pts, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +180,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 // event's token and sheds with 429 when the bucket is already empty.
 func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	tenant := tenantOf(r)
-	sess, err := s.registry.Get(tenant, r.PathValue("id"))
+	sess, err := s.cluster.Get(tenant, r.PathValue("id"))
 	if err != nil {
 		writeSessionError(w, err)
 		return
@@ -189,7 +189,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
-	wait, err := s.registry.AdmitEvents(tenant)
+	wait, err := s.cluster.AdmitEvents(tenant)
 	if err != nil {
 		writeSessionError(w, err)
 		return
@@ -241,7 +241,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if !charged {
-			if err := s.registry.WaitEvent(ctx, tenant); err != nil {
+			if err := s.cluster.WaitEvent(ctx, tenant); err != nil {
 				emit(session.ApplyResult{Seq: seq, Op: ev.Op, Err: "stream closed: " + err.Error()})
 				break
 			}
@@ -289,19 +289,15 @@ func parseSinceGen(r *http.Request) int64 {
 // ring still covers it, a full snapshot otherwise. The ETag is the
 // generation — the caller echoes it back to stay on the delta path.
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.registry.Get(tenantOf(r), r.PathValue("id"))
-	if err != nil {
-		writeSessionError(w, err)
-		return
-	}
 	buf := getEncodeBuf()
 	defer putEncodeBuf(buf)
-	outcome, gen, err := sess.EncodeSince(r.Context(), parseSinceGen(r), buf)
+	outcome, gen, source, err := s.cluster.EncodeSince(r.Context(), tenantOf(r), r.PathValue("id"), parseSinceGen(r), buf)
 	if err != nil {
 		writeSessionError(w, err)
 		return
 	}
 	w.Header().Set("ETag", strconv.FormatInt(gen, 10))
+	w.Header().Set("X-Session-Source", source)
 	var label string
 	switch outcome {
 	case session.NotModified:
@@ -328,15 +324,17 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 // arrives as one `delta` event; a `hello` event opens the stream with the
 // current generation (the watcher snapshots at that generation and applies
 // deltas from there). When the watcher falls behind or the session closes,
-// the stream ends — the client's signal to resync from a snapshot.
+// the stream ends — the client's signal to resync from a snapshot. A
+// stale-bounded replica serves the stream when one is available.
+//
+// Every write carries a deadline (Config.WatchWriteTimeout): a subscriber
+// that stops reading blocks its handler in the kernel send buffer, and an
+// unbounded write there would hold the connection open past Registry.Close
+// and stall the server's drain behind one laggard.
 func (s *Server) handleSessionWatch(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.registry.Get(tenantOf(r), r.PathValue("id"))
-	if err != nil {
-		writeSessionError(w, err)
-		return
-	}
+	id := r.PathValue("id")
 	ctx := r.Context()
-	ch, gen, cancel, err := sess.Subscribe(ctx, 256)
+	ch, gen, cancel, source, err := s.cluster.Subscribe(ctx, tenantOf(r), id, 256)
 	if err != nil {
 		writeSessionError(w, err)
 		return
@@ -346,6 +344,7 @@ func (s *Server) handleSessionWatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
+	w.Header().Set("X-Session-Source", source)
 	rc := http.NewResponseController(w)
 	buf := getEncodeBuf()
 	defer putEncodeBuf(buf)
@@ -359,12 +358,13 @@ func (s *Server) handleSessionWatch(w http.ResponseWriter, r *http.Request) {
 			return false
 		}
 		buf.WriteString("\n") // Encode wrote one \n; SSE needs a blank line
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.WatchWriteTimeout))
 		if _, err := buf.WriteTo(w); err != nil {
 			return false
 		}
 		return rc.Flush() == nil
 	}
-	if !writeEvent("hello", map[string]any{"id": sess.ID, "gen": gen}) {
+	if !writeEvent("hello", map[string]any{"id": id, "gen": gen}) {
 		return
 	}
 	heartbeat := time.NewTicker(15 * time.Second)
@@ -381,6 +381,7 @@ func (s *Server) handleSessionWatch(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		case <-heartbeat.C:
+			_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.WatchWriteTimeout))
 			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
 				return
 			}
@@ -396,9 +397,37 @@ func (s *Server) handleSessionWatch(w http.ResponseWriter, r *http.Request) {
 // handleSessionDelete tears down a session; watchers see their streams
 // close.
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.registry.Delete(tenantOf(r), r.PathValue("id")); err != nil {
+	if err := s.cluster.Delete(tenantOf(r), r.PathValue("id")); err != nil {
 		writeSessionError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleClusterStatus reports shard liveness and session placement.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cluster.Status())
+}
+
+// handleClusterKill hard-stops one shard (?shard=N) — the in-process
+// equivalent of SIGKILLing its host. Nothing is recovered from the dead
+// shard itself: its sessions fail over from their replica logs (or are
+// lost, and counted, when unreplicated). Fault-injection surface for the
+// rebalance smoke; the response reports what moved.
+func (s *Server) handleClusterKill(w http.ResponseWriter, r *http.Request) {
+	idx, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "shard query parameter must be an integer")
+		return
+	}
+	st, err := s.cluster.Kill(idx)
+	if err != nil {
+		if errors.Is(err, session.ErrClosed) {
+			writeError(w, http.StatusServiceUnavailable, "session layer draining")
+			return
+		}
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }

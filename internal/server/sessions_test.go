@@ -247,7 +247,7 @@ func TestSessionIdleTTLEviction(t *testing.T) {
 	// Reads refresh the idle clock, so watch the registry rather than
 	// polling the endpoint.
 	deadline := time.After(5 * time.Second)
-	for srv.registry.Live() != 0 {
+	for srv.cluster.Live() != 0 {
 		select {
 		case <-deadline:
 			t.Fatal("session not evicted")

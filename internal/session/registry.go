@@ -35,6 +35,10 @@ type Config struct {
 	// IdleTTL evicts sessions with no applies or reads for this long;
 	// 0 selects 10m, negative disables eviction.
 	IdleTTL time.Duration
+	// IDPrefix overrides the "s-" session-id prefix. A multi-shard cluster
+	// gives each shard a distinct prefix so ids minted on different shards
+	// can never collide after a session is rehosted.
+	IDPrefix string
 	// Telemetry, when non-nil, records session gauges, per-tenant event
 	// counters and repair-locality histograms, and delta-outcome counters.
 	Telemetry *telemetry.Telemetry
@@ -61,6 +65,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleTTL == 0 {
 		c.IdleTTL = 10 * time.Minute
+	}
+	if c.IDPrefix == "" {
+		c.IDPrefix = "s-"
 	}
 	return c
 }
@@ -95,6 +102,12 @@ type BuildSpec struct {
 type Registry struct {
 	cfg Config
 
+	// now is the registry's monotonic clock: elapsed time since the
+	// registry was built. All token-bucket refill math runs on its
+	// readings, never on wall-clock timestamps, so a stepped system clock
+	// cannot inflate Retry-After or starve a tenant. Tests inject a fake.
+	now func() time.Duration
+
 	mu       sync.Mutex
 	sessions map[string]*Session
 	tenants  map[string]*tenantState
@@ -113,8 +126,10 @@ type tenantState struct {
 
 // NewRegistry builds a Registry and starts its idle sweeper.
 func NewRegistry(cfg Config) *Registry {
+	epoch := time.Now()
 	r := &Registry{
 		cfg:      cfg.withDefaults(),
+		now:      func() time.Duration { return time.Since(epoch) },
 		sessions: make(map[string]*Session),
 		tenants:  make(map[string]*tenantState),
 		stop:     make(chan struct{}),
@@ -173,14 +188,27 @@ func (r *Registry) Create(ctx context.Context, tenant string, pts []geom.Point, 
 		return nil, err
 	}
 	s := newSession(id, tenant, mode, topology.NewDynamicFrom(top), r.cfg.DeltaRing, r.cfg.MaxNodes, r.cfg.Telemetry)
+	if err := r.host(s, "session.created"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
 
+// host registers s and starts its loop. The tenant's session slot must
+// already be reserved; host releases it when registration fails.
+func (r *Registry) host(s *Session, counter string) error {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		r.release(tenant)
-		return nil, ErrClosed
+		r.release(s.Tenant)
+		return ErrClosed
 	}
-	r.sessions[id] = s
+	if _, ok := r.sessions[s.ID]; ok {
+		r.mu.Unlock()
+		r.release(s.Tenant)
+		return fmt.Errorf("session: id %q already hosted", s.ID)
+	}
+	r.sessions[s.ID] = s
 	live := len(r.sessions)
 	r.mu.Unlock()
 
@@ -191,9 +219,9 @@ func (r *Registry) Create(ctx context.Context, tenant string, pts []geom.Point, 
 	}()
 	if tel := r.cfg.Telemetry; tel.Enabled() {
 		tel.Gauge("session.live").Set(float64(live))
-		tel.Counter(telemetry.LabeledName("session.created", "tenant", tenant)).Inc()
+		tel.Counter(telemetry.LabeledName(counter, "tenant", s.Tenant)).Inc()
 	}
-	return s, nil
+	return nil
 }
 
 // build dispatches to the selected builder. Every mode yields tables
@@ -220,25 +248,46 @@ func (r *Registry) build(ctx context.Context, mode string, pts []geom.Point, cfg
 func (r *Registry) reserve(tenant string) (string, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.reserveLocked(tenant); err != nil {
+		return "", err
+	}
+	r.seq++
+	return fmt.Sprintf("%s%06d", r.cfg.IDPrefix, r.seq), nil
+}
+
+// reserveSlot takes one session slot for tenant on behalf of a session
+// keeping an existing id (the restore path): the id must not already be
+// hosted here.
+func (r *Registry) reserveSlot(tenant, id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[id]; ok {
+		return fmt.Errorf("session: id %q already hosted", id)
+	}
+	return r.reserveLocked(tenant)
+}
+
+// reserveLocked enforces the registry-wide and per-tenant session caps and
+// claims one slot. Caller holds r.mu.
+func (r *Registry) reserveLocked(tenant string) error {
 	if r.closed {
-		return "", ErrClosed
+		return ErrClosed
 	}
 	if len(r.sessions) >= r.cfg.MaxSessions {
-		return "", &QuotaError{
+		return &QuotaError{
 			Reason:     fmt.Sprintf("registry at the %d-session cap", r.cfg.MaxSessions),
 			RetryAfter: 5 * time.Second,
 		}
 	}
 	ts := r.tenant(tenant)
 	if ts.sessions >= r.cfg.MaxSessionsPerTenant {
-		return "", &QuotaError{
+		return &QuotaError{
 			Reason:     fmt.Sprintf("tenant %q at its %d-session quota", tenant, r.cfg.MaxSessionsPerTenant),
 			RetryAfter: 5 * time.Second,
 		}
 	}
 	ts.sessions++
-	r.seq++
-	return fmt.Sprintf("s-%06d", r.seq), nil
+	return nil
 }
 
 func (r *Registry) release(tenant string) {
@@ -256,7 +305,7 @@ func (r *Registry) tenant(name string) *tenantState {
 	if !ok {
 		ts = &tenantState{bucket: tokenBucket{
 			tokens: r.cfg.EventBurst,
-			last:   time.Now(),
+			last:   r.now(),
 			rate:   r.cfg.EventRate,
 			burst:  r.cfg.EventBurst,
 		}}
@@ -325,7 +374,7 @@ func (r *Registry) AdmitEvents(tenant string) (time.Duration, error) {
 	if r.closed {
 		return 0, ErrClosed
 	}
-	return r.tenant(tenant).bucket.take(time.Now()), nil
+	return r.tenant(tenant).bucket.take(r.now()), nil
 }
 
 // WaitEvent charges one token, pacing the caller (ctx-bounded sleep) when
@@ -341,7 +390,7 @@ func (r *Registry) WaitEvent(ctx context.Context, tenant string) error {
 			r.mu.Unlock()
 			return ErrClosed
 		}
-		wait := r.tenant(tenant).bucket.take(time.Now())
+		wait := r.tenant(tenant).bucket.take(r.now())
 		r.mu.Unlock()
 		if wait <= 0 {
 			return nil
@@ -431,19 +480,24 @@ func (r *Registry) Close() {
 
 // tokenBucket is a classic refill-on-demand token bucket. take returns 0
 // and consumes a token when one is available, or the wait until the next
-// token accrues (nothing consumed).
+// token accrues (nothing consumed). now is a monotonic reading (elapsed
+// time on the registry clock), not a wall timestamp: refill credit only
+// ever accrues forward, and a reading that appears to run backwards —
+// impossible from the real clock, trivial from a stepped wall clock —
+// neither drains credit nor regresses the refill cursor.
 type tokenBucket struct {
 	tokens float64
-	last   time.Time
+	last   time.Duration
 	rate   float64
 	burst  float64
 }
 
-func (b *tokenBucket) take(now time.Time) time.Duration {
-	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+func (b *tokenBucket) take(now time.Duration) time.Duration {
+	if now > b.last {
+		dt := (now - b.last).Seconds()
 		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+		b.last = now
 	}
-	b.last = now
 	if b.tokens >= 1 {
 		b.tokens--
 		return 0

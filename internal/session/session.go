@@ -153,6 +153,10 @@ type Session struct {
 	live   int
 	subs   map[int]*subscriber
 	subSeq int
+	// repl, when set (see Rewire), receives every delta record on the loop
+	// goroutine before the apply is acknowledged — the cluster layer's
+	// synchronous replication hook. It must not block.
+	repl func(DeltaRecord)
 
 	// Encoding scratch, loop-owned: snapshots reuse these instead of
 	// allocating per GET, which matters because a full snapshot is the
@@ -189,6 +193,11 @@ func newSession(id, tenant, mode string, dyn *topology.Dynamic, ringSize, maxNod
 }
 
 func (s *Session) touch() { s.lastActive.Store(time.Now().UnixNano()) }
+
+// Touch marks the session active without running a loop closure. The
+// cluster layer calls it when a replica serves a read, so replica-served
+// sessions do not idle-evict out from under their readers.
+func (s *Session) Touch() { s.touch() }
 
 // IdleSince returns the time of the last apply/read.
 func (s *Session) IdleSince() time.Time { return time.Unix(0, s.lastActive.Load()) }
@@ -330,6 +339,13 @@ func (s *Session) apply(ev Event) ApplyResult {
 		Touched:      st.Touched,
 	}
 	s.push(record)
+	if s.repl != nil {
+		// Ack-ordered replication: the record reaches every replica's log
+		// before the client sees this generation acknowledged, so a
+		// hard-killed primary can never have acked an event its replicas
+		// don't hold.
+		s.repl(record)
+	}
 	for id, sub := range s.subs {
 		select {
 		case sub.ch <- record:

@@ -178,15 +178,7 @@ func (c *Cache) GetOrBuild(ctx context.Context, key Key, build func() (*Entry, e
 			c.flight[key] = f
 			c.mu.Unlock()
 
-			e, err := build()
-			c.mu.Lock()
-			delete(c.flight, key)
-			if err == nil {
-				c.insertLocked(key, e)
-			}
-			c.mu.Unlock()
-			f.e, f.err = e, err
-			close(f.done)
+			e, err := c.lead(key, f, build)
 			if c.misses != nil {
 				c.misses.Inc()
 			}
@@ -210,6 +202,32 @@ func (c *Cache) GetOrBuild(ctx context.Context, key Key, build func() (*Entry, e
 		}
 		return nil, Miss, f.err
 	}
+}
+
+// lead runs the build as the singleflight leader. The flight is retired
+// and followers are woken unconditionally — including when build panics.
+// Without that, a panicking leader (a handler bug surfacing under exactly
+// one request shape) would strand every follower on f.done forever; with
+// it, followers get a terminal error while the panic still propagates to
+// the leader's own recovery machinery untouched.
+func (c *Cache) lead(key Key, f *flight, build func() (*Entry, error)) (e *Entry, err error) {
+	finished := false
+	defer func() {
+		if !finished {
+			err = errors.New("topocache: build panicked")
+		}
+		c.mu.Lock()
+		delete(c.flight, key)
+		if e != nil && err == nil {
+			c.insertLocked(key, e)
+		}
+		c.mu.Unlock()
+		f.e, f.err = e, err
+		close(f.done)
+	}()
+	e, err = build()
+	finished = true
+	return e, err
 }
 
 func isContextErr(err error) bool {

@@ -5,9 +5,11 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"toporouting/internal/telemetry"
 )
@@ -175,4 +177,87 @@ func TestWaiterContextCancel(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	close(release)
+}
+
+// TestOversizedInsertRejectedUpFront pins the byte-bound edge case: an
+// entry bigger than the whole cache must be rejected before any eviction,
+// leaving every resident entry (and the byte accounting) untouched.
+func TestOversizedInsertRejectedUpFront(t *testing.T) {
+	tel := telemetry.New(nil)
+	c := New(2*(1000+entryOverhead)+1, tel)
+	for i := 0; i < 2; i++ {
+		k := keyOf(fmt.Sprint(i))
+		if _, _, err := c.GetOrBuild(context.Background(), k, func() (*Entry, error) { return entryOf(1000), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Bytes()
+	e, src, err := c.GetOrBuild(context.Background(), keyOf("huge"), func() (*Entry, error) { return entryOf(5000), nil })
+	if err != nil || src != Miss || len(e.Body) != 5000 {
+		t.Fatalf("oversized build: src=%v err=%v", src, err)
+	}
+	if c.Len() != 2 || c.Bytes() != before {
+		t.Fatalf("oversized insert disturbed residents: len=%d bytes=%d (want 2, %d)", c.Len(), c.Bytes(), before)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get(keyOf(fmt.Sprint(i))); !ok {
+			t.Fatalf("resident %d evicted by an oversized insert", i)
+		}
+	}
+	if got := tel.Counter("topocache.evictions").Value(); got != 0 {
+		t.Fatalf("evictions = %d, want 0", got)
+	}
+	if _, ok := c.Get(keyOf("huge")); ok {
+		t.Fatal("oversized entry was cached")
+	}
+}
+
+// TestLeaderPanicWakesFollowers pins the singleflight panic path: a leader
+// whose build panics must still retire the flight and wake its followers
+// with an error — they must not wait forever — while the panic itself
+// propagates to the leader.
+func TestLeaderPanicWakesFollowers(t *testing.T) {
+	c := New(1<<20, nil)
+	key := keyOf("boom")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderPanic := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanic <- recover() }()
+		c.GetOrBuild(context.Background(), key, func() (*Entry, error) {
+			close(entered)
+			<-release
+			panic("builder bug")
+		})
+	}()
+	<-entered
+
+	followerDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrBuild(context.Background(), key, func() (*Entry, error) {
+			t.Error("follower must not build: leader panic is not a context error")
+			return entryOf(1), nil
+		})
+		followerDone <- err
+	}()
+	// Give the follower time to park on the flight before the leader blows
+	// up (the leader is held on release until we let go).
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+
+	if v := <-leaderPanic; v != "builder bug" {
+		t.Fatalf("leader panic = %v, want to propagate", v)
+	}
+	select {
+	case err := <-followerDone:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("follower err = %v, want build-panicked error", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("follower stranded after leader panic")
+	}
+	// The flight must be gone: a fresh request becomes a new leader.
+	if _, src, err := c.GetOrBuild(context.Background(), key, func() (*Entry, error) { return entryOf(1), nil }); err != nil || src != Miss {
+		t.Fatalf("post-panic build: src=%v err=%v", src, err)
+	}
 }
